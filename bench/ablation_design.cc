@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablations of the SRP/GRP design choices the paper motivates
+ * (Section 3.1), run on a mixed subset of the suite:
+ *
+ *  - prefetch insertion at LRU vs MRU position (pollution control);
+ *  - LIFO vs FIFO prefetch queue scheduling (newer regions first);
+ *  - bank-aware vs oblivious prefetch issue (open-row preference);
+ *  - recursive chase depth 1 / 3 / 6 (the 3-bit counter).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace grp;
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    void (*apply)(SimConfig &);
+};
+
+void
+report(const char *title, PrefetchScheme scheme,
+       const std::vector<std::string> &names,
+       const std::vector<Variant> &variants, const RunOptions &opts)
+{
+    std::printf("%s\n%-9s", title, "bench");
+    for (const Variant &variant : variants)
+        std::printf(" | %10s sp/tr", variant.label);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> sp(variants.size()),
+        tr(variants.size());
+    for (const std::string &name : names) {
+        SimConfig base_config;
+        const RunResult base =
+            runWorkload(name, base_config, opts);
+        std::printf("%-9s", name.c_str());
+        for (size_t v = 0; v < variants.size(); ++v) {
+            SimConfig config;
+            config.scheme = scheme;
+            variants[v].apply(config);
+            const RunResult run = runWorkload(name, config, opts);
+            sp[v].push_back(speedup(run, base));
+            tr[v].push_back(trafficRatio(run, base));
+            std::printf(" | %7.3f %7.2f", sp[v].back(),
+                        tr[v].back());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-9s", "geomean");
+    for (size_t v = 0; v < variants.size(); ++v)
+        std::printf(" | %7.3f %7.2f", geometricMean(sp[v]),
+                    geometricMean(tr[v]));
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    RunOptions opts;
+    opts.maxInstructions = instructionBudget(600'000);
+
+    const std::vector<std::string> mixed = {"wupwise", "equake",
+                                            "twolf", "bzip2"};
+
+    report("Ablation 1: prefetch insertion position (SRP)",
+           PrefetchScheme::Srp, mixed,
+           {{"LRU(paper)",
+             [](SimConfig &c) { c.region.lruInsertion = true; }},
+            {"MRU",
+             [](SimConfig &c) { c.region.lruInsertion = false; }}},
+           opts);
+
+    report("Ablation 2: prefetch queue scheduling (SRP)",
+           PrefetchScheme::Srp, mixed,
+           {{"LIFO(paper)",
+             [](SimConfig &c) { c.region.lifo = true; }},
+            {"FIFO", [](SimConfig &c) { c.region.lifo = false; }}},
+           opts);
+
+    report("Ablation 3: bank-aware prefetch issue (SRP)",
+           PrefetchScheme::Srp, mixed,
+           {{"aware(papr)",
+             [](SimConfig &c) { c.region.bankAware = true; }},
+            {"oblivious",
+             [](SimConfig &c) { c.region.bankAware = false; }}},
+           opts);
+
+    report("Ablation 4: recursive chase depth (GRP, mcf/parser)",
+           PrefetchScheme::GrpVar, {"parser", "twolf"},
+           {{"depth 1",
+             [](SimConfig &c) { c.region.recursiveDepth = 1; }},
+            {"depth 3",
+             [](SimConfig &c) { c.region.recursiveDepth = 3; }},
+            {"depth 6(pap)",
+             [](SimConfig &c) { c.region.recursiveDepth = 6; }}},
+           opts);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 10: performance gains from region prefetching and stride
+ * prefetching for the integer benchmarks. Bars are speedups over no
+ * prefetching; the perfect-L2 IPC bounds each benchmark.
+ */
+
+#include <cstdio>
+
+#include "harness/suite.hh"
+#include "sim/logging.hh"
+
+using namespace grp;
+
+int
+main()
+{
+    setQuiet(true);
+    RunOptions opts;
+    opts.maxInstructions = instructionBudget(1'500'000);
+
+    std::printf("Figure 10: integer benchmarks, speedup over no "
+                "prefetching\n");
+    std::printf("%-9s %8s %8s %8s %8s | %9s\n", "bench", "stride",
+                "srp", "grp", "pf-L2", "grp-gap%");
+    for (const std::string &name : intSuite()) {
+        const RunResult base =
+            runScheme(name, PrefetchScheme::None, opts);
+        const RunResult stride =
+            runScheme(name, PrefetchScheme::Stride, opts);
+        const RunResult srp =
+            runScheme(name, PrefetchScheme::Srp, opts);
+        const RunResult grp =
+            runScheme(name, PrefetchScheme::GrpVar, opts);
+        const RunResult perfect =
+            runPerfect(name, Perfection::PerfectL2, opts);
+        std::printf("%-9s %8.3f %8.3f %8.3f %8.3f | %9.2f\n",
+                    name.c_str(), speedup(stride, base),
+                    speedup(srp, base), speedup(grp, base),
+                    speedup(perfect, base),
+                    gapFromPerfect(grp, perfect));
+    }
+    return 0;
+}

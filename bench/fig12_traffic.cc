@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 12: memory traffic normalised to no prefetching, per
+ * benchmark, for stride / SRP / GRP. The paper's means: stride
+ * +10.1%, SRP +180% (up to 25.5x on single benchmarks), GRP +23%.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace grp;
+
+int
+main()
+{
+    setQuiet(true);
+    RunOptions opts;
+    opts.maxInstructions = instructionBudget(1'500'000);
+
+    std::printf("Figure 12: memory traffic normalised to no "
+                "prefetching\n");
+    std::printf("%-9s %8s %8s %8s %8s\n", "bench", "base", "stride",
+                "srp", "grp");
+    std::vector<double> stride_ratios, srp_ratios, grp_ratios;
+    for (const std::string &name : perfSuite()) {
+        const RunResult base =
+            runScheme(name, PrefetchScheme::None, opts);
+        const RunResult stride =
+            runScheme(name, PrefetchScheme::Stride, opts);
+        const RunResult srp =
+            runScheme(name, PrefetchScheme::Srp, opts);
+        const RunResult grp =
+            runScheme(name, PrefetchScheme::GrpVar, opts);
+        stride_ratios.push_back(trafficRatio(stride, base));
+        srp_ratios.push_back(trafficRatio(srp, base));
+        grp_ratios.push_back(trafficRatio(grp, base));
+        std::printf("%-9s %8.2f %8.2f %8.2f %8.2f\n", name.c_str(),
+                    1.0, stride_ratios.back(), srp_ratios.back(),
+                    grp_ratios.back());
+    }
+    std::printf("geomean    %8.2f %8.2f %8.2f %8.2f   (paper: 1.00 "
+                "1.10 2.80 1.23)\n",
+                1.0, geometricMean(stride_ratios),
+                geometricMean(srp_ratios), geometricMean(grp_ratios));
+    return 0;
+}

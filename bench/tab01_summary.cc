@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 1: summary of prefetching performance and traffic.
+ *
+ * For every benchmark (crafty excluded, §5.1) this harness runs
+ * no-prefetching, stride, SRP, GRP/Fix and GRP/Var plus a perfect-L2
+ * limit, then reports the geometric-mean speedup, the mean traffic
+ * increase, and the mean performance gap from a perfect L2 — the
+ * same three columns as the paper's Table 1.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace grp;
+
+int
+main()
+{
+    setQuiet(true);
+    RunOptions opts;
+    opts.maxInstructions = instructionBudget(1'500'000);
+
+    struct Row
+    {
+        const char *label;
+        PrefetchScheme scheme;
+        double paperSpeedup;
+        double paperTraffic;
+        double paperGap;
+    };
+    const Row rows[] = {
+        {"No prefetching", PrefetchScheme::None, 1.0, 1.0, 33.72},
+        {"Stride prefetching", PrefetchScheme::Stride, 1.147, 1.09,
+         23.99},
+        {"SRP", PrefetchScheme::Srp, 1.226, 2.80, 18.75},
+        {"GRP/Fix", PrefetchScheme::GrpFix, 1.216, 1.62, 19.42},
+        {"GRP/Var", PrefetchScheme::GrpVar, 1.212, 1.23, 19.69},
+    };
+
+    const std::vector<std::string> suite = perfSuite();
+    std::vector<RunResult> bases, perfects;
+    for (const std::string &name : suite) {
+        bases.push_back(runScheme(name, PrefetchScheme::None, opts));
+        perfects.push_back(
+            runPerfect(name, Perfection::PerfectL2, opts));
+    }
+
+    std::printf("Table 1: summary of prefetching performance and "
+                "traffic (%zu benchmarks, %llu instrs/run)\n",
+                suite.size(),
+                (unsigned long long)opts.maxInstructions);
+    std::printf("%-20s | %8s %8s %8s | %8s %8s %8s\n", "",
+                "speedup", "traffic", "gap%", "paper-sp", "paper-tr",
+                "paper-gp");
+
+    for (const Row &row : rows) {
+        std::vector<double> speedups, traffics, perfect_ratios;
+        for (size_t i = 0; i < suite.size(); ++i) {
+            RunResult run =
+                row.scheme == PrefetchScheme::None
+                    ? bases[i]
+                    : runScheme(suite[i], row.scheme, opts);
+            speedups.push_back(speedup(run, bases[i]));
+            traffics.push_back(trafficRatio(run, bases[i]));
+            perfect_ratios.push_back(run.ipc / perfects[i].ipc);
+        }
+        const double mean_gap =
+            100.0 * (1.0 - geometricMean(perfect_ratios));
+        std::printf("%-20s | %8.3f %8.2f %8.2f | %8.3f %8.2f %8.2f\n",
+                    row.label, geometricMean(speedups),
+                    geometricMean(traffics), mean_gap,
+                    row.paperSpeedup, row.paperTraffic, row.paperGap);
+    }
+    return 0;
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * grpsim — a command-line driver for the simulator.
+ *
+ *   grpsim --workload mcf --scheme grp-var --instructions 1000000
+ *          [--policy default|conservative|aggressive]
+ *          [--seed N] [--warmup N] [--dump-stats] [--list]
+ *
+ * Runs one (workload, scheme) pair and prints the headline metrics;
+ * with --dump-stats it also dumps every statistics group of the
+ * memory system, the caches, the DRAM and the prefetch engine.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "compiler/hint_generator.hh"
+#include "core/engine_factory.hh"
+#include "cpu/cpu.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "workloads/interpreter.hh"
+#include "workloads/workload.hh"
+
+#include <iostream>
+
+using namespace grp;
+
+namespace
+{
+
+PrefetchScheme
+parseScheme(const std::string &name)
+{
+    const PrefetchScheme all[] = {
+        PrefetchScheme::None,         PrefetchScheme::Stride,
+        PrefetchScheme::Srp,          PrefetchScheme::GrpFix,
+        PrefetchScheme::GrpVar,       PrefetchScheme::PointerHw,
+        PrefetchScheme::PointerHwRec, PrefetchScheme::SrpPlusPointer,
+        PrefetchScheme::SrpThrottled,
+    };
+    for (PrefetchScheme scheme : all) {
+        if (name == toString(scheme))
+            return scheme;
+    }
+    fatal("unknown scheme '%s'", name.c_str());
+}
+
+CompilerPolicy
+parsePolicy(const std::string &name)
+{
+    for (CompilerPolicy policy :
+         {CompilerPolicy::Conservative, CompilerPolicy::Default,
+          CompilerPolicy::Aggressive}) {
+        if (name == toString(policy))
+            return policy;
+    }
+    fatal("unknown policy '%s'", name.c_str());
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: grpsim [--workload NAME] [--scheme SCHEME]\n"
+        "              [--instructions N] [--warmup N] [--seed N]\n"
+        "              [--policy POLICY] [--dump-stats] [--list]\n"
+        "schemes: none stride srp grp-fix grp-var ptr-hw ptr-hw-rec "
+        "srp+ptr srp-throttled\n"
+        "policies: conservative default aggressive\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string workload_name = "equake";
+    SimConfig config;
+    config.scheme = PrefetchScheme::GrpVar;
+    uint64_t instructions = 1'000'000;
+    uint64_t warmup = ~0ull;
+    uint64_t seed = 42;
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                fatal("%s needs a value", arg.c_str());
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload_name = value();
+        } else if (arg == "--scheme") {
+            config.scheme = parseScheme(value());
+        } else if (arg == "--policy") {
+            config.policy = parsePolicy(value());
+        } else if (arg == "--instructions") {
+            instructions = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--dump-stats") {
+            dump_stats = true;
+        } else if (arg == "--list") {
+            for (const auto &name : workloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    auto workload = makeWorkload(workload_name);
+    const WorkloadInfo info = workload->info();
+    if (info.recursiveDepthOverride != 0)
+        config.region.recursiveDepth = info.recursiveDepthOverride;
+    config.validate();
+
+    FunctionalMemory fmem;
+    Program prog = workload->build(fmem, seed);
+    HintTable table;
+    HintGenerator generator(config.policy, config.l2.sizeBytes);
+    const HintStats hints = generator.run(prog, table);
+
+    EventQueue events;
+    MemorySystem mem(config, events);
+    auto engine = makePrefetchEngine(config, fmem, mem);
+    Interpreter interp(prog, fmem, seed);
+    Cpu cpu(config, mem, events, interp,
+            config.usesHints() ? &table : nullptr);
+
+    if (warmup == ~0ull)
+        warmup = instructions / 4;
+    Tick cycle = 0;
+    uint64_t warm_instr = 0, warm_cycles = 0;
+    bool measuring = warmup == 0;
+    while (!cpu.done() &&
+           cpu.retiredInstructions() < instructions + warmup) {
+        events.advanceTo(cycle);
+        cpu.tick();
+        mem.tick();
+        ++cycle;
+        if (!measuring && cpu.retiredInstructions() >= warmup) {
+            mem.resetStats();
+            if (engine.get())
+                engine->stats().reset();
+            warm_instr = cpu.retiredInstructions();
+            warm_cycles = cycle;
+            measuring = true;
+        }
+    }
+
+    const uint64_t instr = cpu.retiredInstructions() - warm_instr;
+    const uint64_t cycles = cpu.cycles() - warm_cycles;
+    std::printf("workload      %s (%s)\n", workload_name.c_str(),
+                info.missCause.c_str());
+    std::printf("scheme        %s, policy %s, seed %llu\n",
+                toString(config.scheme), toString(config.policy),
+                (unsigned long long)seed);
+    std::printf("hints         %u refs: %u spatial, %u pointer, %u "
+                "recursive, %u indirect\n",
+                hints.memInsts, hints.spatial, hints.pointer,
+                hints.recursive, hints.indirect);
+    std::printf("instructions  %llu (after %llu warmup)\n",
+                (unsigned long long)instr,
+                (unsigned long long)warmup);
+    std::printf("cycles        %llu\n", (unsigned long long)cycles);
+    std::printf("IPC           %.4f\n",
+                cycles ? double(instr) / double(cycles) : 0.0);
+    std::printf("traffic       %llu bytes (%llu fills + %llu "
+                "prefetches + %llu writebacks)\n",
+                (unsigned long long)mem.trafficBytes(),
+                (unsigned long long)mem.stats().value("demandFills"),
+                (unsigned long long)mem.stats().value("prefetchFills"),
+                (unsigned long long)mem.stats().value("writebacks"));
+    std::printf("L2 misses     %llu to memory, %llu total demand\n",
+                (unsigned long long)mem.l2DemandMisses(),
+                (unsigned long long)mem.stats().value(
+                    "l2DemandMissesTotal"));
+
+    if (dump_stats) {
+        std::printf("\n-- statistics dump --\n");
+        mem.stats().dump(std::cout);
+        mem.l1d().stats().dump(std::cout);
+        mem.l2().stats().dump(std::cout);
+        mem.dram().stats().dump(std::cout);
+        mem.l1Mshrs().stats().dump(std::cout);
+        mem.l2Mshrs().stats().dump(std::cout);
+        if (engine.get())
+            engine->stats().dump(std::cout);
+        cpu.stats().dump(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Indirect prefetching demo (Section 3.3.3): a[b[i]] with random
+ * index values — the bzip2 pattern. Spatial prefetching cannot
+ * predict the targets; the GRP indirect prefetch instruction reads
+ * the index block and prefetches all sixteen targets at once.
+ */
+
+#include <cstdio>
+
+#include "compiler/builder.hh"
+#include "compiler/hint_generator.hh"
+#include "core/engine_factory.hh"
+#include "cpu/cpu.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "workloads/heap_builders.hh"
+#include "workloads/interpreter.hh"
+
+using namespace grp;
+
+namespace
+{
+
+struct Kernel
+{
+    FunctionalMemory mem;
+    Program prog;
+};
+
+std::unique_ptr<Kernel>
+buildGather(unsigned cluster_run)
+{
+    auto kernel = std::make_unique<Kernel>();
+    Rng rng(7);
+    ProgramBuilder b(kernel->mem);
+    const uint64_t n = 256 * 1024;
+    const uint64_t data_elems = 2 * 1024 * 1024; // 16 MB target.
+    const ArrayId data = b.array("data", 8, {data_elems});
+    const ArrayId index = b.array("index", 4, {n});
+    fillIndexArray(kernel->mem, b.arrayBase(index), n, data_elems,
+                   cluster_run, rng);
+    const ArrayId hot = b.array("hot", 8, {1024});
+
+    const VarId i = b.forLoop(0, static_cast<int64_t>(n));
+    b.arrayRef(data, {Subscript::indirect(index, Affine::var(i))});
+    {
+        const VarId j = b.forLoop(0, 40);
+        b.arrayRef(hot, {Subscript::affine(Affine::var(j))});
+        b.compute(2);
+        b.end();
+    }
+    b.end();
+    kernel->prog = b.build();
+    return kernel;
+}
+
+struct Outcome
+{
+    double ipc;
+    uint64_t traffic;
+};
+
+Outcome
+run(Kernel &kernel, PrefetchScheme scheme)
+{
+    Program prog = kernel.prog;
+    SimConfig config;
+    config.scheme = scheme;
+    HintTable table;
+    HintGenerator generator(config.policy, config.l2.sizeBytes);
+    generator.run(prog, table);
+
+    EventQueue events;
+    MemorySystem mem(config, events);
+    auto engine = makePrefetchEngine(config, kernel.mem, mem);
+    Interpreter interp(prog, kernel.mem, 42);
+    Cpu cpu(config, mem, events, interp,
+            config.usesHints() ? &table : nullptr);
+    Tick cycle = 0;
+    while (!cpu.done() && cpu.retiredInstructions() < 400'000) {
+        events.advanceTo(cycle);
+        cpu.tick();
+        mem.tick();
+        ++cycle;
+    }
+    return {cpu.ipc(), mem.trafficBytes()};
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("a[b[i]] gather: GRP's indirect prefetch instruction "
+                "vs spatial schemes\n\n");
+    std::printf("%-22s %8s %8s %8s | traffic srp/grp vs base\n",
+                "index pattern", "stride", "srp", "grp");
+    struct Case
+    {
+        const char *label;
+        unsigned cluster;
+    };
+    for (const Case &c : {Case{"random (bzip2-like)", 1},
+                          Case{"clustered (vpr-like)", 16}}) {
+        auto kernel = buildGather(c.cluster);
+        const Outcome base = run(*kernel, PrefetchScheme::None);
+        const Outcome stride = run(*kernel, PrefetchScheme::Stride);
+        const Outcome srp = run(*kernel, PrefetchScheme::Srp);
+        const Outcome grp = run(*kernel, PrefetchScheme::GrpVar);
+        std::printf("%-22s %8.3f %8.3f %8.3f | %.2fx / %.2fx\n",
+                    c.label, stride.ipc / base.ipc,
+                    srp.ipc / base.ipc, grp.ipc / base.ipc,
+                    double(srp.traffic) / double(base.traffic),
+                    double(grp.traffic) / double(base.traffic));
+    }
+    std::printf("\nRandom indices defeat region prefetching (traffic "
+                "without coverage); the indirect\ninstruction covers "
+                "them precisely — the paper's bzip2 result.\n");
+    return 0;
+}

@@ -1,0 +1,244 @@
+#include "compiler/builder.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+ProgramBuilder::ProgramBuilder(FunctionalMemory &mem) : mem_(mem) {}
+
+ArrayId
+ProgramBuilder::array(const std::string &name, uint32_t elem_size,
+                      std::vector<uint64_t> extents, ArrayOpts opts)
+{
+    fatal_if(extents.empty(), "array %s needs at least one extent",
+             name.c_str());
+    ArrayDecl decl;
+    decl.name = name;
+    decl.elemSize = elem_size;
+    decl.extents = std::move(extents);
+    decl.columnMajor = opts.columnMajor;
+    decl.isHeap = opts.heap;
+    decl.elemIsPointer = opts.elemIsPointer;
+    const uint64_t bytes = decl.totalElems() * elem_size;
+    decl.base = opts.heap ? mem_.heapAlloc(bytes, kBlockBytes)
+                          : mem_.staticAlloc(bytes, kBlockBytes);
+    prog_.arrays.push_back(std::move(decl));
+    return static_cast<ArrayId>(prog_.arrays.size() - 1);
+}
+
+TypeId
+ProgramBuilder::structType(const std::string &name, uint64_t size,
+                           std::vector<StructField> fields)
+{
+    StructDecl decl;
+    decl.name = name;
+    decl.size = size;
+    decl.fields = std::move(fields);
+    prog_.structs.push_back(std::move(decl));
+    return static_cast<TypeId>(prog_.structs.size() - 1);
+}
+
+PtrId
+ProgramBuilder::ptr(const std::string &name, TypeId type, Addr initial)
+{
+    PtrDecl decl;
+    decl.name = name;
+    decl.type = type;
+    decl.initial = initial;
+    prog_.ptrs.push_back(std::move(decl));
+    return static_cast<PtrId>(prog_.ptrs.size() - 1);
+}
+
+void
+ProgramBuilder::setPtrInitial(PtrId p, Addr value)
+{
+    prog_.ptrs.at(p).initial = value;
+}
+
+std::vector<Node> &
+ProgramBuilder::currentBody()
+{
+    return openLoops_.empty() ? prog_.top : openLoops_.back()->body;
+}
+
+void
+ProgramBuilder::push(Stmt stmt)
+{
+    currentBody().push_back(Node::of(std::move(stmt)));
+}
+
+VarId
+ProgramBuilder::forLoop(int64_t lower, int64_t upper, int64_t step,
+                        bool bound_known)
+{
+    fatal_if(step == 0, "zero loop step");
+    Loop loop;
+    loop.kind = Loop::Kind::Counted;
+    loop.var = prog_.allocVar();
+    loop.lower = lower;
+    loop.upper = upper;
+    loop.step = step;
+    loop.boundKnown = bound_known;
+    const VarId var = loop.var;
+    std::vector<Node> &body = currentBody();
+    body.push_back(Node::of(std::move(loop)));
+    openLoops_.push_back(&body.back().loop);
+    return var;
+}
+
+void
+ProgramBuilder::whileLoop(PtrId p, uint64_t max_iter)
+{
+    Loop loop;
+    loop.kind = Loop::Kind::PtrChase;
+    loop.chasePtr = p;
+    loop.maxIter = max_iter;
+    std::vector<Node> &body = currentBody();
+    body.push_back(Node::of(std::move(loop)));
+    openLoops_.push_back(&body.back().loop);
+}
+
+void
+ProgramBuilder::end()
+{
+    fatal_if(openLoops_.empty(), "end() without an open loop");
+    openLoops_.pop_back();
+}
+
+RefId
+ProgramBuilder::arrayRef(ArrayId a, std::vector<Subscript> subs,
+                         bool is_write)
+{
+    fatal_if(subs.size() != prog_.arrays.at(a).extents.size(),
+             "subscript count mismatch for %s",
+             prog_.arrays[a].name.c_str());
+    Stmt stmt;
+    stmt.kind = StmtKind::ArrayRef;
+    stmt.array = a;
+    stmt.isWrite = is_write;
+    stmt.refId = prog_.allocRef();
+    // Indirect subscripts embed an index-array load with its own
+    // static identity.
+    for (Subscript &sub : subs) {
+        if (sub.kind == Subscript::Kind::Indirect)
+            sub.indexRefId = prog_.allocRef();
+    }
+    stmt.subs = std::move(subs);
+    const RefId ref = stmt.refId;
+    push(std::move(stmt));
+    return ref;
+}
+
+RefId
+ProgramBuilder::ptrLoadFromArray(PtrId p, ArrayId a, Subscript sub)
+{
+    Stmt stmt;
+    stmt.kind = StmtKind::PtrLoadFromArray;
+    stmt.ptr = p;
+    stmt.array = a;
+    stmt.subs.push_back(std::move(sub));
+    stmt.refId = prog_.allocRef();
+    const RefId ref = stmt.refId;
+    push(std::move(stmt));
+    return ref;
+}
+
+void
+ProgramBuilder::ptrAddrOfArray(PtrId p, ArrayId a, Subscript sub)
+{
+    Stmt stmt;
+    stmt.kind = StmtKind::PtrAddrOfArray;
+    stmt.ptr = p;
+    stmt.array = a;
+    stmt.subs.push_back(std::move(sub));
+    push(std::move(stmt));
+}
+
+RefId
+ProgramBuilder::ptrRef(PtrId p, int64_t offset, bool is_write)
+{
+    Stmt stmt;
+    stmt.kind = StmtKind::PtrRef;
+    stmt.ptr = p;
+    stmt.offset = offset;
+    stmt.isWrite = is_write;
+    stmt.refId = prog_.allocRef();
+    const RefId ref = stmt.refId;
+    push(std::move(stmt));
+    return ref;
+}
+
+RefId
+ProgramBuilder::ptrArrayRef(PtrId p, uint32_t elem_size, Subscript sub,
+                            bool is_write)
+{
+    Stmt stmt;
+    stmt.kind = StmtKind::PtrArrayRef;
+    stmt.ptr = p;
+    stmt.elemSize = elem_size;
+    stmt.isWrite = is_write;
+    stmt.subs.push_back(std::move(sub));
+    stmt.refId = prog_.allocRef();
+    const RefId ref = stmt.refId;
+    push(std::move(stmt));
+    return ref;
+}
+
+RefId
+ProgramBuilder::ptrUpdateField(PtrId p, int64_t offset)
+{
+    Stmt stmt;
+    stmt.kind = StmtKind::PtrUpdateField;
+    stmt.ptr = p;
+    stmt.offset = offset;
+    stmt.refId = prog_.allocRef();
+    const RefId ref = stmt.refId;
+    push(std::move(stmt));
+    return ref;
+}
+
+RefId
+ProgramBuilder::ptrSelectField(PtrId dst, PtrId src,
+                               std::vector<int64_t> offset_choices)
+{
+    fatal_if(offset_choices.empty(), "ptrSelectField needs choices");
+    Stmt stmt;
+    stmt.kind = StmtKind::PtrSelectField;
+    stmt.ptr = dst;
+    stmt.srcPtr = src;
+    stmt.offsetChoices = std::move(offset_choices);
+    stmt.refId = prog_.allocRef();
+    const RefId ref = stmt.refId;
+    push(std::move(stmt));
+    return ref;
+}
+
+void
+ProgramBuilder::ptrUpdateConst(PtrId p, int64_t stride)
+{
+    Stmt stmt;
+    stmt.kind = StmtKind::PtrUpdateConst;
+    stmt.ptr = p;
+    stmt.stride = stride;
+    push(std::move(stmt));
+}
+
+void
+ProgramBuilder::compute(uint32_t n)
+{
+    Stmt stmt;
+    stmt.kind = StmtKind::Compute;
+    stmt.count = n;
+    push(std::move(stmt));
+}
+
+Program
+ProgramBuilder::build()
+{
+    fatal_if(!openLoops_.empty(), "build() with %zu open loops",
+             openLoops_.size());
+    return std::move(prog_);
+}
+
+} // namespace grp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A fluent builder for IR programs.
+ *
+ * Workload kernels use it to declare data (allocated at real
+ * simulated addresses in the functional memory) and to write loop
+ * nests. Every memory-referencing statement receives a fresh RefId —
+ * its static "PC" — which the hint generator later annotates.
+ */
+
+#ifndef GRP_COMPILER_BUILDER_HH
+#define GRP_COMPILER_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "mem/functional_memory.hh"
+
+namespace grp
+{
+
+/** Array declaration options. */
+struct ArrayOpts
+{
+    bool heap = false;
+    bool columnMajor = false;
+    bool elemIsPointer = false;
+};
+
+/** Builds a Program, allocating arrays in functional memory. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(FunctionalMemory &mem);
+
+    /** Declare (and allocate) an array; extents outermost-first. */
+    ArrayId array(const std::string &name, uint32_t elem_size,
+                  std::vector<uint64_t> extents, ArrayOpts opts = {});
+
+    /** Declare a structure type. */
+    TypeId structType(const std::string &name, uint64_t size,
+                      std::vector<StructField> fields);
+
+    /** Declare a pointer variable of structure type @p type. */
+    PtrId ptr(const std::string &name, TypeId type = kNoId,
+              Addr initial = 0);
+
+    /** Set a pointer's initial value after declaration (workloads
+     *  often build the data structure first). */
+    void setPtrInitial(PtrId p, Addr value);
+
+    /** Base address of a declared array. */
+    Addr arrayBase(ArrayId a) const { return prog_.arrays[a].base; }
+
+    // --- Loop structure -------------------------------------------
+
+    /** Open `for (v = lower; v < upper; v += step)`; returns v. */
+    VarId forLoop(int64_t lower, int64_t upper, int64_t step = 1,
+                  bool bound_known = true);
+
+    /** Open `while (p != 0)`, safety-capped at @p max_iter. */
+    void whileLoop(PtrId p, uint64_t max_iter = ~0ull);
+
+    /** Close the innermost open loop. */
+    void end();
+
+    // --- Statements -----------------------------------------------
+
+    RefId arrayRef(ArrayId a, std::vector<Subscript> subs,
+                   bool is_write = false);
+    RefId ptrLoadFromArray(PtrId p, ArrayId a, Subscript sub);
+    void ptrAddrOfArray(PtrId p, ArrayId a, Subscript sub);
+    RefId ptrRef(PtrId p, int64_t offset, bool is_write = false);
+    RefId ptrArrayRef(PtrId p, uint32_t elem_size, Subscript sub,
+                      bool is_write = false);
+    RefId ptrUpdateField(PtrId p, int64_t offset);
+    RefId ptrSelectField(PtrId dst, PtrId src,
+                         std::vector<int64_t> offset_choices);
+    void ptrUpdateConst(PtrId p, int64_t stride);
+    void compute(uint32_t n = 1);
+
+    /** Fresh RefId for an index load embedded in a subscript. */
+    RefId allocIndexRef() { return prog_.allocRef(); }
+
+    /** Finish; the builder must have no open loops. */
+    Program build();
+
+    FunctionalMemory &memory() { return mem_; }
+
+  private:
+    std::vector<Node> &currentBody();
+    void push(Stmt stmt);
+
+    FunctionalMemory &mem_;
+    Program prog_;
+    /** Index path of open loops into the node tree. */
+    std::vector<Loop *> openLoops_;
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_BUILDER_HH

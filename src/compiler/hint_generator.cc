@@ -1,0 +1,67 @@
+#include "compiler/hint_generator.hh"
+
+#include "compiler/indirect_analysis.hh"
+#include "compiler/induction.hh"
+#include "compiler/locality.hh"
+#include "compiler/pointer_analysis.hh"
+#include "compiler/region_size.hh"
+#include "compiler/walk.hh"
+
+namespace grp
+{
+
+HintStats
+HintGenerator::run(Program &prog, HintTable &table) const
+{
+    HintStats stats;
+
+    IndirectAnalysis indirect;
+    stats.indirect = indirect.run(prog);
+
+    InductionAnalysis induction;
+    induction.run(prog);
+
+    LocalityAnalysis locality(policy_, l2Bytes_);
+    locality.run(prog, induction, table);
+
+    PointerAnalysis pointers;
+    pointers.run(prog, table);
+
+    RegionSizeAnalysis regions;
+    regions.run(prog, table);
+
+    // Make sure every static reference has a (possibly empty) entry,
+    // and compute the Table 3 statistics.
+    if (prog.nextRefId > 0)
+        table.addFlags(prog.nextRefId - 1, 0);
+
+    unsigned hinted = 0;
+    auto account = [&](RefId ref) {
+        ++stats.memInsts;
+        const LoadHints &hints = table.get(ref);
+        if (hints.spatial())
+            ++stats.spatial;
+        if (hints.pointer())
+            ++stats.pointer;
+        if (hints.recursive())
+            ++stats.recursive;
+        if (hints.any())
+            ++hinted;
+    };
+    forEachStmt(prog, [&](const Stmt &stmt, const LoopNest &) {
+        if (stmt.refId != kInvalidRefId)
+            account(stmt.refId);
+        for (const Subscript &sub : stmt.subs) {
+            if (sub.kind == Subscript::Kind::Indirect &&
+                sub.indexRefId != kInvalidRefId) {
+                account(sub.indexRefId);
+            }
+        }
+    });
+    stats.hintedRatio =
+        stats.memInsts ? static_cast<double>(hinted) / stats.memInsts
+                       : 0.0;
+    return stats;
+}
+
+} // namespace grp

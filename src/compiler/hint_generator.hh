@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The hint generator: drives the full Section 4 analysis pipeline
+ * over a program and fills the hint table the hardware consumes.
+ *
+ * Order matters: indirect detection first (it transforms the IR),
+ * then induction recognition, spatial locality (Figure 7), pointer
+ * idioms (Figure 8, which consumes spatial marks), and finally
+ * variable-region sizing (Section 4.4, which refines spatial marks).
+ */
+
+#ifndef GRP_COMPILER_HINT_GENERATOR_HH
+#define GRP_COMPILER_HINT_GENERATOR_HH
+
+#include "compiler/ir.hh"
+#include "core/hint_table.hh"
+#include "sim/config.hh"
+
+namespace grp
+{
+
+/** Static hint statistics, one row of Table 3. */
+struct HintStats
+{
+    unsigned memInsts = 0;   ///< Static memory reference instructions.
+    unsigned spatial = 0;    ///< Marked spatial.
+    unsigned pointer = 0;    ///< Marked pointer.
+    unsigned recursive = 0;  ///< Marked recursive pointer.
+    unsigned indirect = 0;   ///< Indirect prefetch instructions.
+
+    /** Fraction of memory instructions carrying any hint (col 6). */
+    double hintedRatio = 0.0;
+};
+
+/** Runs the whole compiler pipeline. */
+class HintGenerator
+{
+  public:
+    HintGenerator(CompilerPolicy policy, uint64_t l2_bytes)
+        : policy_(policy), l2Bytes_(l2_bytes)
+    {
+    }
+
+    /**
+     * Analyse (and transform) @p prog, writing hints into @p table.
+     * Every statically allocated RefId receives an entry (possibly
+     * with no flags set).
+     */
+    HintStats run(Program &prog, HintTable &table) const;
+
+  private:
+    CompilerPolicy policy_;
+    uint64_t l2Bytes_;
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_HINT_GENERATOR_HH

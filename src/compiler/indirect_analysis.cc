@@ -1,0 +1,76 @@
+#include "compiler/indirect_analysis.hh"
+
+#include <cstddef>
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+unsigned
+IndirectAnalysis::transformBody(Program &prog, std::vector<Node> &body,
+                                std::vector<VarId> &loop_vars)
+{
+    unsigned inserted = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+        Node &node = body[i];
+        if (node.kind == Node::Kind::NestedLoop) {
+            Loop &loop = node.loop;
+            if (loop.kind == Loop::Kind::Counted)
+                loop_vars.push_back(loop.var);
+            inserted += transformBody(prog, loop.body, loop_vars);
+            if (loop.kind == Loop::Kind::Counted)
+                loop_vars.pop_back();
+            continue;
+        }
+
+        Stmt &stmt = node.stmt;
+        if (stmt.kind != StmtKind::ArrayRef || loop_vars.empty())
+            continue;
+
+        for (const Subscript &sub : stmt.subs) {
+            if (sub.kind != Subscript::Kind::Indirect)
+                continue;
+
+            // The index expression must be an induction-variable
+            // sequence (the b(i) of a(s*b(i)+e)); otherwise the
+            // hardware would read an unrelated index block.
+            bool affine_in_loop = false;
+            for (VarId var : loop_vars)
+                affine_in_loop =
+                    affine_in_loop || sub.indexExpr.dependsOn(var);
+            if (!affine_in_loop)
+                continue;
+
+            const ArrayDecl &target = prog.arrays[stmt.array];
+            const ArrayDecl &index = prog.arrays[sub.indexArray];
+
+            Stmt pf;
+            pf.kind = StmtKind::IndirectPf;
+            pf.targetArray = stmt.array;
+            pf.indexArray = sub.indexArray;
+            pf.indexExpr = sub.indexExpr;
+            pf.scale = sub.scale;
+            pf.indexOffset = sub.offset;
+            // One instruction per index-array cache block.
+            pf.everyN = kBlockBytes / index.elemSize;
+            (void)target;
+
+            body.insert(body.begin() + static_cast<ptrdiff_t>(i),
+                        Node::of(std::move(pf)));
+            ++i; // Skip over the statement we just shifted right.
+            ++inserted;
+            break; // One instruction per reference.
+        }
+    }
+    return inserted;
+}
+
+unsigned
+IndirectAnalysis::run(Program &prog)
+{
+    std::vector<VarId> loop_vars;
+    return transformBody(prog, prog.top, loop_vars);
+}
+
+} // namespace grp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Indirect array-access detection and prefetch-instruction insertion
+ * (Section 4.3).
+ *
+ * The pass looks for references of the form a(s*b(i)+e) where i is a
+ * loop induction variable: a sequentially accessed array b used as an
+ * index into a. For each such reference it inserts an explicit
+ * indirect prefetch instruction into the loop body conveying
+ * (&a[0] + e*elem, s*elem, &b[i]) to the hardware; the instruction
+ * fires once per index-array cache block, generating up to 16
+ * prefetches each time (§3.3.3).
+ */
+
+#ifndef GRP_COMPILER_INDIRECT_ANALYSIS_HH
+#define GRP_COMPILER_INDIRECT_ANALYSIS_HH
+
+#include "compiler/ir.hh"
+
+namespace grp
+{
+
+/** Indirect reference detection + IR transform. */
+class IndirectAnalysis
+{
+  public:
+    /**
+     * Transform @p prog, inserting IndirectPf statements.
+     * @return Number of static indirect prefetch instructions
+     *         inserted (Table 3's last column).
+     */
+    unsigned run(Program &prog);
+
+  private:
+    unsigned transformBody(Program &prog, std::vector<Node> &body,
+                           std::vector<VarId> &loop_vars);
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_INDIRECT_ANALYSIS_HH

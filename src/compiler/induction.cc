@@ -1,0 +1,71 @@
+#include "compiler/induction.hh"
+
+namespace grp
+{
+
+void
+InductionAnalysis::run(const Program &prog)
+{
+    strides_.clear();
+
+    // A pointer is an induction pointer of the innermost loop that
+    // both encloses its constant update and contains no other update
+    // of the same pointer. A pointer that is also walked through a
+    // field update (p = p->next) in the same loop is not a constant
+    // induction.
+    std::map<std::pair<const Loop *, PtrId>, int64_t> candidates;
+    std::set<std::pair<const Loop *, PtrId>> disqualified;
+
+    forEachStmt(prog, [&](const Stmt &stmt, const LoopNest &nest) {
+        if (nest.empty())
+            return;
+        const Loop *inner = nest.back();
+        switch (stmt.kind) {
+          case StmtKind::PtrUpdateConst: {
+            auto key = std::make_pair(inner, stmt.ptr);
+            auto [it, fresh] = candidates.emplace(key, stmt.stride);
+            if (!fresh && it->second != stmt.stride)
+                disqualified.insert(key);
+            break;
+          }
+          case StmtKind::PtrUpdateField:
+          case StmtKind::PtrSelectField:
+          case StmtKind::PtrLoadFromArray:
+          case StmtKind::PtrAddrOfArray:
+            // Any non-constant redefinition in the loop disqualifies.
+            for (const Loop *loop : nest)
+                disqualified.insert({loop, stmt.ptr});
+            break;
+          default:
+            break;
+        }
+    });
+
+    for (const auto &[key, stride] : candidates) {
+        if (!disqualified.count(key))
+            strides_[key] = stride;
+    }
+}
+
+int64_t
+InductionAnalysis::strideOf(const Loop *loop, PtrId ptr) const
+{
+    auto it = strides_.find({loop, ptr});
+    return it == strides_.end() ? 0 : it->second;
+}
+
+bool
+InductionAnalysis::isSpatialInductionPtr(const LoopNest &nest,
+                                         PtrId ptr) const
+{
+    for (const Loop *loop : nest) {
+        const int64_t stride = strideOf(loop, ptr);
+        if (stride != 0 && stride >= -kSmallStride &&
+            stride <= kSmallStride) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace grp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Induction variable recognition (the first step of Figure 7).
+ *
+ * Counted-loop variables are induction variables by construction in
+ * this IR; the analysis work is recognising *induction pointers*:
+ * pointers repeatedly incremented by a constant inside a loop
+ * (Figure 5: `for (; p < s; p += c)`), which the paper treats as
+ * special integers for spatial marking.
+ */
+
+#ifndef GRP_COMPILER_INDUCTION_HH
+#define GRP_COMPILER_INDUCTION_HH
+
+#include <map>
+#include <set>
+
+#include "compiler/ir.hh"
+#include "compiler/walk.hh"
+
+namespace grp
+{
+
+/** Results of induction recognition. */
+class InductionAnalysis
+{
+  public:
+    /** Pointers incremented by a constant of at most this magnitude
+     *  count as spatially-useful induction pointers ("if constant c
+     *  is small", §4.2). */
+    static constexpr int64_t kSmallStride = 4 * kBlockBytes;
+
+    void run(const Program &prog);
+
+    /** The constant byte stride of @p ptr in @p loop, or 0. */
+    int64_t strideOf(const Loop *loop, PtrId ptr) const;
+
+    /** True when @p ptr is a small-stride induction pointer in
+     *  @p loop or any enclosing loop of @p nest. */
+    bool isSpatialInductionPtr(const LoopNest &nest, PtrId ptr) const;
+
+    /** All (loop, ptr) induction pairs found (for tests). */
+    size_t pairCount() const { return strides_.size(); }
+
+  private:
+    std::map<std::pair<const Loop *, PtrId>, int64_t> strides_;
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_INDUCTION_HH

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * The loop-nest intermediate representation shared by the compiler
+ * analyses (Section 4) and the workload interpreter.
+ *
+ * This IR plays the role of the Scale compiler's internal program
+ * representation: workload kernels are *written* in it, the hint
+ * generator *analyses* it (dependence testing, induction variables,
+ * pointer idioms), and the interpreter *executes* it against the
+ * functional memory to produce the dynamic instruction trace. Because
+ * analysis and execution share one representation, the hints the
+ * hardware receives are genuinely derived, never hand-assigned.
+ *
+ * Shapes covered (mirroring Figures 3-6 of the paper):
+ *  - multi-dimensional arrays with affine subscripts, row- or
+ *    column-major (Fortran vs C);
+ *  - indirect subscripts a[s*b(i)+e];
+ *  - non-affine (data-dependent / random) subscripts, which no static
+ *    analysis can mark;
+ *  - heap arrays of pointers (T** buf, Figure 4);
+ *  - induction pointers p += c (Figure 5);
+ *  - structure field access and recurrent pointer updates
+ *    a = a->next (Figure 6), including random child selection for
+ *    tree walks.
+ */
+
+#ifndef GRP_COMPILER_IR_HH
+#define GRP_COMPILER_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace grp
+{
+
+using VarId = int32_t;   ///< Loop induction variable id.
+using PtrId = int32_t;   ///< Pointer variable id.
+using ArrayId = int32_t; ///< Array id.
+using TypeId = int32_t;  ///< Structure type id.
+
+constexpr int32_t kNoId = -1;
+
+/** One c*var term of an affine expression. */
+struct AffineTerm
+{
+    VarId var;
+    int64_t coeff;
+};
+
+/** An affine function of loop induction variables. */
+struct Affine
+{
+    int64_t constant = 0;
+    std::vector<AffineTerm> terms;
+
+    static Affine
+    of(int64_t c)
+    {
+        Affine a;
+        a.constant = c;
+        return a;
+    }
+
+    static Affine
+    var(VarId v, int64_t coeff = 1, int64_t c = 0)
+    {
+        Affine a;
+        a.constant = c;
+        a.terms.push_back({v, coeff});
+        return a;
+    }
+
+    /** Coefficient of @p v (0 when absent). */
+    int64_t
+    coeffOf(VarId v) const
+    {
+        for (const AffineTerm &term : terms) {
+            if (term.var == v)
+                return term.coeff;
+        }
+        return 0;
+    }
+
+    bool
+    dependsOn(VarId v) const
+    {
+        return coeffOf(v) != 0;
+    }
+};
+
+/** How one dimension of an array reference is subscripted. */
+struct Subscript
+{
+    enum class Kind : uint8_t
+    {
+        AffineExpr, ///< Linear function of induction variables.
+        Indirect,   ///< s * b(index) + e, an indirection array.
+        Random,     ///< Data-dependent; opaque to static analysis.
+    };
+
+    Kind kind = Kind::AffineExpr;
+    Affine expr;              ///< AffineExpr payload.
+
+    // Indirect payload: value = scale * b[index] + offset.
+    ArrayId indexArray = kNoId;
+    Affine indexExpr;
+    int64_t scale = 1;
+    int64_t offset = 0;
+    RefId indexRefId = kInvalidRefId; ///< The b(i) load's static id.
+
+    // Random payload: uniform in [0, randomRange).
+    uint64_t randomRange = 0;
+
+    static Subscript
+    affine(Affine a)
+    {
+        Subscript s;
+        s.kind = Kind::AffineExpr;
+        s.expr = std::move(a);
+        return s;
+    }
+
+    static Subscript
+    indirect(ArrayId index_array, Affine index, int64_t scale = 1,
+             int64_t offset = 0)
+    {
+        Subscript s;
+        s.kind = Kind::Indirect;
+        s.indexArray = index_array;
+        s.indexExpr = std::move(index);
+        s.scale = scale;
+        s.offset = offset;
+        return s;
+    }
+
+    static Subscript
+    random(uint64_t range)
+    {
+        Subscript s;
+        s.kind = Kind::Random;
+        s.randomRange = range;
+        return s;
+    }
+};
+
+/** Statement kinds; one struct with a kind tag keeps the interpreter
+ *  and the passes simple. */
+enum class StmtKind : uint8_t
+{
+    ArrayRef,         ///< Load/store a[s0][s1]...
+    PtrLoadFromArray, ///< p = a[s] (loads a pointer value).
+    PtrAddrOfArray,   ///< p = &a[s] (address arithmetic, no access).
+    PtrRef,           ///< Load/store *(p + offset) — field access.
+    PtrArrayRef,      ///< Load/store *(p + elemSize*s) — a row of a
+                      ///< heap array (Figure 4) or *p of an
+                      ///< induction pointer (Figure 5).
+    PtrUpdateField,   ///< p = *(p + offset) — list/tree walk step.
+    PtrSelectField,   ///< p = *(q + offset chosen from a set) — tree.
+    PtrUpdateConst,   ///< p += stride — induction pointer.
+    Compute,          ///< `count` non-memory instructions.
+    IndirectPf,       ///< GRP indirect prefetch instruction (§3.3.3);
+                      ///< inserted by the compiler pass, never by hand.
+};
+
+/** One IR statement. */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Compute;
+    RefId refId = kInvalidRefId; ///< Static id of the memory access.
+    bool isWrite = false;
+
+    // ArrayRef / PtrLoadFromArray / PtrAddrOfArray.
+    ArrayId array = kNoId;
+    std::vector<Subscript> subs;
+
+    // Pointer statements.
+    PtrId ptr = kNoId;     ///< Destination/base pointer.
+    PtrId srcPtr = kNoId;  ///< PtrSelectField source.
+    int64_t offset = 0;    ///< Field byte offset.
+    int64_t stride = 0;    ///< PtrUpdateConst byte stride.
+    uint32_t elemSize = 8; ///< PtrArrayRef element size.
+    std::vector<int64_t> offsetChoices; ///< PtrSelectField options.
+
+    // Compute.
+    uint32_t count = 1;
+
+    // IndirectPf: prefetch targets of `a[scale*b(index)+offset]`.
+    ArrayId targetArray = kNoId;
+    ArrayId indexArray = kNoId;
+    Affine indexExpr;
+    int64_t scale = 1;
+    int64_t indexOffset = 0;
+    uint32_t everyN = 16; ///< Emit once per index-array block.
+};
+
+struct Node;
+
+/** A counted or pointer-chasing loop. */
+struct Loop
+{
+    enum class Kind : uint8_t
+    {
+        Counted,  ///< for (v = lower; v < upper; v += step)
+        PtrChase, ///< while (p != 0 && iterations < maxIter)
+    };
+
+    Kind kind = Kind::Counted;
+
+    // Counted.
+    VarId var = kNoId;
+    int64_t lower = 0;
+    int64_t upper = 0;
+    int64_t step = 1;
+    /** False models symbolic bounds the compiler cannot see; the
+     *  interpreter still uses `upper`. */
+    bool boundKnown = true;
+
+    // PtrChase.
+    PtrId chasePtr = kNoId;
+    uint64_t maxIter = ~0ull;
+
+    std::vector<Node> body;
+
+    /** Trip count when statically known (0 if not). */
+    uint64_t
+    tripCount() const
+    {
+        if (kind != Kind::Counted || !boundKnown || step == 0)
+            return 0;
+        if ((step > 0 && upper <= lower) || (step < 0 && upper >= lower))
+            return 0;
+        const int64_t span = step > 0 ? upper - lower : lower - upper;
+        const int64_t mag = step > 0 ? step : -step;
+        return static_cast<uint64_t>((span + mag - 1) / mag);
+    }
+};
+
+/** A body element: either a statement or a nested loop. */
+struct Node
+{
+    enum class Kind : uint8_t { Statement, NestedLoop };
+
+    Kind kind;
+    Stmt stmt;
+    Loop loop;
+
+    static Node
+    of(Stmt s)
+    {
+        Node n;
+        n.kind = Kind::Statement;
+        n.stmt = std::move(s);
+        return n;
+    }
+
+    static Node
+    of(Loop l)
+    {
+        Node n;
+        n.kind = Kind::NestedLoop;
+        n.loop = std::move(l);
+        return n;
+    }
+};
+
+/** An array (static segment or heap). */
+struct ArrayDecl
+{
+    std::string name;
+    Addr base = 0;
+    uint32_t elemSize = 8;
+    std::vector<uint64_t> extents; ///< Outermost dimension first.
+    bool columnMajor = false;      ///< Fortran layout.
+    bool isHeap = false;
+    bool elemIsPointer = false;    ///< T** rows (Figure 4).
+
+    uint64_t
+    totalElems() const
+    {
+        uint64_t n = 1;
+        for (uint64_t e : extents)
+            n *= e;
+        return n;
+    }
+
+    /**
+     * Element stride (in elements) of dimension @p dim: row-major
+     * arrays are contiguous in the last dimension, column-major in
+     * the first.
+     */
+    uint64_t
+    dimStrideElems(size_t dim) const
+    {
+        uint64_t stride = 1;
+        if (columnMajor) {
+            for (size_t d = 0; d < dim; ++d)
+                stride *= extents[d];
+        } else {
+            for (size_t d = extents.size() - 1; d > dim; --d)
+                stride *= extents[d];
+        }
+        return stride;
+    }
+};
+
+/** A field of a structure type. */
+struct StructField
+{
+    std::string name;
+    int64_t offset;
+    bool isPointer = false;
+    TypeId pointee = kNoId; ///< Type pointed to (for recursion).
+};
+
+/** A structure type. */
+struct StructDecl
+{
+    std::string name;
+    uint64_t size = 0;
+    std::vector<StructField> fields;
+
+    const StructField *
+    fieldAt(int64_t offset) const
+    {
+        for (const StructField &field : fields) {
+            if (field.offset == offset)
+                return &field;
+        }
+        return nullptr;
+    }
+
+    bool
+    hasPointerField() const
+    {
+        for (const StructField &field : fields) {
+            if (field.isPointer)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** A pointer variable. */
+struct PtrDecl
+{
+    std::string name;
+    TypeId type = kNoId;  ///< Structure type pointed to (kNoId = raw).
+    Addr initial = 0;     ///< Value at program start.
+};
+
+/** A whole kernel. */
+struct Program
+{
+    std::vector<ArrayDecl> arrays;
+    std::vector<StructDecl> structs;
+    std::vector<PtrDecl> ptrs;
+    std::vector<Node> top;
+    RefId nextRefId = 0;
+    VarId nextVarId = 0;
+
+    RefId allocRef() { return nextRefId++; }
+    VarId allocVar() { return nextVarId++; }
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_IR_HH

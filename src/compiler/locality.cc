@@ -1,0 +1,249 @@
+#include "compiler/locality.hh"
+
+#include "compiler/walk.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+/** Sentinel for "volume not statically computable". */
+constexpr uint64_t kUnknownVolume = ~0ull;
+
+uint64_t
+bodyVolume(const std::vector<Node> &body)
+{
+    uint64_t volume = 0;
+    for (const Node &node : body) {
+        if (node.kind == Node::Kind::Statement) {
+            const Stmt &stmt = node.stmt;
+            if (stmt.refId != kInvalidRefId)
+                volume += stmt.elemSize ? stmt.elemSize : 8;
+            continue;
+        }
+        const Loop &loop = node.loop;
+        const uint64_t trips = loop.tripCount();
+        if (trips == 0)
+            return kUnknownVolume; // Symbolic bound or pointer chase.
+        const uint64_t inner = bodyVolume(loop.body);
+        if (inner == kUnknownVolume)
+            return kUnknownVolume;
+        volume += trips * inner;
+    }
+    return volume;
+}
+
+/** Deepest nest level whose variable @p expr depends on; -1 if
+ *  none. */
+int
+deepestVar(const Affine &expr, const LoopNest &nest)
+{
+    for (int level = static_cast<int>(nest.size()) - 1; level >= 0;
+         --level) {
+        if (nest[level]->kind == Loop::Kind::Counted &&
+            expr.dependsOn(nest[level]->var)) {
+            return level;
+        }
+    }
+    return -1;
+}
+
+} // namespace
+
+uint64_t
+LocalityAnalysis::volumePerIteration(const Loop &loop)
+{
+    const uint64_t volume = bodyVolume(loop.body);
+    return volume == kUnknownVolume ? 0 : volume;
+}
+
+LocalityAnalysis::Reuse
+LocalityAnalysis::classifyLinear(const Affine &expr, uint32_t elem_size,
+                                 const LoopNest &nest) const
+{
+    const int carrier = deepestVar(expr, nest);
+    if (carrier < 0)
+        return Reuse::None; // Address invariant: temporal only.
+
+    const int64_t coeff = expr.coeffOf(nest[carrier]->var);
+    const int64_t stride = coeff * static_cast<int64_t>(elem_size);
+    if (stride > kSpatialStrideLimit || stride < -kSpatialStrideLimit)
+        return Reuse::None; // Consecutive iterations jump regions.
+
+    if (carrier == static_cast<int>(nest.size()) - 1)
+        return Reuse::Inner;
+
+    const uint64_t volume = volumePerIteration(*nest[carrier]);
+    if (volume == 0)
+        return Reuse::OuterUnknown;
+    return volume < l2Bytes_ ? Reuse::OuterFits : Reuse::OuterBig;
+}
+
+LocalityAnalysis::Reuse
+LocalityAnalysis::classifyArrayAccess(const ArrayDecl &array,
+                                      const Subscript &sub,
+                                      const LoopNest &nest) const
+{
+    if (sub.kind != Subscript::Kind::AffineExpr)
+        return Reuse::None;
+
+    const int carrier = deepestVar(sub.expr, nest);
+    if (carrier < 0)
+        return Reuse::None;
+
+    const int64_t coeff = sub.expr.coeffOf(nest[carrier]->var);
+    const int64_t stride = coeff * static_cast<int64_t>(array.elemSize);
+    if (stride > kSpatialStrideLimit || stride < -kSpatialStrideLimit)
+        return Reuse::None;
+
+    return carrier == static_cast<int>(nest.size()) - 1
+               ? Reuse::Inner
+               : (volumePerIteration(*nest[carrier]) == 0
+                      ? Reuse::OuterUnknown
+                      : (volumePerIteration(*nest[carrier]) < l2Bytes_
+                             ? Reuse::OuterFits
+                             : Reuse::OuterBig));
+}
+
+bool
+LocalityAnalysis::shouldMark(Reuse reuse) const
+{
+    switch (reuse) {
+      case Reuse::Inner:
+        return true;
+      case Reuse::OuterFits:
+        return policy_ != CompilerPolicy::Conservative;
+      case Reuse::OuterBig:
+      case Reuse::OuterUnknown:
+        return policy_ == CompilerPolicy::Aggressive;
+      case Reuse::None:
+        return false;
+    }
+    return false;
+}
+
+void
+LocalityAnalysis::run(const Program &prog,
+                      const InductionAnalysis &induction,
+                      HintTable &table)
+{
+    // --- Part 1: array references (dependence-testing based) -------
+    forEachStmt(prog, [&](const Stmt &stmt, const LoopNest &nest) {
+        if (nest.empty() || stmt.refId == kInvalidRefId)
+            return;
+
+        switch (stmt.kind) {
+          case StmtKind::ArrayRef: {
+            const ArrayDecl &array = prog.arrays[stmt.array];
+            const size_t sdim = spatialDim(array);
+
+            // Any index load embedded in an indirect subscript is a
+            // regular sequential reference of the index array.
+            for (const Subscript &sub : stmt.subs) {
+                if (sub.kind != Subscript::Kind::Indirect)
+                    continue;
+                const ArrayDecl &index_array =
+                    prog.arrays[sub.indexArray];
+                Subscript pseudo = Subscript::affine(sub.indexExpr);
+                if (shouldMark(classifyArrayAccess(index_array, pseudo,
+                                                   nest))) {
+                    table.addFlags(sub.indexRefId, kHintSpatial);
+                }
+            }
+
+            // A random or indirect subscript in any dimension makes
+            // consecutive accesses land in unrelated blocks.
+            bool analyzable = true;
+            for (size_t d = 0; d < stmt.subs.size(); ++d) {
+                if (d != sdim &&
+                    stmt.subs[d].kind != Subscript::Kind::AffineExpr) {
+                    analyzable = false;
+                }
+            }
+            if (!analyzable)
+                return;
+            if (shouldMark(classifyArrayAccess(array, stmt.subs[sdim],
+                                               nest))) {
+                table.addFlags(stmt.refId, kHintSpatial);
+            }
+            break;
+          }
+          case StmtKind::PtrLoadFromArray: {
+            const ArrayDecl &array = prog.arrays[stmt.array];
+            if (shouldMark(classifyArrayAccess(array, stmt.subs[0],
+                                               nest))) {
+                table.addFlags(stmt.refId, kHintSpatial);
+            }
+            break;
+          }
+          case StmtKind::PtrArrayRef: {
+            if (stmt.subs[0].kind == Subscript::Kind::AffineExpr &&
+                shouldMark(classifyLinear(stmt.subs[0].expr,
+                                          stmt.elemSize, nest))) {
+                table.addFlags(stmt.refId, kHintSpatial);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    });
+
+    // --- Part 2: pointer propagation fixpoint (Figure 7) ----------
+    //
+    // Spatial pointers are (a) small-stride induction pointers and
+    // (b) pointers loaded by a reference already marked spatial
+    // (e.g. p = buf[i] with buf[i] spatial). Dereferences through a
+    // spatial pointer are marked spatial.
+    bool changed = true;
+    std::set<PtrId> spatial_ptrs;
+    while (changed) {
+        changed = false;
+        forEachStmt(prog, [&](const Stmt &stmt, const LoopNest &nest) {
+            if (nest.empty())
+                return;
+            switch (stmt.kind) {
+              case StmtKind::PtrLoadFromArray:
+                if (table.get(stmt.refId).spatial() &&
+                    spatial_ptrs.insert(stmt.ptr).second) {
+                    changed = true;
+                }
+                break;
+              case StmtKind::PtrRef:
+              case StmtKind::PtrUpdateField: {
+                // Figure 7 propagates through *field* accesses
+                // (a->f). Indexed accesses through a pointer
+                // (p[expr], the buf[i][j] of Figure 4) are instead
+                // classified by the dependence analysis above, whose
+                // reuse-distance bound applies.
+                const bool base_spatial =
+                    spatial_ptrs.count(stmt.ptr) ||
+                    induction.isSpatialInductionPtr(nest, stmt.ptr);
+                if (base_spatial &&
+                    !table.get(stmt.refId).spatial()) {
+                    table.addFlags(stmt.refId, kHintSpatial);
+                    changed = true;
+                }
+                break;
+              }
+              case StmtKind::PtrArrayRef: {
+                // An induction pointer's indexed dereference (*p of
+                // Figure 5) is spatial when the pointer itself
+                // strides; reuse-bounded propagation from loaded
+                // pointers is handled by classifyLinear.
+                if (induction.isSpatialInductionPtr(nest, stmt.ptr) &&
+                    !table.get(stmt.refId).spatial()) {
+                    table.addFlags(stmt.refId, kHintSpatial);
+                    changed = true;
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        });
+    }
+}
+
+} // namespace grp

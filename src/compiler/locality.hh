@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Spatial locality analysis: the algorithm of Figure 7.
+ *
+ * Built on dependence-testing machinery: for each array reference
+ * the pass finds the spatial (unit-stride) dimension, checks that it
+ * is an affine function of an enclosing induction variable, and
+ * classifies the reuse as inner-loop or outer-loop carried. Outer
+ * carried reuse is marked spatial only when the estimated reuse
+ * distance — the data volume the inner loops touch per iteration of
+ * the carrying loop — fits in the L2 (the default policy; §5.4's
+ * conservative and aggressive variants move that boundary).
+ *
+ * The second half of the algorithm handles pointers: induction
+ * pointers with small strides are spatial, and spatiality propagates
+ * to dereferences of pointers loaded from spatially-marked
+ * references (the do/while fixpoint of Figure 7).
+ */
+
+#ifndef GRP_COMPILER_LOCALITY_HH
+#define GRP_COMPILER_LOCALITY_HH
+
+#include "compiler/induction.hh"
+#include "compiler/ir.hh"
+#include "core/hint_table.hh"
+#include "sim/config.hh"
+
+namespace grp
+{
+
+/** Spatial hint generation (arrays + pointers, Figure 7). */
+class LocalityAnalysis
+{
+  public:
+    /** Affine strides up to this many bytes per iteration count as
+     *  spatial (several accesses landing in one region). */
+    static constexpr int64_t kSpatialStrideLimit = 4 * kBlockBytes;
+
+    LocalityAnalysis(CompilerPolicy policy, uint64_t l2_bytes)
+        : policy_(policy), l2Bytes_(l2_bytes)
+    {
+    }
+
+    /** Mark spatial hints for every reference of @p prog into
+     *  @p table. Requires @p induction to have been run. */
+    void run(const Program &prog, const InductionAnalysis &induction,
+             HintTable &table);
+
+    /** Reuse classification of one reference (exposed for tests). */
+    enum class Reuse
+    {
+        None,        ///< No spatial reuse.
+        Inner,       ///< Carried by the innermost enclosing loop.
+        OuterFits,   ///< Outer-carried; distance fits in the L2.
+        OuterBig,    ///< Outer-carried; distance exceeds the L2.
+        OuterUnknown ///< Outer-carried; distance not computable.
+    };
+
+  private:
+    struct RefFacts
+    {
+        RefId ref;
+        Reuse reuse;
+    };
+
+    /** Classify an affine access to @p array's spatial dimension. */
+    Reuse classifyArrayAccess(const ArrayDecl &array,
+                              const Subscript &sub,
+                              const LoopNest &nest) const;
+
+    /** Classify a one-dimensional affine pointer-indexed access. */
+    Reuse classifyLinear(const Affine &expr, uint32_t elem_size,
+                         const LoopNest &nest) const;
+
+    bool shouldMark(Reuse reuse) const;
+
+    /** Bytes touched per iteration of @p loop by everything nested
+     *  inside it; 0 when unknown (symbolic bounds). */
+    static uint64_t volumePerIteration(const Loop &loop);
+
+    CompilerPolicy policy_;
+    uint64_t l2Bytes_;
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_LOCALITY_HH

@@ -1,0 +1,131 @@
+#include "compiler/pointer_analysis.hh"
+
+#include <map>
+#include <set>
+
+#include "compiler/walk.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+/** True when @p stmt is a field access through a struct-typed
+ *  pointer. */
+bool
+isFieldAccess(const Stmt &stmt)
+{
+    return stmt.kind == StmtKind::PtrRef ||
+           stmt.kind == StmtKind::PtrUpdateField ||
+           stmt.kind == StmtKind::PtrSelectField;
+}
+
+/** The structure type accessed by @p stmt (kNoId when untyped). */
+TypeId
+accessedType(const Program &prog, const Stmt &stmt)
+{
+    const PtrId base =
+        stmt.kind == StmtKind::PtrSelectField ? stmt.srcPtr : stmt.ptr;
+    if (base == kNoId)
+        return kNoId;
+    return prog.ptrs[base].type;
+}
+
+/** True when @p stmt touches a pointer-typed field of @p type. */
+bool
+touchesPointerField(const Program &prog, const Stmt &stmt, TypeId type)
+{
+    if (type == kNoId)
+        return false;
+    const StructDecl &decl = prog.structs[type];
+    if (stmt.kind == StmtKind::PtrUpdateField) {
+        const StructField *field = decl.fieldAt(stmt.offset);
+        return field && field->isPointer;
+    }
+    if (stmt.kind == StmtKind::PtrSelectField) {
+        for (int64_t offset : stmt.offsetChoices) {
+            const StructField *field = decl.fieldAt(offset);
+            if (field && field->isPointer)
+                return true;
+        }
+        return false;
+    }
+    if (stmt.kind == StmtKind::PtrRef) {
+        const StructField *field = decl.fieldAt(stmt.offset);
+        return field && field->isPointer;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+PointerAnalysis::run(const Program &prog, HintTable &table)
+{
+    // Pass 1: per innermost loop, find the structure types whose
+    // pointer fields are accessed.
+    std::map<const Loop *, std::set<TypeId>> ptr_field_types;
+    forEachStmt(prog, [&](const Stmt &stmt, const LoopNest &nest) {
+        if (nest.empty() || !isFieldAccess(stmt))
+            return;
+        const TypeId type = accessedType(prog, stmt);
+        if (type != kNoId && touchesPointerField(prog, stmt, type))
+            ptr_field_types[nest.back()].insert(type);
+    });
+
+    // Pass 2: mark field accesses and recursion.
+    forEachStmt(prog, [&](const Stmt &stmt, const LoopNest &nest) {
+        if (nest.empty() || stmt.refId == kInvalidRefId)
+            return;
+
+        if (isFieldAccess(stmt)) {
+            const TypeId type = accessedType(prog, stmt);
+            if (type != kNoId &&
+                ptr_field_types[nest.back()].count(type)) {
+                table.addFlags(stmt.refId, kHintPointer);
+            }
+
+            // Recursion: the update follows a same-typed field
+            // (a = a->next with next : struct t *).
+            if (stmt.kind == StmtKind::PtrUpdateField ||
+                stmt.kind == StmtKind::PtrSelectField) {
+                const PtrId dst = stmt.ptr;
+                const TypeId dst_type = prog.ptrs[dst].type;
+                if (type != kNoId && dst_type == type) {
+                    const StructDecl &decl = prog.structs[type];
+                    auto recursive_offset = [&](int64_t offset) {
+                        const StructField *field = decl.fieldAt(offset);
+                        return field && field->isPointer &&
+                               field->pointee == type;
+                    };
+                    bool recursive = false;
+                    if (stmt.kind == StmtKind::PtrUpdateField) {
+                        recursive = recursive_offset(stmt.offset);
+                    } else {
+                        for (int64_t offset : stmt.offsetChoices)
+                            recursive = recursive ||
+                                        recursive_offset(offset);
+                    }
+                    if (recursive) {
+                        table.addFlags(stmt.refId, kHintRecursive |
+                                                       kHintPointer);
+                    }
+                }
+            }
+        }
+
+        // Heap pointer-array rule: spatial reference into a heap
+        // array whose elements are pointers.
+        if (stmt.kind == StmtKind::ArrayRef ||
+            stmt.kind == StmtKind::PtrLoadFromArray) {
+            const ArrayDecl &array = prog.arrays[stmt.array];
+            if (array.isHeap && array.elemIsPointer &&
+                table.get(stmt.refId).spatial()) {
+                table.addFlags(stmt.refId, kHintPointer);
+            }
+        }
+    });
+}
+
+} // namespace grp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Pointer and recursive-pointer hint generation: the algorithm of
+ * Figure 8.
+ *
+ *  - A field access is marked *pointer* when a pointer field of the
+ *    same structure type is accessed in the same loop.
+ *  - A pointer update is marked *recursive* when it replaces a
+ *    pointer with a same-typed field of its own structure
+ *    (a = a->next, or a tree descend through same-typed children).
+ *  - A spatially-marked array reference that loads from a heap array
+ *    of pointers is additionally marked *pointer*, so GRP prefetches
+ *    the pointed-to rows (the equake/art pattern).
+ */
+
+#ifndef GRP_COMPILER_POINTER_ANALYSIS_HH
+#define GRP_COMPILER_POINTER_ANALYSIS_HH
+
+#include "compiler/ir.hh"
+#include "core/hint_table.hh"
+
+namespace grp
+{
+
+/** Pointer/recursive hint generation (Figure 8). */
+class PointerAnalysis
+{
+  public:
+    /** Requires spatial marks (LocalityAnalysis) to be in @p table
+     *  already for the heap-array rule. */
+    void run(const Program &prog, HintTable &table);
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_POINTER_ANALYSIS_HH

@@ -1,0 +1,123 @@
+#include "compiler/region_size.hh"
+
+#include <cstdlib>
+
+#include "compiler/walk.hh"
+
+namespace grp
+{
+
+uint8_t
+RegionSizeAnalysis::encodeCoeff(int64_t stride_bytes)
+{
+    const uint64_t magnitude =
+        static_cast<uint64_t>(stride_bytes < 0 ? -stride_bytes
+                                               : stride_bytes);
+    if (magnitude == 0)
+        return kFixedRegionCoeff;
+    // 2^x closest to the stride, capped below the reserved value 7.
+    uint8_t x = 0;
+    while (x < 6 && (1ull << (x + 1)) <= magnitude)
+        ++x;
+    // Round up when the next power of two is closer.
+    if (x < 6 && (magnitude - (1ull << x)) > ((1ull << (x + 1)) -
+                                              magnitude)) {
+        ++x;
+    }
+    return x;
+}
+
+void
+RegionSizeAnalysis::run(const Program &prog, HintTable &table)
+{
+    forEachStmt(prog, [&](const Stmt &stmt, const LoopNest &nest) {
+        // The bound-conveying instruction precedes one loop, so the
+        // analysis applies where the innermost enclosing counted
+        // loop is itself the spatial carrier ("singly nested" from
+        // the reference's point of view).
+        if (nest.empty() ||
+            nest.back()->kind != Loop::Kind::Counted) {
+            return;
+        }
+        if (stmt.refId == kInvalidRefId ||
+            !table.get(stmt.refId).spatial()) {
+            return;
+        }
+
+        const Loop &loop = *nest.back();
+        if (!loop.boundKnown)
+            return; // Symbolic bound: fixed-size regions.
+        const uint64_t trips = loop.tripCount();
+        if (trips == 0)
+            return;
+
+        const Subscript *sub = nullptr;
+        uint32_t elem_size = 8;
+        if (stmt.kind == StmtKind::ArrayRef) {
+            const ArrayDecl &array = prog.arrays[stmt.array];
+            sub = &stmt.subs[spatialDim(array)];
+            elem_size = array.elemSize;
+        } else if (stmt.kind == StmtKind::PtrArrayRef) {
+            sub = &stmt.subs[0];
+            elem_size = stmt.elemSize;
+        } else {
+            return;
+        }
+        if (sub->kind != Subscript::Kind::AffineExpr)
+            return;
+
+        const int64_t coeff = sub->expr.coeffOf(loop.var);
+        if (coeff == 0)
+            return;
+
+        // "Singly nested" check: when an enclosing loop continues
+        // the same spatial run (its per-iteration address stride
+        // equals the inner loop's whole span, e.g. a[16*r + j]), the
+        // true spatial extent exceeds the inner bound and clamping
+        // the region to it would forfeit useful prefetches — keep
+        // fixed-size regions, as the paper's restriction to singly
+        // nested loops does.
+        const int64_t inner_stride =
+            coeff * static_cast<int64_t>(elem_size);
+        const int64_t inner_span =
+            static_cast<int64_t>(trips) * inner_stride;
+        for (size_t level = 0; level + 1 < nest.size(); ++level) {
+            const Loop *outer = nest[level];
+            if (outer->kind != Loop::Kind::Counted)
+                continue;
+            int64_t outer_stride = 0;
+            if (stmt.kind == StmtKind::ArrayRef) {
+                const ArrayDecl &array = prog.arrays[stmt.array];
+                for (size_t d = 0; d < stmt.subs.size(); ++d) {
+                    if (stmt.subs[d].kind !=
+                        Subscript::Kind::AffineExpr) {
+                        continue;
+                    }
+                    outer_stride +=
+                        stmt.subs[d].expr.coeffOf(outer->var) *
+                        static_cast<int64_t>(
+                            array.dimStrideElems(d)) *
+                        static_cast<int64_t>(elem_size);
+                }
+            } else {
+                outer_stride = sub->expr.coeffOf(outer->var) *
+                               static_cast<int64_t>(elem_size);
+            }
+            if (outer_stride != 0 && outer_stride == inner_span)
+                return; // Sequential continuation: fixed regions.
+        }
+
+        const uint8_t x = encodeCoeff(inner_stride);
+        if (x == kFixedRegionCoeff)
+            return;
+
+        LoadHints hints = table.get(stmt.refId);
+        hints.flags |= kHintSizeValid;
+        hints.sizeCoeff = x;
+        hints.loopBound = static_cast<uint32_t>(
+            trips > ~0u ? ~0u : trips);
+        table.set(stmt.refId, hints);
+    });
+}
+
+} // namespace grp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Variable-size region analysis (Section 4.4).
+ *
+ * For a spatially-marked array access a(b*i+c) with element size e
+ * inside a singly nested loop, the compiler encodes x ~ log2(b*e)
+ * into a 3-bit coefficient (values 0..6; 7 is reserved for fixed
+ * 4 KB regions) and records the loop's upper bound. At run time the
+ * engine sizes the prefetch region as `loop bound << x` bytes —
+ * exactly the span the loop will touch — instead of a full 4 KB.
+ */
+
+#ifndef GRP_COMPILER_REGION_SIZE_HH
+#define GRP_COMPILER_REGION_SIZE_HH
+
+#include "compiler/ir.hh"
+#include "core/hint_table.hh"
+
+namespace grp
+{
+
+/** Variable-region size hint generation (GRP/Var). */
+class RegionSizeAnalysis
+{
+  public:
+    /** Requires spatial marks to be present in @p table. */
+    void run(const Program &prog, HintTable &table);
+
+    /** 3-bit encoding of a byte stride: x < 7 with 2^x closest to
+     *  @p stride_bytes (exposed for tests). */
+    static uint8_t encodeCoeff(int64_t stride_bytes);
+};
+
+} // namespace grp
+
+#endif // GRP_COMPILER_REGION_SIZE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tree-walk helpers shared by the compiler passes.
+ */
+
+#ifndef GRP_COMPILER_WALK_HH
+#define GRP_COMPILER_WALK_HH
+
+#include <functional>
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace grp
+{
+
+/** The stack of loops enclosing a statement, outermost first. */
+using LoopNest = std::vector<const Loop *>;
+
+namespace detail
+{
+
+template <typename Fn>
+void
+walkBody(const std::vector<Node> &body, LoopNest &nest, Fn &&fn)
+{
+    for (const Node &node : body) {
+        if (node.kind == Node::Kind::Statement) {
+            fn(node.stmt, nest);
+        } else {
+            nest.push_back(&node.loop);
+            walkBody(node.loop.body, nest, fn);
+            nest.pop_back();
+        }
+    }
+}
+
+} // namespace detail
+
+/** Visit every statement with its enclosing loop nest. */
+template <typename Fn>
+void
+forEachStmt(const Program &prog, Fn &&fn)
+{
+    LoopNest nest;
+    detail::walkBody(prog.top, nest, fn);
+}
+
+/** Visit every loop (outer loops before their inner loops). */
+template <typename Fn>
+void
+forEachLoop(const Program &prog, Fn &&fn)
+{
+    LoopNest nest;
+    std::function<void(const std::vector<Node> &)> walk =
+        [&](const std::vector<Node> &body) {
+            for (const Node &node : body) {
+                if (node.kind != Node::Kind::NestedLoop)
+                    continue;
+                fn(node.loop, nest);
+                nest.push_back(&node.loop);
+                walk(node.loop.body);
+                nest.pop_back();
+            }
+        };
+    walk(prog.top);
+}
+
+/**
+ * Index of the spatial (unit-element-stride) dimension of an array:
+ * the last dimension for row-major, the first for column-major.
+ */
+inline size_t
+spatialDim(const ArrayDecl &array)
+{
+    return array.columnMajor ? 0 : array.extents.size() - 1;
+}
+
+} // namespace grp
+
+#endif // GRP_COMPILER_WALK_HH

@@ -1,0 +1,56 @@
+#include "core/engine_factory.hh"
+
+#include "core/grp_engine.hh"
+#include "prefetch/hw_engine.hh"
+#include "prefetch/stride.hh"
+#include "prefetch/throttled_srp.hh"
+
+namespace grp
+{
+
+std::unique_ptr<PrefetchEngine>
+makePrefetchEngine(const SimConfig &config, const FunctionalMemory &fmem,
+                   MemorySystem &mem)
+{
+    std::unique_ptr<PrefetchEngine> engine;
+    auto present = [&mem](Addr addr) {
+        return mem.l2().contains(addr) ||
+               mem.l2Mshrs().find(addr) != nullptr;
+    };
+
+    switch (config.scheme) {
+      case PrefetchScheme::None:
+        break;
+      case PrefetchScheme::Stride:
+        engine = std::make_unique<StridePrefetcher>(config);
+        break;
+      case PrefetchScheme::Srp:
+      case PrefetchScheme::PointerHw:
+      case PrefetchScheme::PointerHwRec:
+      case PrefetchScheme::SrpPlusPointer: {
+        auto hw = std::make_unique<HwPrefetchEngine>(config, fmem);
+        hw->setPresenceTest(present);
+        engine = std::move(hw);
+        break;
+      }
+      case PrefetchScheme::SrpThrottled: {
+        auto throttled =
+            std::make_unique<ThrottledSrpEngine>(config);
+        throttled->setPresenceTest(present);
+        engine = std::move(throttled);
+        break;
+      }
+      case PrefetchScheme::GrpFix:
+      case PrefetchScheme::GrpVar: {
+        auto grp_engine = std::make_unique<GrpEngine>(config, fmem);
+        grp_engine->setPresenceTest(present);
+        engine = std::move(grp_engine);
+        break;
+      }
+    }
+
+    mem.setPrefetchEngine(engine.get());
+    return engine;
+}
+
+} // namespace grp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Creates the prefetch engine matching a configuration's scheme and
+ * wires its presence test to the memory system.
+ */
+
+#ifndef GRP_CORE_ENGINE_FACTORY_HH
+#define GRP_CORE_ENGINE_FACTORY_HH
+
+#include <memory>
+
+#include "mem/functional_memory.hh"
+#include "mem/memory_system.hh"
+#include "mem/prefetch_iface.hh"
+#include "sim/config.hh"
+
+namespace grp
+{
+
+/**
+ * Build the engine for @p config.scheme (nullptr for
+ * PrefetchScheme::None), attach it to @p mem and point its presence
+ * test at @p mem's L2 and MSHRs.
+ */
+std::unique_ptr<PrefetchEngine>
+makePrefetchEngine(const SimConfig &config, const FunctionalMemory &fmem,
+                   MemorySystem &mem);
+
+} // namespace grp
+
+#endif // GRP_CORE_ENGINE_FACTORY_HH

@@ -1,0 +1,105 @@
+#include "core/grp_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+GrpEngine::GrpEngine(const SimConfig &config, const FunctionalMemory &mem)
+    : config_(config),
+      mem_(mem),
+      queue_(config.region.queueEntries, config.region.lifo,
+             config.region.bankAware),
+      scanner_(mem),
+      stats_("grpEngine")
+{
+    fatal_if(!config.usesHints(),
+             "GrpEngine requires the GrpFix or GrpVar scheme");
+}
+
+void
+GrpEngine::setPresenceTest(RegionQueue::PresenceTest test)
+{
+    queue_.setPresenceTest(std::move(test));
+}
+
+void
+GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
+{
+    // The compiler's hint gates the spatial engine: misses without a
+    // spatial mark do not trigger region prefetches at all. Pointer
+    // and recursive hints need no action here — the memory system
+    // already armed the miss's MSHR counter; the scan runs on fill.
+    if (!hints.spatial()) {
+        ++stats_.counter("missesUnhinted");
+        return;
+    }
+    const unsigned window =
+        variableRegions() ? hints.regionBlocks(kBlocksPerRegion)
+                          : kBlocksPerRegion;
+    const unsigned allocated =
+        queue_.noteSpatialMiss(addr, window, 0, ref);
+    if (allocated) {
+        ++stats_.counter("regionsAllocated");
+        regionSizes_.sample(allocated);
+    } else {
+        ++stats_.counter("regionsUpdated");
+    }
+}
+
+void
+GrpEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
+{
+    if (ptr_depth == 0)
+        return;
+    std::array<Addr, 8> pointers;
+    const unsigned found = scanner_.scan(block_addr, pointers);
+    stats_.counter("linesScanned") += 1;
+    stats_.counter("pointersFound") += found;
+    for (unsigned i = 0; i < found; ++i) {
+        queue_.addPointerTarget(pointers[i],
+                                config_.region.blocksPerPointer,
+                                static_cast<uint8_t>(ptr_depth - 1),
+                                kInvalidRefId);
+    }
+}
+
+void
+GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
+                            Addr index_addr, RefId ref)
+{
+    // Read the cache block containing &b[i]; every 4-byte word in it
+    // is treated as an index into a (§3.3.3). The hardware cannot
+    // know the live extent of b, so words past the end of the array
+    // generate prefetches too — exactly the over-fetch the paper's
+    // design accepts for its simplicity.
+    ++stats_.counter("indirectOps");
+    const Addr block = blockAlign(index_addr);
+    const unsigned fanout = config_.region.indirectFanout;
+    for (unsigned i = 0; i < kBlockBytes / 4 && i < fanout; ++i) {
+        const uint32_t index = mem_.read32(block + 4ull * i);
+        const Addr target =
+            base + static_cast<uint64_t>(index) * elem_size;
+        queue_.addPointerTarget(target, 1, 0, ref);
+        ++stats_.counter("indirectTargets");
+    }
+}
+
+std::optional<PrefetchCandidate>
+GrpEngine::dequeuePrefetch(const DramSystem &dram, unsigned channel)
+{
+    auto candidate = queue_.dequeue(dram, channel);
+    if (candidate)
+        ++stats_.counter("candidatesOffered");
+    return candidate;
+}
+
+void
+GrpEngine::reset()
+{
+    queue_.clear();
+    stats_.reset();
+    regionSizes_.reset();
+}
+
+} // namespace grp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The static hint table: per-static-reference compiler hints.
+ *
+ * The paper encodes hints in unused load opcodes of the binary; this
+ * table plays the role of the hinted binary. The hint generator
+ * (compiler passes) fills it; the CPU attaches the entry for a
+ * reference's RefId to every dynamic access it issues.
+ */
+
+#ifndef GRP_CORE_HINT_TABLE_HH
+#define GRP_CORE_HINT_TABLE_HH
+
+#include <vector>
+
+#include "core/hints.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Dense RefId -> LoadHints map. */
+class HintTable
+{
+  public:
+    /** Set the hints for @p ref, growing the table as needed. */
+    void
+    set(RefId ref, const LoadHints &hints)
+    {
+        if (table_.size() <= ref)
+            table_.resize(ref + 1);
+        table_[ref] = hints;
+    }
+
+    /** Hints for @p ref (empty hints when never set). */
+    const LoadHints &
+    get(RefId ref) const
+    {
+        static const LoadHints kNone{};
+        return ref < table_.size() ? table_[ref] : kNone;
+    }
+
+    /** Merge flag bits into @p ref's entry. */
+    void
+    addFlags(RefId ref, uint8_t flags)
+    {
+        if (table_.size() <= ref)
+            table_.resize(ref + 1);
+        table_[ref].flags |= flags;
+    }
+
+    size_t size() const { return table_.size(); }
+
+    /** Count entries whose flags include @p flag. */
+    size_t
+    countWith(uint8_t flag) const
+    {
+        size_t n = 0;
+        for (const LoadHints &hints : table_) {
+            if (hints.flags & flag)
+                ++n;
+        }
+        return n;
+    }
+
+    void clear() { table_.clear(); }
+
+  private:
+    std::vector<LoadHints> table_;
+};
+
+} // namespace grp
+
+#endif // GRP_CORE_HINT_TABLE_HH

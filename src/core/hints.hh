@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The GRP load-hint encoding (Section 3.3 of the paper).
+ *
+ * In the paper the compiler conveys hints through unused Alpha
+ * VAX-format floating-point load opcodes; here they are a small value
+ * type attached to every static memory reference and propagated with
+ * requests through the memory hierarchy, which is the same
+ * information channel.
+ *
+ * This header is intentionally header-only so the memory substrate can
+ * carry hints in requests without linking against the GRP core.
+ */
+
+#ifndef GRP_CORE_HINTS_HH
+#define GRP_CORE_HINTS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Bit flags for the five hint classes. */
+enum HintFlag : uint8_t
+{
+    kHintSpatial = 1 << 0,   ///< Reference has spatial locality.
+    kHintPointer = 1 << 1,   ///< Structure contains followed pointers.
+    kHintRecursive = 1 << 2, ///< Pointers are followed recursively.
+    kHintSizeValid = 1 << 3, ///< sizeCoeff/loopBound are meaningful.
+};
+
+/** The coefficient value reserved for "use the fixed region size". */
+constexpr uint8_t kFixedRegionCoeff = 7;
+
+/**
+ * Compiler hints attached to one static load/store.
+ *
+ * `sizeCoeff` is the 3-bit encoding of Section 4.4: for an access
+ * pattern a(b*i + c) with element size e the compiler encodes
+ * x ~ log2(b*e), and the engine prefetches `loopBound << x` bytes.
+ * The value 7 selects fixed-size (4 KB) regions.
+ */
+struct LoadHints
+{
+    uint8_t flags = 0;
+    uint8_t sizeCoeff = kFixedRegionCoeff;
+    /** Loop upper bound conveyed by the special instruction (§3.3.2). */
+    uint32_t loopBound = 0;
+
+    bool spatial() const { return flags & kHintSpatial; }
+    bool pointer() const { return flags & kHintPointer; }
+    bool recursive() const { return flags & kHintRecursive; }
+    bool sizeValid() const { return flags & kHintSizeValid; }
+    bool any() const { return flags != 0; }
+
+    /**
+     * Number of blocks to prefetch around a spatial miss.
+     *
+     * @param fixed_blocks The fixed region size in blocks (64).
+     * @return Region size in blocks, a power of two in [2, fixed_blocks].
+     */
+    unsigned
+    regionBlocks(unsigned fixed_blocks) const
+    {
+        if (!sizeValid() || sizeCoeff == kFixedRegionCoeff ||
+            loopBound == 0) {
+            return fixed_blocks;
+        }
+        const uint64_t bytes =
+            static_cast<uint64_t>(loopBound) << sizeCoeff;
+        uint64_t blocks = (bytes + kBlockBytes - 1) / kBlockBytes;
+        blocks = nextPowerOfTwo(blocks < 2 ? 2 : blocks);
+        if (blocks > fixed_blocks)
+            blocks = fixed_blocks;
+        return static_cast<unsigned>(blocks);
+    }
+
+    /** Initial 3-bit pointer-chase depth for a miss with these hints. */
+    unsigned
+    pointerDepth(unsigned recursive_depth) const
+    {
+        if (recursive())
+            return recursive_depth;
+        if (pointer())
+            return 1;
+        return 0;
+    }
+
+    std::string
+    describe() const
+    {
+        std::string out;
+        auto add = [&out](const char *name) {
+            if (!out.empty())
+                out += '|';
+            out += name;
+        };
+        if (spatial())
+            add("spatial");
+        if (pointer())
+            add("pointer");
+        if (recursive())
+            add("recursive");
+        if (sizeValid())
+            add("size");
+        if (out.empty())
+            out = "none";
+        return out;
+    }
+
+    bool
+    operator==(const LoadHints &other) const
+    {
+        return flags == other.flags && sizeCoeff == other.sizeCoeff &&
+               loopBound == other.loopBound;
+    }
+};
+
+} // namespace grp
+
+#endif // GRP_CORE_HINTS_HH

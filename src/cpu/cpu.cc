@@ -1,0 +1,149 @@
+#include "cpu/cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+Cpu::Cpu(const SimConfig &config, MemorySystem &mem, EventQueue &events,
+         TraceSource &trace, const HintTable *hints)
+    : config_(config),
+      mem_(mem),
+      events_(events),
+      trace_(trace),
+      hints_(hints),
+      stats_("cpu")
+{
+    robEntries_.resize(config.cpu.robEntries);
+    mem_.setLoadCallback([this](uint64_t token) { loadDone(token); });
+}
+
+void
+Cpu::loadDone(uint64_t token)
+{
+    const size_t slot = static_cast<uint32_t>(token);
+    const uint32_t generation = static_cast<uint32_t>(token >> 32);
+    panic_if(slot >= robEntries_.size(), "bad load token slot");
+    RobEntry &entry = robEntries_[slot];
+    panic_if(!entry.busy || !entry.waitingOnLoad ||
+             entry.generation != generation,
+             "load completion for a stale ROB slot");
+    entry.waitingOnLoad = false;
+    entry.readyAt = events_.curTick();
+}
+
+bool
+Cpu::fetchNext()
+{
+    while (!havePending_) {
+        if (traceDone_)
+            return false;
+        TraceOp op;
+        if (!trace_.next(op)) {
+            traceDone_ = true;
+            return false;
+        }
+        // An unhinted binary contains no indirect prefetch
+        // instructions at all, so they cost nothing there.
+        if (op.kind == OpKind::IndirectPrefetch &&
+            (!hints_ || !config_.usesHints())) {
+            continue;
+        }
+        pendingOp_ = op;
+        havePending_ = true;
+    }
+    return true;
+}
+
+void
+Cpu::tick()
+{
+    const Tick now = events_.curTick();
+    ++cycles_;
+
+    // Retire up to retireWidth completed instructions in order.
+    unsigned retired_now = 0;
+    while (retired_now < config_.cpu.retireWidth && robCount_ > 0) {
+        RobEntry &head = robEntries_[robHead_];
+        if (head.waitingOnLoad || head.readyAt > now)
+            break;
+        head.busy = false;
+        robHead_ = (robHead_ + 1) % robEntries_.size();
+        --robCount_;
+        ++retired_;
+        ++retired_now;
+        lastRetireTick_ = now;
+    }
+
+    if (robCount_ > 0 && now - lastRetireTick_ > config_.deadlockCycles)
+        panic("no instruction retired for %llu cycles: deadlock",
+              (unsigned long long)config_.deadlockCycles);
+
+    // Issue up to issueWidth instructions.
+    for (unsigned issued = 0; issued < config_.cpu.issueWidth; ++issued) {
+        if (robFull()) {
+            ++stats_.counter("robFullStalls");
+            break;
+        }
+        if (!fetchNext())
+            break;
+
+        const size_t slot = robTail_;
+        RobEntry &entry = robEntries_[slot];
+        ++entry.generation;
+        const uint64_t token =
+            (static_cast<uint64_t>(entry.generation) << 32) | slot;
+        static const LoadHints kNoHints{};
+        const LoadHints &hints =
+            hints_ ? hints_->get(pendingOp_.refId) : kNoHints;
+
+        bool accepted = true;
+        bool waiting = false;
+        Tick ready = now + config_.cpu.computeLatency;
+
+        switch (pendingOp_.kind) {
+          case OpKind::Compute:
+            break;
+          case OpKind::Load:
+            accepted = mem_.load(pendingOp_.addr, pendingOp_.refId,
+                                 hints, token);
+            waiting = accepted;
+            if (accepted)
+                ++stats_.counter("loads");
+            break;
+          case OpKind::Store:
+            accepted = mem_.store(pendingOp_.addr, pendingOp_.refId,
+                                  hints);
+            if (accepted)
+                ++stats_.counter("stores");
+            break;
+          case OpKind::IndirectPrefetch:
+            mem_.indirectPrefetch(pendingOp_.base, pendingOp_.elemSize,
+                                  pendingOp_.addr, pendingOp_.refId);
+            ++stats_.counter("indirectPrefetchOps");
+            break;
+        }
+
+        if (!accepted) {
+            // Structural stall: keep the op pending, stop issuing.
+            --entry.generation;
+            ++stats_.counter("memStalls");
+            break;
+        }
+
+        entry.busy = true;
+        entry.waitingOnLoad = waiting;
+        entry.readyAt = ready;
+        robTail_ = (robTail_ + 1) % robEntries_.size();
+        ++robCount_;
+        havePending_ = false;
+    }
+}
+
+bool
+Cpu::done() const
+{
+    return traceDone_ && !havePending_ && robCount_ == 0;
+}
+
+} // namespace grp

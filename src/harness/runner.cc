@@ -1,0 +1,111 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "core/engine_factory.hh"
+#include "core/grp_engine.hh"
+#include "cpu/cpu.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "workloads/interpreter.hh"
+
+namespace grp
+{
+
+uint64_t
+instructionBudget(uint64_t fallback)
+{
+    const char *env = std::getenv("GRP_INSTRUCTIONS");
+    if (!env || !*env)
+        return fallback;
+    const long long parsed = std::atoll(env);
+    return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+RunResult
+runWorkload(const std::string &workload_name, SimConfig config,
+            const RunOptions &options)
+{
+    auto workload = makeWorkload(workload_name);
+    const WorkloadInfo info = workload->info();
+    if (info.recursiveDepthOverride != 0)
+        config.region.recursiveDepth = info.recursiveDepthOverride;
+    config.validate();
+
+    FunctionalMemory fmem;
+    Program prog = workload->build(fmem, options.seed);
+
+    HintTable table;
+    HintGenerator generator(config.policy, config.l2.sizeBytes);
+    const HintStats hint_stats = generator.run(prog, table);
+
+    EventQueue events;
+    MemorySystem mem(config, events);
+    auto engine = makePrefetchEngine(config, fmem, mem);
+
+    Interpreter interp(prog, fmem, options.seed);
+    const HintTable *cpu_hints = config.usesHints() ? &table : nullptr;
+    Cpu cpu(config, mem, events, interp, cpu_hints);
+
+    const uint64_t warmup =
+        options.warmupInstructions == ~0ull
+            ? options.maxInstructions / 4
+            : options.warmupInstructions;
+
+    Tick cycle = 0;
+    uint64_t warm_instructions = 0;
+    uint64_t warm_cycles = 0;
+    bool measuring = warmup == 0;
+    while (!cpu.done() &&
+           cpu.retiredInstructions() <
+               options.maxInstructions + warmup) {
+        events.advanceTo(cycle);
+        cpu.tick();
+        mem.tick();
+        ++cycle;
+        if (!measuring && cpu.retiredInstructions() >= warmup) {
+            // End of warmup: discard cold-start statistics.
+            mem.resetStats();
+            if (engine.get())
+                engine->stats().reset();
+            warm_instructions = cpu.retiredInstructions();
+            warm_cycles = cycle;
+            measuring = true;
+        }
+    }
+
+    RunResult result;
+    result.workload = workload_name;
+    result.scheme = config.scheme;
+    result.perfection = config.perfection;
+    result.info = info;
+    result.instructions = cpu.retiredInstructions() - warm_instructions;
+    result.cycles = cpu.cycles() - warm_cycles;
+    result.ipc = result.cycles
+                     ? static_cast<double>(result.instructions) /
+                           static_cast<double>(result.cycles)
+                     : 0.0;
+    result.trafficBytes = mem.trafficBytes();
+    result.l2DemandAccesses = mem.stats().value("l2DemandAccesses");
+    result.l2MissesTotal = mem.stats().value("l2DemandMissesTotal");
+    result.l2MissesToMemory = mem.l2DemandMisses();
+    result.prefetchFills = mem.stats().value("prefetchFills");
+    // Late prefetches (demand merged while in flight) are promoted
+    // on fill and therefore already counted in the L2's prefetchHits.
+    result.usefulPrefetches = mem.l2().stats().value("prefetchHits");
+    result.hints = hint_stats;
+
+    if (auto *grp_engine = dynamic_cast<GrpEngine *>(engine.get())) {
+        const Distribution &sizes = grp_engine->regionSizes();
+        for (unsigned blocks = 1; blocks <= kBlocksPerRegion;
+             blocks <<= 1) {
+            const uint64_t count = sizes.count(blocks);
+            if (count)
+                result.regionSizes[blocks] = count;
+        }
+    }
+    return result;
+}
+
+} // namespace grp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The experiment runner: executes one (workload, configuration)
+ * pair end-to-end — build the kernel, run the compiler pipeline,
+ * wire CPU + memory + prefetch engine, simulate a fixed instruction
+ * window — and collects the metrics the paper reports.
+ */
+
+#ifndef GRP_HARNESS_RUNNER_HH
+#define GRP_HARNESS_RUNNER_HH
+
+#include <map>
+#include <string>
+
+#include "compiler/hint_generator.hh"
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace grp
+{
+
+/** Metrics from one simulation run. */
+struct RunResult
+{
+    std::string workload;
+    PrefetchScheme scheme = PrefetchScheme::None;
+    Perfection perfection = Perfection::None;
+
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+
+    uint64_t trafficBytes = 0;     ///< Fills + writebacks, in bytes.
+    uint64_t l2DemandAccesses = 0;
+    uint64_t l2MissesTotal = 0;    ///< All L2 demand misses.
+    uint64_t l2MissesToMemory = 0; ///< Misses that paid DRAM latency.
+    uint64_t prefetchFills = 0;    ///< Prefetch-class DRAM transfers.
+    uint64_t usefulPrefetches = 0; ///< Prefetched blocks later used.
+
+    /** Useful / issued (0 when nothing was issued). Clamped at 1:
+     *  blocks prefetched before the warmup boundary but consumed
+     *  after it can otherwise push short windows past 100%. */
+    double
+    accuracy() const
+    {
+        if (!prefetchFills)
+            return 0.0;
+        const double ratio = static_cast<double>(usefulPrefetches) /
+                             static_cast<double>(prefetchFills);
+        return ratio > 1.0 ? 1.0 : ratio;
+    }
+
+    /** L2 miss rate over demand accesses, percent. */
+    double
+    missRatePct() const
+    {
+        return l2DemandAccesses
+                   ? 100.0 * static_cast<double>(l2MissesTotal) /
+                         static_cast<double>(l2DemandAccesses)
+                   : 0.0;
+    }
+
+    /** Coverage vs a baseline run, percent (paper's Table 5). */
+    double
+    coveragePct(const RunResult &base) const
+    {
+        if (base.l2MissesToMemory == 0)
+            return 0.0;
+        return 100.0 *
+               (1.0 - static_cast<double>(l2MissesToMemory) /
+                          static_cast<double>(base.l2MissesToMemory));
+    }
+
+    /** Allocated variable-region sizes (blocks -> count). */
+    std::map<unsigned, uint64_t> regionSizes;
+
+    HintStats hints; ///< Static compiler statistics (Table 3).
+    WorkloadInfo info;
+};
+
+/** Options for a run. */
+struct RunOptions
+{
+    uint64_t maxInstructions = 1'000'000;
+    /** Instructions executed before statistics are reset (cold-start
+     *  discard, the role SimPoint plays in the paper). Defaults to
+     *  maxInstructions / 4 when left at ~0. */
+    uint64_t warmupInstructions = ~0ull;
+    uint64_t seed = 42;
+};
+
+/**
+ * Simulate @p workload_name under @p config.
+ *
+ * The compiler pipeline always runs (its statistics are reported
+ * regardless), but the CPU executes the hinted binary only for
+ * hint-consuming schemes, matching the paper's methodology of
+ * separate binaries.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      SimConfig config, const RunOptions &options);
+
+/** Read GRP_INSTRUCTIONS from the environment (default @p fallback);
+ *  lets bench binaries scale their windows without recompiling. */
+uint64_t instructionBudget(uint64_t fallback = 1'000'000);
+
+} // namespace grp
+
+#endif // GRP_HARNESS_RUNNER_HH

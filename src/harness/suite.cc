@@ -1,0 +1,82 @@
+#include "harness/suite.hh"
+
+namespace grp
+{
+
+std::vector<std::string>
+perfSuite()
+{
+    std::vector<std::string> names;
+    for (const std::string &name : workloadNames()) {
+        if (makeWorkload(name)->info().negligibleL2)
+            continue;
+        names.push_back(name);
+    }
+    return names;
+}
+
+std::vector<std::string>
+intSuite()
+{
+    std::vector<std::string> names;
+    for (const std::string &name : perfSuite()) {
+        if (!makeWorkload(name)->info().isFloat)
+            names.push_back(name);
+    }
+    return names;
+}
+
+std::vector<std::string>
+fpSuite()
+{
+    std::vector<std::string> names;
+    for (const std::string &name : perfSuite()) {
+        if (makeWorkload(name)->info().isFloat)
+            names.push_back(name);
+    }
+    return names;
+}
+
+RunResult
+runScheme(const std::string &name, PrefetchScheme scheme,
+          const RunOptions &options, CompilerPolicy policy)
+{
+    SimConfig config;
+    config.scheme = scheme;
+    config.policy = policy;
+    return runWorkload(name, config, options);
+}
+
+RunResult
+runPerfect(const std::string &name, Perfection perfection,
+           const RunOptions &options)
+{
+    SimConfig config;
+    config.perfection = perfection;
+    return runWorkload(name, config, options);
+}
+
+double
+speedup(const RunResult &run, const RunResult &base)
+{
+    return base.ipc > 0.0 ? run.ipc / base.ipc : 0.0;
+}
+
+double
+trafficRatio(const RunResult &run, const RunResult &base)
+{
+    return base.trafficBytes
+               ? static_cast<double>(run.trafficBytes) /
+                     static_cast<double>(base.trafficBytes)
+               : 0.0;
+}
+
+double
+gapFromPerfect(const RunResult &run, const RunResult &perfect)
+{
+    if (perfect.ipc <= 0.0)
+        return 0.0;
+    return 100.0 * (1.0 - run.ipc / perfect.ipc);
+}
+
+} // namespace grp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Suite-level helpers shared by the bench binaries: benchmark
+ * groupings (Figures 10/11), scheme runners, and geometric means.
+ */
+
+#ifndef GRP_HARNESS_SUITE_HH
+#define GRP_HARNESS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace grp
+{
+
+/** All benchmarks with measurable L2 activity (crafty excluded, as
+ *  in the paper's performance figures). */
+std::vector<std::string> perfSuite();
+
+/** Integer benchmarks (Figure 10 grouping; includes sphinx). */
+std::vector<std::string> intSuite();
+
+/** Floating-point benchmarks (Figure 11 grouping). */
+std::vector<std::string> fpSuite();
+
+/** Run one workload under a prefetch scheme. */
+RunResult runScheme(const std::string &name, PrefetchScheme scheme,
+                    const RunOptions &options,
+                    CompilerPolicy policy = CompilerPolicy::Default);
+
+/** Run one workload under an idealised cache mode. */
+RunResult runPerfect(const std::string &name, Perfection perfection,
+                     const RunOptions &options);
+
+/** Speedup of @p run over @p base (IPC ratio). */
+double speedup(const RunResult &run, const RunResult &base);
+
+/** Traffic of @p run normalised to @p base. */
+double trafficRatio(const RunResult &run, const RunResult &base);
+
+/** Percent gap versus a perfect-L2 run:
+ *  100 * (1 - ipc / perfect_ipc). */
+double gapFromPerfect(const RunResult &run, const RunResult &perfect);
+
+} // namespace grp
+
+#endif // GRP_HARNESS_SUITE_HH

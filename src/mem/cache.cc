@@ -1,0 +1,170 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+Cache::Cache(const CacheConfig &config, const std::string &name,
+             bool lru_insertion)
+    : config_(config),
+      numSets_(static_cast<unsigned>(config.sizeBytes /
+                                     (config.assoc * kBlockBytes))),
+      assoc_(config.assoc),
+      lruInsertion_(lru_insertion),
+      stats_(name)
+{
+    fatal_if(numSets_ == 0 || !isPowerOfTwo(numSets_),
+             "cache set count must be a non-zero power of two");
+    lines_.resize(static_cast<size_t>(numSets_) * assoc_);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr) & (numSets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return blockNumber(addr) / numSets_;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Line *set = &lines_[static_cast<size_t>(setIndex(addr)) * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        if (set[way].valid && set[way].tag == tag)
+            return &set[way];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    ++stats_.counter("accesses");
+    Line *line = findLine(addr);
+    if (!line) {
+        ++stats_.counter("misses");
+        return {false, false};
+    }
+    ++stats_.counter("hits");
+    bool first_use = false;
+    if (line->prefetched && !line->referenced) {
+        line->referenced = true;
+        first_use = true;
+        ++stats_.counter("prefetchHits");
+    }
+    line->lruStamp = nextStamp_++;
+    if (is_write)
+        line->dirty = true;
+    return {true, first_use};
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::containsUnusedPrefetch(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line && line->prefetched && !line->referenced;
+}
+
+std::optional<Eviction>
+Cache::insert(Addr addr, bool as_prefetch, bool dirty)
+{
+    // Re-inserting a present block only updates its state.
+    if (Line *line = findLine(addr)) {
+        line->dirty = line->dirty || dirty;
+        return std::nullopt;
+    }
+
+    Line *set = &lines_[static_cast<size_t>(setIndex(addr)) * assoc_];
+    Line *victim = nullptr;
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Line &line = set[way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    std::optional<Eviction> evicted;
+    if (victim->valid) {
+        evicted = Eviction{
+            (victim->tag * numSets_ + setIndex(addr)) << kBlockShift,
+            victim->dirty,
+            victim->prefetched && !victim->referenced,
+        };
+        ++stats_.counter("evictions");
+        if (evicted->wasUnusedPrefetch)
+            ++stats_.counter("unusedPrefetchEvictions");
+    }
+
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->dirty = dirty;
+    victim->prefetched = as_prefetch;
+    victim->referenced = !as_prefetch;
+
+    if (as_prefetch && lruInsertion_) {
+        // LRU position: stamp below every other valid line in the set.
+        uint64_t min_stamp = nextStamp_;
+        for (unsigned way = 0; way < assoc_; ++way) {
+            if (&set[way] != victim && set[way].valid)
+                min_stamp = std::min(min_stamp, set[way].lruStamp);
+        }
+        victim->lruStamp = min_stamp > 0 ? min_stamp - 1 : 0;
+        ++stats_.counter("prefetchFills");
+    } else {
+        victim->lruStamp = nextStamp_++;
+        if (as_prefetch)
+            ++stats_.counter("prefetchFills");
+        else
+            ++stats_.counter("demandFills");
+    }
+    return evicted;
+}
+
+void
+Cache::markDirty(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->dirty = true;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->valid = false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    nextStamp_ = 1;
+    stats_.reset();
+}
+
+} // namespace grp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A set-associative tag store with true-LRU replacement and the
+ * low-priority prefetch insertion policy of SRP/GRP: prefetched
+ * blocks enter at the LRU position of their set and are promoted to
+ * MRU only on an explicit CPU reference, bounding pollution to one
+ * way per set (Section 3.1).
+ */
+
+#ifndef GRP_MEM_CACHE_HH
+#define GRP_MEM_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** A victim produced by an insertion. */
+struct Eviction
+{
+    Addr blockAddr;
+    bool dirty;
+    /** The victim was a prefetched block never referenced by the CPU
+     *  (an accuracy loss the stats track). */
+    bool wasUnusedPrefetch;
+};
+
+/** Result of a demand access. */
+struct CacheAccessResult
+{
+    bool hit;
+    /** The hit consumed a prefetched block for the first time. */
+    bool firstUseOfPrefetch;
+};
+
+/** Set-associative, write-back, true-LRU tag store. */
+class Cache
+{
+  public:
+    /**
+     * @param config Geometry and latency parameters.
+     * @param name Statistics group name (e.g. "l1d", "l2").
+     * @param lru_insertion Insert prefetches at LRU (paper default)
+     *        rather than MRU (ablation knob).
+     */
+    Cache(const CacheConfig &config, const std::string &name,
+          bool lru_insertion = true);
+
+    /**
+     * Demand access for a read or write; updates LRU state and marks
+     * the block dirty on writes. Prefetched blocks touched here are
+     * promoted to MRU and count as useful.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** Tag probe without any state update. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Insert the block containing @p addr.
+     *
+     * @param as_prefetch Insert at LRU position with the prefetch bit
+     *        set; otherwise insert at MRU.
+     * @param dirty Initial dirty state (stores that missed).
+     * @return The evicted victim, if a valid block was displaced.
+     */
+    std::optional<Eviction> insert(Addr addr, bool as_prefetch,
+                                   bool dirty);
+
+    /** Mark the block containing @p addr dirty (store to present
+     *  block); no-op when absent. */
+    void markDirty(Addr addr);
+
+    /** Remove the block containing @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** True when a prefetched-but-not-yet-referenced copy of the
+     *  block is present (stats / filtering). */
+    bool containsUnusedPrefetch(Addr addr) const;
+
+    unsigned sets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned latency() const { return config_.latency; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Invalidate everything and zero statistics. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false; ///< Filled by a prefetch...
+        bool referenced = false; ///< ...and later touched by the CPU.
+        uint64_t lruStamp = 0;   ///< Higher = more recently used.
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    CacheConfig config_;
+    unsigned numSets_;
+    unsigned assoc_;
+    bool lruInsertion_;
+    uint64_t nextStamp_ = 1;
+    std::vector<Line> lines_; ///< numSets_ * assoc_, set-major.
+    StatGroup stats_;
+};
+
+} // namespace grp
+
+#endif // GRP_MEM_CACHE_HH

@@ -1,0 +1,104 @@
+#include "mem/dram.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+DramSystem::DramSystem(const DramConfig &config)
+    : config_(config),
+      channelShift_(floorLog2(config.channels)),
+      blocksPerRow_(config.rowBytes / kBlockBytes),
+      blocksPerRowShift_(floorLog2(config.rowBytes / kBlockBytes)),
+      bankShift_(floorLog2(config.banksPerChannel)),
+      stats_("dram")
+{
+    fatal_if(!isPowerOfTwo(config.channels) ||
+             !isPowerOfTwo(config.banksPerChannel) ||
+             !isPowerOfTwo(blocksPerRow_),
+             "DRAM geometry must be powers of two");
+    channels_.resize(config.channels);
+    for (Channel &channel : channels_)
+        channel.banks.resize(config.banksPerChannel);
+}
+
+unsigned
+DramSystem::channelOf(Addr addr) const
+{
+    return static_cast<unsigned>(blockNumber(addr) &
+                                 (config_.channels - 1));
+}
+
+unsigned
+DramSystem::bankOf(Addr addr) const
+{
+    const uint64_t channel_block = blockNumber(addr) >> channelShift_;
+    return static_cast<unsigned>((channel_block >> blocksPerRowShift_) &
+                                 (config_.banksPerChannel - 1));
+}
+
+uint64_t
+DramSystem::rowOf(Addr addr) const
+{
+    const uint64_t channel_block = blockNumber(addr) >> channelShift_;
+    return channel_block >> (blocksPerRowShift_ + bankShift_);
+}
+
+bool
+DramSystem::channelIdle(unsigned channel, Tick now) const
+{
+    return channels_[channel].busyUntil <= now;
+}
+
+bool
+DramSystem::rowOpen(Addr addr) const
+{
+    const Bank &bank = channels_[channelOf(addr)].banks[bankOf(addr)];
+    return bank.openRow == static_cast<int64_t>(rowOf(addr));
+}
+
+Tick
+DramSystem::serve(Addr addr, Tick now)
+{
+    Channel &channel = channels_[channelOf(addr)];
+    panic_if(channel.busyUntil > now,
+             "serving on a busy channel (busy until %llu, now %llu)",
+             (unsigned long long)channel.busyUntil,
+             (unsigned long long)now);
+
+    Bank &bank = channel.banks[bankOf(addr)];
+    const int64_t row = static_cast<int64_t>(rowOf(addr));
+    unsigned access;
+    if (bank.openRow == row) {
+        access = config_.rowHitCycles;
+        ++stats_.counter("rowHits");
+    } else {
+        access = config_.rowConflictCycles;
+        ++stats_.counter("rowConflicts");
+        bank.openRow = row;
+    }
+
+    // Bank access overlaps the previous transfer (the channel is
+    // pipelined); the channel itself is occupied only for the data
+    // transfer, so back-to-back row hits stream at full channel
+    // bandwidth.
+    const Tick done = now + access + config_.transferCycles;
+    channel.busyUntil = now + config_.transferCycles;
+    ++transfers_;
+    ++stats_.counter("transfers");
+    return done;
+}
+
+void
+DramSystem::reset()
+{
+    for (Channel &channel : channels_) {
+        channel.busyUntil = 0;
+        for (Bank &bank : channel.banks)
+            bank.openRow = -1;
+    }
+    transfers_ = 0;
+    stats_.reset();
+}
+
+} // namespace grp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A Rambus-style DRAM model: independent channels, each with a set of
+ * banks using an open-page (open-row) policy. Blocks are interleaved
+ * across channels at cache-block granularity, so a 4 KB prefetch
+ * region streams from all four channels in parallel, and consecutive
+ * blocks within one channel fall in the same row — the locality the
+ * SRP scheduler exploits by preferring prefetches to open rows.
+ */
+
+#ifndef GRP_MEM_DRAM_HH
+#define GRP_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Multi-channel open-page DRAM timing model. */
+class DramSystem
+{
+  public:
+    explicit DramSystem(const DramConfig &config);
+
+    /** Channel servicing @p addr (block interleaved). */
+    unsigned channelOf(Addr addr) const;
+    /** Bank within the channel servicing @p addr. */
+    unsigned bankOf(Addr addr) const;
+    /** Row within the bank servicing @p addr. */
+    uint64_t rowOf(Addr addr) const;
+
+    /** True when the channel can accept a request at @p now. */
+    bool channelIdle(unsigned channel, Tick now) const;
+
+    /** True when @p addr's row is open in its bank (bank-aware
+     *  prefetch scheduling queries this). */
+    bool rowOpen(Addr addr) const;
+
+    /**
+     * Issue the access for @p addr's block at @p now on its (idle)
+     * channel. Occupies the channel for the access + transfer time
+     * and leaves the row open.
+     *
+     * @return Tick at which the block's data is fully returned.
+     */
+    Tick serve(Addr addr, Tick now);
+
+    /** Total 64 B transfers served (traffic accounting). */
+    uint64_t transfersServed() const { return transfers_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    const DramConfig &config() const { return config_; }
+
+    void reset();
+
+  private:
+    DramConfig config_;
+    unsigned channelShift_;    ///< log2(channels).
+    unsigned blocksPerRow_;
+    unsigned blocksPerRowShift_;
+    unsigned bankShift_;       ///< log2(banksPerChannel).
+
+    struct Bank
+    {
+        int64_t openRow = -1;
+    };
+
+    struct Channel
+    {
+        Tick busyUntil = 0;
+        std::vector<Bank> banks;
+    };
+
+    std::vector<Channel> channels_;
+    uint64_t transfers_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace grp
+
+#endif // GRP_MEM_DRAM_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional (value-carrying) memory with a simulated heap.
+ *
+ * Pointer prefetching scans the *contents* of fetched cache lines for
+ * heap addresses, so workload data structures must live at real
+ * simulated addresses with real pointer bits. FunctionalMemory stores
+ * values in sparse 4 KB pages and provides the base-and-bounds heap
+ * range the hardware pointer test uses (Section 3.2).
+ */
+
+#ifndef GRP_MEM_FUNCTIONAL_MEMORY_HH
+#define GRP_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Sparse, paged, value-carrying memory plus a bump-pointer heap. */
+class FunctionalMemory
+{
+  public:
+    /** Base of the simulated heap segment. */
+    static constexpr Addr kHeapBase = 0x4000'0000ull;
+    /** Base of the simulated static/global segment. */
+    static constexpr Addr kStaticBase = 0x1000'0000ull;
+    /** Capacity of each segment. */
+    static constexpr Addr kSegmentCapacity = 0x3000'0000ull;
+
+    FunctionalMemory() = default;
+
+    // Not copyable (pages can be large); movable is fine.
+    FunctionalMemory(const FunctionalMemory &) = delete;
+    FunctionalMemory &operator=(const FunctionalMemory &) = delete;
+    FunctionalMemory(FunctionalMemory &&) = default;
+    FunctionalMemory &operator=(FunctionalMemory &&) = default;
+
+    /**
+     * Allocate @p bytes from the heap, aligned to @p align (which
+     * must be a power of two). Mimics malloc: distinct allocations
+     * never overlap and are laid out in ascending address order, so
+     * sequentially allocated nodes exhibit the spatial locality the
+     * paper observes for pointer programs.
+     */
+    Addr heapAlloc(uint64_t bytes, uint64_t align = 8);
+
+    /** Allocate @p bytes from the static segment (Fortran arrays). */
+    Addr staticAlloc(uint64_t bytes, uint64_t align = 8);
+
+    /** First address of the heap. */
+    Addr heapBase() const { return kHeapBase; }
+    /** One past the last allocated heap byte (the "brk"). */
+    Addr heapEnd() const { return heapBrk_; }
+
+    /** True iff @p value lies within [heapBase, heapEnd): the
+     *  hardware base-and-bounds pointer test. */
+    bool
+    looksLikeHeapPointer(uint64_t value) const
+    {
+        return value >= kHeapBase && value < heapBrk_;
+    }
+
+    /** Read an aligned 64-bit word. */
+    uint64_t read64(Addr addr) const;
+    /** Write an aligned 64-bit word. */
+    void write64(Addr addr, uint64_t value);
+
+    /** Read an aligned 32-bit word. */
+    uint32_t read32(Addr addr) const;
+    /** Write an aligned 32-bit word. */
+    void write32(Addr addr, uint32_t value);
+
+    /**
+     * Copy the 64-byte block containing @p addr into @p out as eight
+     * 64-bit words (the view the pointer scanner sees).
+     */
+    void readBlock(Addr addr, std::array<uint64_t, 8> &out) const;
+
+    /** Number of materialised 4 KB pages (for tests/footprint). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr Addr kPageBytes = 1ull << kPageShift;
+    static constexpr unsigned kWordsPerPage = kPageBytes / 8;
+
+    using Page = std::array<uint64_t, kWordsPerPage>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    Addr heapBrk_ = kHeapBase;
+    Addr staticBrk_ = kStaticBase;
+};
+
+} // namespace grp
+
+#endif // GRP_MEM_FUNCTIONAL_MEMORY_HH

@@ -1,0 +1,457 @@
+#include "mem/memory_system.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+namespace
+{
+/** Token used for store targets (no CPU callback wanted). */
+constexpr uint64_t kStoreToken = ~0ull;
+} // namespace
+
+MemorySystem::MemorySystem(const SimConfig &config, EventQueue &events)
+    : config_(config),
+      events_(events),
+      stats_("mem")
+{
+    config_.validate();
+    l1d_ = std::make_unique<Cache>(config.l1d, "l1d",
+                                   config.region.lruInsertion);
+    l2_ = std::make_unique<Cache>(config.l2, "l2",
+                                  config.region.lruInsertion);
+    l1Mshrs_ = std::make_unique<MshrFile>(config.l1d.mshrs,
+                                          config.l1d.mshrTargets,
+                                          "l1dMshrs");
+    l2Mshrs_ = std::make_unique<MshrFile>(config.l2.mshrs,
+                                          config.l2.mshrTargets,
+                                          "l2Mshrs");
+    dram_ = std::make_unique<DramSystem>(config.dram);
+    demandQueues_.resize(config.dram.channels);
+    writebackQueues_.resize(config.dram.channels);
+}
+
+uint8_t
+MemorySystem::demandPtrDepth(const LoadHints &hints) const
+{
+    switch (config_.scheme) {
+      case PrefetchScheme::PointerHw:
+      case PrefetchScheme::SrpPlusPointer:
+        return 1;
+      case PrefetchScheme::PointerHwRec:
+        return static_cast<uint8_t>(config_.region.recursiveDepth);
+      case PrefetchScheme::GrpFix:
+      case PrefetchScheme::GrpVar:
+        return static_cast<uint8_t>(
+            hints.pointerDepth(config_.region.recursiveDepth));
+      default:
+        return 0;
+    }
+}
+
+bool
+MemorySystem::load(Addr addr, RefId ref, const LoadHints &hints,
+                   uint64_t token)
+{
+    if (config_.perfection == Perfection::PerfectL1) {
+        ++stats_.counter("l1DemandAccesses");
+        events_.scheduleIn(config_.l1d.latency,
+                           [this, token] { loadDone_(token); });
+        return true;
+    }
+
+    if (l1d_->contains(blockAlign(addr))) {
+        ++stats_.counter("l1DemandAccesses");
+        l1d_->access(addr, false);
+        events_.scheduleIn(config_.l1d.latency,
+                           [this, token] { loadDone_(token); });
+        return true;
+    }
+
+    if (!handleL1Miss(addr, ref, hints, token, false))
+        return false;
+    ++stats_.counter("l1DemandAccesses");
+    ++stats_.counter("l1DemandMisses");
+    return true;
+}
+
+bool
+MemorySystem::store(Addr addr, RefId ref, const LoadHints &hints)
+{
+    if (config_.perfection == Perfection::PerfectL1) {
+        ++stats_.counter("l1DemandAccesses");
+        return true;
+    }
+
+    if (l1d_->contains(blockAlign(addr))) {
+        ++stats_.counter("l1DemandAccesses");
+        l1d_->access(addr, true);
+        return true;
+    }
+
+    if (!handleL1Miss(addr, ref, hints, kStoreToken, true))
+        return false;
+    ++stats_.counter("l1DemandAccesses");
+    ++stats_.counter("l1DemandMisses");
+    return true;
+}
+
+bool
+MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
+                           uint64_t token, bool is_write)
+{
+    const Addr block = blockAlign(addr);
+    const MshrTarget target{token, is_write, ref};
+
+    // Coalesce onto an existing outstanding L1 miss.
+    if (Mshr *mshr = l1Mshrs_->find(block)) {
+        if (!l1Mshrs_->addTarget(*mshr, target)) {
+            ++stats_.counter("l1TargetStalls");
+            return false;
+        }
+        return true;
+    }
+
+    if (l1Mshrs_->full()) {
+        ++stats_.counter("l1MshrStalls");
+        return false;
+    }
+
+    const unsigned l1_to_l2 = config_.l1d.latency + config_.l2.latency;
+
+    if (config_.perfection == Perfection::PerfectL2) {
+        Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
+                                        events_.curTick());
+        l1Mshrs_->addTarget(mshr, target);
+        respondAfter(l1_to_l2, block);
+        return true;
+    }
+
+    // The L2 sees only the clean-read side of a store miss: the store
+    // data lands in the L1 copy (write-allocate); the L2 copy stays
+    // clean until the L1 victim is written back.
+    ++stats_.counter("l2DemandAccesses");
+    const bool l2_hit = l2_->contains(block);
+
+    if (engine_)
+        engine_->onL2DemandAccess(block, ref, hints, l2_hit);
+
+    if (l2_hit) {
+        ++stats_.counter("l2DemandHits");
+        if (l2_->access(block, false).firstUseOfPrefetch && engine_)
+            engine_->onPrefetchUseful(block);
+        Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
+                                        events_.curTick());
+        l1Mshrs_->addTarget(mshr, target);
+        respondAfter(l1_to_l2, block);
+        return true;
+    }
+
+    ++stats_.counter("l2DemandMissesTotal");
+
+    // Stream-buffer short circuit (stride prefetcher).
+    if (engine_ && engine_->streamHit(block)) {
+        ++stats_.counter("streamHits");
+        insertIntoL2(block, true, false);
+        // Promote; counts a useful prefetch.
+        if (l2_->access(block, false).firstUseOfPrefetch)
+            engine_->onPrefetchUseful(block);
+        Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
+                                        events_.curTick());
+        l1Mshrs_->addTarget(mshr, target);
+        respondAfter(l1_to_l2, block);
+        return true;
+    }
+
+    // A prefetch for this block may already be in flight: merge.
+    if (Mshr *l2_mshr = l2Mshrs_->find(block)) {
+        // A demand entry would imply an L1 MSHR for this block, which
+        // the coalescing check above would have found.
+        panic_if(!l2_mshr->isPrefetch,
+                 "demand L2 MSHR without an L1 MSHR for block %#llx",
+                 (unsigned long long)block);
+        if (!l2Mshrs_->addTarget(*l2_mshr, target)) {
+            ++stats_.counter("l2TargetStalls");
+            return false;
+        }
+        ++stats_.counter("latePrefetchUpgrades");
+        Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
+                                        events_.curTick());
+        l1Mshrs_->addTarget(mshr, target);
+        return true;
+    }
+
+    if (l2Mshrs_->full()) {
+        ++stats_.counter("l2MshrStalls");
+        return false;
+    }
+
+    // Full miss: allocate both MSHRs and queue the DRAM request.
+    ++stats_.counter("demandToMemory");
+    const uint8_t depth = demandPtrDepth(hints);
+    Mshr &l2_mshr = l2Mshrs_->allocate(block, false, hints, depth,
+                                       events_.curTick());
+    l2Mshrs_->addTarget(l2_mshr, target);
+    Mshr &l1_mshr = l1Mshrs_->allocate(block, false, hints, 0,
+                                       events_.curTick());
+    l1Mshrs_->addTarget(l1_mshr, target);
+
+    MemRequest req;
+    req.blockAddr = block;
+    req.cls = ReqClass::Demand;
+    req.refId = ref;
+    req.hints = hints;
+    req.ptrDepth = depth;
+    req.enqueued = events_.curTick();
+    demandQueues_[dram_->channelOf(block)].push_back(req);
+
+    if (engine_)
+        engine_->onL2DemandMiss(block, ref, hints);
+    return true;
+}
+
+void
+MemorySystem::respondAfter(Tick delay, Addr block_addr)
+{
+    events_.scheduleIn(delay,
+                       [this, block_addr] { finishL1Fill(block_addr); });
+}
+
+void
+MemorySystem::finishL1Fill(Addr block_addr)
+{
+    Mshr *mshr = l1Mshrs_->find(block_addr);
+    panic_if(!mshr, "L1 fill without an MSHR for block %#llx",
+             (unsigned long long)block_addr);
+
+    bool dirty = false;
+    for (const MshrTarget &target : mshr->targets)
+        dirty = dirty || target.isWrite;
+
+    auto evicted = l1d_->insert(block_addr, false, dirty);
+    if (evicted && evicted->dirty) {
+        // L1 victim writeback allocates in the L2.
+        if (l2_->contains(evicted->blockAddr))
+            l2_->markDirty(evicted->blockAddr);
+        else if (config_.perfection == Perfection::None)
+            insertIntoL2(evicted->blockAddr, false, true);
+    }
+
+    for (const MshrTarget &target : mshr->targets) {
+        if (!target.isWrite)
+            loadDone_(target.token);
+    }
+    l1Mshrs_->deallocate(*mshr);
+}
+
+void
+MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty)
+{
+    auto evicted = l2_->insert(block_addr, as_prefetch, dirty);
+    if (evicted && evicted->dirty) {
+        MemRequest wb;
+        wb.blockAddr = evicted->blockAddr;
+        wb.cls = ReqClass::Writeback;
+        wb.enqueued = events_.curTick();
+        writebackQueues_[dram_->channelOf(wb.blockAddr)].push_back(wb);
+        ++stats_.counter("writebacksQueued");
+    }
+}
+
+void
+MemorySystem::indirectPrefetch(Addr base, unsigned elem_size,
+                               Addr index_addr, RefId ref)
+{
+    if (engine_)
+        engine_->indirectPrefetch(base, elem_size, index_addr, ref);
+}
+
+void
+MemorySystem::tick()
+{
+    if (config_.perfection != Perfection::None)
+        return;
+
+    const Tick now = events_.curTick();
+    for (unsigned ch = 0; ch < config_.dram.channels; ++ch) {
+        if (!dram_->channelIdle(ch, now))
+            continue;
+        auto &demand = demandQueues_[ch];
+        auto &wb = writebackQueues_[ch];
+        if (wb.size() > kWritebackHighWater) {
+            startDramAccess(ch, wb.front());
+            wb.pop_front();
+        } else if (!demand.empty()) {
+            startDramAccess(ch, demand.front());
+            demand.pop_front();
+        } else if (!wb.empty()) {
+            startDramAccess(ch, wb.front());
+            wb.pop_front();
+        } else {
+            tryIssuePrefetch(ch);
+        }
+    }
+}
+
+void
+MemorySystem::startDramAccess(unsigned channel, const MemRequest &req)
+{
+    panic_if(dram_->channelOf(req.blockAddr) != channel,
+             "request routed to the wrong channel");
+    const Tick done = dram_->serve(req.blockAddr, events_.curTick());
+
+    switch (req.cls) {
+      case ReqClass::Demand:
+        ++stats_.counter("demandFills");
+        break;
+      case ReqClass::Prefetch:
+        ++stats_.counter("prefetchFills");
+        break;
+      case ReqClass::Writeback:
+        ++stats_.counter("writebacks");
+        return; // Writebacks need no completion handling.
+    }
+
+    MemRequest in_flight = req;
+    events_.schedule(done, [this, in_flight] { onDramFill(in_flight); });
+}
+
+void
+MemorySystem::onDramFill(MemRequest req)
+{
+    Mshr *mshr = l2Mshrs_->find(req.blockAddr);
+    panic_if(!mshr, "DRAM fill without an L2 MSHR for block %#llx",
+             (unsigned long long)req.blockAddr);
+
+    // A prefetch upgraded by a demand miss while in flight behaves as
+    // a demand fill from here on.
+    const bool demand_class = !mshr->isPrefetch;
+    const uint8_t depth = mshr->ptrDepth;
+    const bool was_prefetch_req = req.cls == ReqClass::Prefetch;
+
+    insertIntoL2(req.blockAddr, was_prefetch_req, false);
+    if (demand_class && was_prefetch_req) {
+        // Late prefetch: the waiting demand touches it immediately.
+        if (l2_->access(req.blockAddr, false).firstUseOfPrefetch &&
+            engine_) {
+            engine_->onPrefetchUseful(req.blockAddr);
+        }
+    }
+
+    l2Mshrs_->deallocate(*mshr);
+
+    if (engine_ && depth > 0)
+        engine_->onFill(req.blockAddr, depth,
+                        demand_class ? ReqClass::Demand
+                                     : ReqClass::Prefetch);
+
+    if (demand_class)
+        respondAfter(config_.l1d.latency, req.blockAddr);
+}
+
+bool
+MemorySystem::tryIssuePrefetch(unsigned channel)
+{
+    if (!engine_)
+        return false;
+    // The access prioritizer forwards prefetch requests only when
+    // there are no outstanding demand misses from the L2 (§3.1):
+    // prefetches thus contend with demands only when the demand
+    // arrived after the prefetch had already been issued to DRAM.
+    if (l2Mshrs_->demandInFlight() > 0) {
+        ++stats_.counter("prefetchDemandThrottled");
+        return false;
+    }
+    for (const auto &queue : demandQueues_) {
+        if (!queue.empty()) {
+            ++stats_.counter("prefetchDemandThrottled");
+            return false;
+        }
+    }
+    if (l2Mshrs_->capacity() - l2Mshrs_->inFlight() <=
+        kDemandReservedMshrs) {
+        ++stats_.counter("prefetchMshrThrottled");
+        return false;
+    }
+
+    for (unsigned attempt = 0; attempt < kPrefetchDrawLimit; ++attempt) {
+        auto candidate = engine_->dequeuePrefetch(*dram_, channel);
+        if (!candidate)
+            return false;
+        const Addr block = candidate->blockAddr;
+        panic_if(dram_->channelOf(block) != channel,
+                 "engine offered a candidate for the wrong channel");
+        if (l2_->contains(block) || l2Mshrs_->find(block)) {
+            ++stats_.counter("prefetchFiltered");
+            continue;
+        }
+        l2Mshrs_->allocate(block, true, LoadHints{},
+                           candidate->ptrDepth, events_.curTick());
+        MemRequest req;
+        req.blockAddr = block;
+        req.cls = ReqClass::Prefetch;
+        req.refId = candidate->refId;
+        req.ptrDepth = candidate->ptrDepth;
+        req.enqueued = events_.curTick();
+        startDramAccess(channel, req);
+        ++stats_.counter("prefetchesIssued");
+        return true;
+    }
+    return false;
+}
+
+bool
+MemorySystem::quiesced() const
+{
+    if (l1Mshrs_->inFlight() != 0)
+        return false;
+    for (const auto &queue : demandQueues_) {
+        if (!queue.empty())
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+MemorySystem::trafficBytes() const
+{
+    return kBlockBytes * (stats_.value("demandFills") +
+                          stats_.value("prefetchFills") +
+                          stats_.value("writebacks"));
+}
+
+uint64_t
+MemorySystem::l2DemandMisses() const
+{
+    return stats_.value("demandToMemory") +
+           stats_.value("latePrefetchUpgrades");
+}
+
+void
+MemorySystem::resetStats()
+{
+    l1d_->stats().reset();
+    l2_->stats().reset();
+    l1Mshrs_->stats().reset();
+    l2Mshrs_->stats().reset();
+    dram_->stats().reset();
+    stats_.reset();
+}
+
+void
+MemorySystem::reset()
+{
+    l1d_->reset();
+    l2_->reset();
+    l1Mshrs_->reset();
+    l2Mshrs_->reset();
+    dram_->reset();
+    for (auto &queue : demandQueues_)
+        queue.clear();
+    for (auto &queue : writebackQueues_)
+        queue.clear();
+    stats_.reset();
+}
+
+} // namespace grp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The full memory hierarchy: L1D, unified L2, MSHR files, the access
+ * prioritizer, writeback path and DRAM, with hooks for a prefetch
+ * engine.
+ *
+ * Arbitration per channel per cycle (the access prioritizer of §3.1):
+ * demand misses first, then writebacks, then prefetch candidates —
+ * prefetches are issued only when the channel would otherwise idle
+ * and no demand request is waiting, so useless prefetches cannot
+ * delay demand traffic. A small number of L2 MSHRs is reserved for
+ * demand so prefetches cannot starve misses of tracking resources.
+ */
+
+#ifndef GRP_MEM_MEMORY_SYSTEM_HH
+#define GRP_MEM_MEMORY_SYSTEM_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/functional_memory.hh"
+#include "mem/mshr.hh"
+#include "mem/prefetch_iface.hh"
+#include "mem/request.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace grp
+{
+
+/** The complete L1D/L2/DRAM hierarchy with prefetch integration. */
+class MemorySystem
+{
+  public:
+    /** Called when an outstanding load's data is ready. */
+    using LoadCallback = std::function<void(uint64_t token)>;
+
+    MemorySystem(const SimConfig &config, EventQueue &events);
+
+    /** Attach the engine selected by the configuration (may be
+     *  nullptr for no prefetching). Not owned. */
+    void setPrefetchEngine(PrefetchEngine *engine) { engine_ = engine; }
+
+    /** Register the CPU's load-completion callback. */
+    void setLoadCallback(LoadCallback cb) { loadDone_ = std::move(cb); }
+
+    /**
+     * Issue a load.
+     *
+     * @param token Opaque value handed back via the load callback.
+     * @return false on a structural stall (MSHRs full); retry later.
+     */
+    bool load(Addr addr, RefId ref, const LoadHints &hints,
+              uint64_t token);
+
+    /**
+     * Issue a store (write-allocate, write-back). Stores complete
+     * immediately from the CPU's perspective (store buffer); this
+     * call only models cache state and miss traffic.
+     *
+     * @return false on a structural stall; retry later.
+     */
+    bool store(Addr addr, RefId ref, const LoadHints &hints);
+
+    /** Forward an indirect prefetch instruction to the engine. */
+    void indirectPrefetch(Addr base, unsigned elem_size,
+                          Addr index_addr, RefId ref);
+
+    /** Per-cycle channel arbitration; call once per CPU cycle after
+     *  the CPU has issued. */
+    void tick();
+
+    /** No demand request is outstanding anywhere. */
+    bool quiesced() const;
+
+    Cache &l1d() { return *l1d_; }
+    Cache &l2() { return *l2_; }
+    DramSystem &dram() { return *dram_; }
+    MshrFile &l1Mshrs() { return *l1Mshrs_; }
+    MshrFile &l2Mshrs() { return *l2Mshrs_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Total bytes moved on the memory channels (fills of both
+     *  classes plus writebacks): the paper's traffic metric. */
+    uint64_t trafficBytes() const;
+
+    /** L2 demand misses that went to memory (coverage metric
+     *  numerator is computed against a no-prefetch run). */
+    uint64_t l2DemandMisses() const;
+
+    void reset();
+
+    /** Zero all statistics without touching cache/MSHR/DRAM state
+     *  (end-of-warmup measurement boundary). */
+    void resetStats();
+
+  private:
+    /** A demand/writeback request waiting for its channel. */
+    struct PendingReq
+    {
+        MemRequest req;
+    };
+
+    bool handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
+                      uint64_t token, bool is_write);
+    void respondAfter(Tick delay, Addr block_addr);
+    void finishL1Fill(Addr block_addr);
+    void insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty);
+    void startDramAccess(unsigned channel, const MemRequest &req);
+    void onDramFill(MemRequest req);
+    bool tryIssuePrefetch(unsigned channel);
+    uint8_t demandPtrDepth(const LoadHints &hints) const;
+
+    SimConfig config_;
+    EventQueue &events_;
+    std::unique_ptr<Cache> l1d_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<MshrFile> l1Mshrs_;
+    std::unique_ptr<MshrFile> l2Mshrs_;
+    std::unique_ptr<DramSystem> dram_;
+    PrefetchEngine *engine_ = nullptr;
+    LoadCallback loadDone_;
+
+    std::vector<std::deque<MemRequest>> demandQueues_;
+    std::vector<std::deque<MemRequest>> writebackQueues_;
+    /** Writeback queue depth beyond which writebacks pre-empt
+     *  demand to bound queue growth. */
+    static constexpr size_t kWritebackHighWater = 16;
+    /** L2 MSHRs reserved for demand traffic. */
+    static constexpr unsigned kDemandReservedMshrs = 2;
+    /** Candidate re-draws per channel per cycle when the engine
+     *  offers already-present blocks. */
+    static constexpr unsigned kPrefetchDrawLimit = 8;
+
+    StatGroup stats_;
+};
+
+} // namespace grp
+
+#endif // GRP_MEM_MEMORY_SYSTEM_HH

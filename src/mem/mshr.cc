@@ -1,0 +1,101 @@
+#include "mem/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+MshrFile::MshrFile(unsigned entries, unsigned max_targets,
+                   const std::string &name)
+    : entries_(entries),
+      size_(entries),
+      maxTargets_(max_targets),
+      freeCount_(entries),
+      stats_(name)
+{
+    fatal_if(entries == 0, "MSHR file needs at least one entry");
+}
+
+Mshr *
+MshrFile::find(Addr addr)
+{
+    const Addr block = blockAlign(addr);
+    for (Mshr &entry : entries_) {
+        if (entry.valid && entry.blockAddr == block)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const Mshr *
+MshrFile::find(Addr addr) const
+{
+    return const_cast<MshrFile *>(this)->find(addr);
+}
+
+Mshr &
+MshrFile::allocate(Addr addr, bool is_prefetch, const LoadHints &hints,
+                   uint8_t ptr_depth, Tick now)
+{
+    panic_if(full(), "allocating from a full MSHR file");
+    panic_if(find(addr) != nullptr,
+             "duplicate MSHR allocation for block %#llx",
+             (unsigned long long)blockAlign(addr));
+    for (Mshr &entry : entries_) {
+        if (entry.valid)
+            continue;
+        entry.valid = true;
+        entry.blockAddr = blockAlign(addr);
+        entry.isPrefetch = is_prefetch;
+        entry.ptrDepth = ptr_depth;
+        entry.hints = hints;
+        entry.allocated = now;
+        entry.targets.clear();
+        --freeCount_;
+        if (!is_prefetch)
+            ++demandCount_;
+        ++stats_.counter(is_prefetch ? "prefetchAllocs" : "demandAllocs");
+        return entry;
+    }
+    panic("MSHR bookkeeping out of sync");
+}
+
+bool
+MshrFile::addTarget(Mshr &entry, const MshrTarget &target)
+{
+    if (entry.targets.size() >= maxTargets_)
+        return false;
+    entry.targets.push_back(target);
+    if (entry.isPrefetch) {
+        entry.isPrefetch = false;
+        ++demandCount_;
+        ++stats_.counter("prefetchUpgrades");
+    }
+    ++stats_.counter("coalescedTargets");
+    return true;
+}
+
+void
+MshrFile::deallocate(Mshr &entry)
+{
+    panic_if(!entry.valid, "deallocating an invalid MSHR");
+    entry.valid = false;
+    entry.targets.clear();
+    if (!entry.isPrefetch)
+        --demandCount_;
+    ++freeCount_;
+}
+
+void
+MshrFile::reset()
+{
+    for (Mshr &entry : entries_) {
+        entry.valid = false;
+        entry.targets.clear();
+    }
+    freeCount_ = size_;
+    demandCount_ = 0;
+    stats_.reset();
+}
+
+} // namespace grp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The interface between the memory system and a prefetch engine.
+ *
+ * The memory system notifies the engine of L2 demand activity and of
+ * completed fills (so pointer scanners can walk returned lines), and
+ * pulls prefetch candidates from it whenever a DRAM channel would
+ * otherwise idle — the access-prioritizer contract of SRP (§3.1).
+ */
+
+#ifndef GRP_MEM_PREFETCH_IFACE_HH
+#define GRP_MEM_PREFETCH_IFACE_HH
+
+#include <functional>
+#include <optional>
+
+#include "mem/request.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+class DramSystem;
+
+/** Abstract prefetch engine observed and drained by the memory
+ *  system. */
+class PrefetchEngine
+{
+  public:
+    /** Returns true when a block is already in the L2 or in flight;
+     *  engines use it to initialise region bit vectors. */
+    using PresenceTest = std::function<bool(Addr)>;
+
+    virtual ~PrefetchEngine() = default;
+
+    /** Every L2 demand access (training hook for stride). */
+    virtual void
+    onL2DemandAccess(Addr addr, RefId ref, const LoadHints &hints,
+                     bool hit)
+    {
+        (void)addr; (void)ref; (void)hints; (void)hit;
+    }
+
+    /** An L2 demand miss has allocated an MSHR (region trigger). */
+    virtual void
+    onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
+    {
+        (void)addr; (void)ref; (void)hints;
+    }
+
+    /**
+     * A block has returned from memory carrying @p ptr_depth
+     * remaining pointer-chase levels (pointer scanner hook).
+     */
+    virtual void
+    onFill(Addr block_addr, uint8_t ptr_depth, ReqClass cls)
+    {
+        (void)block_addr; (void)ptr_depth; (void)cls;
+    }
+
+    /** A prefetched block was referenced by the CPU for the first
+     *  time (accuracy feedback for throttling schemes). */
+    virtual void
+    onPrefetchUseful(Addr block_addr)
+    {
+        (void)block_addr;
+    }
+
+    /**
+     * Give the engine a chance to satisfy an L2 miss from prefetch
+     * storage outside the cache (stream buffers). Returns true when
+     * the block was held; the caller then treats the miss as a
+     * short-latency fill.
+     */
+    virtual bool streamHit(Addr block_addr)
+    {
+        (void)block_addr;
+        return false;
+    }
+
+    /**
+     * Offer a prefetch candidate for @p channel, which is idle.
+     * Returns std::nullopt when the engine has nothing useful.
+     */
+    virtual std::optional<PrefetchCandidate>
+    dequeuePrefetch(const DramSystem &dram, unsigned channel) = 0;
+
+    /** Execute an indirect prefetch instruction (§3.3.3). */
+    virtual void
+    indirectPrefetch(Addr base, unsigned elem_size, Addr index_addr,
+                     RefId ref)
+    {
+        (void)base; (void)elem_size; (void)index_addr; (void)ref;
+    }
+
+    /** Engine statistics group. */
+    virtual StatGroup &stats() = 0;
+
+    /** Drop all pending state. */
+    virtual void reset() {}
+};
+
+} // namespace grp
+
+#endif // GRP_MEM_PREFETCH_IFACE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Request types exchanged between the caches, the access prioritizer
+ * and the DRAM system.
+ */
+
+#ifndef GRP_MEM_REQUEST_HH
+#define GRP_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "core/hints.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Classes of traffic arbitrated by the access prioritizer. */
+enum class ReqClass : uint8_t
+{
+    Demand,    ///< L2 demand miss fill.
+    Prefetch,  ///< Region / pointer / indirect / stream prefetch fill.
+    Writeback, ///< Dirty L2 victim written back to memory.
+};
+
+/** One block-granularity request headed to DRAM. */
+struct MemRequest
+{
+    Addr blockAddr = 0;   ///< Block-aligned address.
+    ReqClass cls = ReqClass::Demand;
+    RefId refId = kInvalidRefId;
+    LoadHints hints;
+    /** Remaining pointer-chase levels once this block returns. */
+    uint8_t ptrDepth = 0;
+    /** Tick at which the request entered the prioritizer. */
+    Tick enqueued = 0;
+};
+
+/** A prefetch candidate offered by a prefetch engine to the memory
+ *  system when a channel is idle. */
+struct PrefetchCandidate
+{
+    Addr blockAddr = 0;
+    RefId refId = kInvalidRefId;
+    /** Pointer-chase levels remaining when the block returns. */
+    uint8_t ptrDepth = 0;
+};
+
+} // namespace grp
+
+#endif // GRP_MEM_REQUEST_HH

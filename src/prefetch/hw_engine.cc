@@ -1,0 +1,92 @@
+#include "prefetch/hw_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+HwPrefetchEngine::HwPrefetchEngine(const SimConfig &config,
+                                   const FunctionalMemory &mem)
+    : config_(config),
+      queue_(config.region.queueEntries, config.region.lifo,
+             config.region.bankAware),
+      scanner_(mem),
+      stats_("hwEngine")
+{
+    fatal_if(config.usesHints(),
+             "HwPrefetchEngine cannot run hint-based schemes; "
+             "use GrpEngine");
+}
+
+bool
+HwPrefetchEngine::usesRegions() const
+{
+    return config_.scheme == PrefetchScheme::Srp ||
+           config_.scheme == PrefetchScheme::SrpPlusPointer;
+}
+
+bool
+HwPrefetchEngine::usesPointers() const
+{
+    return config_.scheme == PrefetchScheme::PointerHw ||
+           config_.scheme == PrefetchScheme::PointerHwRec ||
+           config_.scheme == PrefetchScheme::SrpPlusPointer;
+}
+
+void
+HwPrefetchEngine::setPresenceTest(RegionQueue::PresenceTest test)
+{
+    queue_.setPresenceTest(std::move(test));
+}
+
+void
+HwPrefetchEngine::onL2DemandMiss(Addr addr, RefId, const LoadHints &)
+{
+    // SRP prefetches the full 4 KB region on every L2 miss, with no
+    // selectivity at all — the coverage/traffic trade the paper's
+    // hints improve on.
+    if (!usesRegions())
+        return;
+    if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0,
+                               kInvalidRefId)) {
+        ++stats_.counter("regionsAllocated");
+    } else {
+        ++stats_.counter("regionsUpdated");
+    }
+}
+
+void
+HwPrefetchEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
+{
+    if (!usesPointers() || ptr_depth == 0)
+        return;
+    std::array<Addr, 8> pointers;
+    const unsigned found = scanner_.scan(block_addr, pointers);
+    stats_.counter("linesScanned") += 1;
+    stats_.counter("pointersFound") += found;
+    for (unsigned i = 0; i < found; ++i) {
+        queue_.addPointerTarget(pointers[i],
+                                config_.region.blocksPerPointer,
+                                static_cast<uint8_t>(ptr_depth - 1),
+                                kInvalidRefId);
+    }
+}
+
+std::optional<PrefetchCandidate>
+HwPrefetchEngine::dequeuePrefetch(const DramSystem &dram,
+                                  unsigned channel)
+{
+    auto candidate = queue_.dequeue(dram, channel);
+    if (candidate)
+        ++stats_.counter("candidatesOffered");
+    return candidate;
+}
+
+void
+HwPrefetchEngine::reset()
+{
+    queue_.clear();
+    stats_.reset();
+}
+
+} // namespace grp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The pure-hardware prefetch engines: SRP, stateless pointer
+ * prefetching, recursive pointer prefetching, and the SRP+pointer
+ * combination — every scheme of the paper that needs no compiler
+ * hints. GRP (the hint-regulated engine) lives in core/grp_engine.hh.
+ */
+
+#ifndef GRP_PREFETCH_HW_ENGINE_HH
+#define GRP_PREFETCH_HW_ENGINE_HH
+
+#include "mem/functional_memory.hh"
+#include "mem/prefetch_iface.hh"
+#include "prefetch/pointer_scanner.hh"
+#include "prefetch/region_queue.hh"
+#include "sim/config.hh"
+
+namespace grp
+{
+
+/** Hardware-only prefetch engine (no compiler hints). */
+class HwPrefetchEngine : public PrefetchEngine
+{
+  public:
+    /**
+     * @param scheme One of Srp, PointerHw, PointerHwRec,
+     *        SrpPlusPointer.
+     */
+    HwPrefetchEngine(const SimConfig &config,
+                     const FunctionalMemory &mem);
+
+    void setPresenceTest(RegionQueue::PresenceTest test);
+
+    void onL2DemandMiss(Addr addr, RefId ref,
+                        const LoadHints &hints) override;
+    void onFill(Addr block_addr, uint8_t ptr_depth,
+                ReqClass cls) override;
+    std::optional<PrefetchCandidate>
+    dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
+
+    StatGroup &stats() override { return stats_; }
+    RegionQueue &queue() { return queue_; }
+
+    void reset() override;
+
+  private:
+    bool usesRegions() const;
+    bool usesPointers() const;
+
+    SimConfig config_;
+    RegionQueue queue_;
+    PointerScanner scanner_;
+    StatGroup stats_;
+};
+
+} // namespace grp
+
+#endif // GRP_PREFETCH_HW_ENGINE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The stateless hardware pointer test of Section 3.2.
+ *
+ * When a line returns from memory, the engine checks each of the
+ * eight aligned 8-byte values in the 64-byte block against the start
+ * and end addresses of the simulated heap (base-and-bounds). Any
+ * value that falls inside the heap is treated as a pointer and
+ * becomes a prefetch target.
+ */
+
+#ifndef GRP_PREFETCH_POINTER_SCANNER_HH
+#define GRP_PREFETCH_POINTER_SCANNER_HH
+
+#include <array>
+
+#include "mem/functional_memory.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Scans returned cache lines for heap addresses. */
+class PointerScanner
+{
+  public:
+    explicit PointerScanner(const FunctionalMemory &mem) : mem_(mem) {}
+
+    /**
+     * Scan the block containing @p block_addr.
+     *
+     * @param out Receives the discovered pointer values.
+     * @return Number of pointers found (0..8).
+     *
+     * Pointers back into the scanned block itself are skipped: the
+     * block is by definition already present.
+     */
+    unsigned
+    scan(Addr block_addr, std::array<Addr, 8> &out) const
+    {
+        std::array<uint64_t, 8> words;
+        mem_.readBlock(block_addr, words);
+        const Addr base = blockAlign(block_addr);
+        unsigned found = 0;
+        for (uint64_t word : words) {
+            if (!mem_.looksLikeHeapPointer(word))
+                continue;
+            if (blockAlign(word) == base)
+                continue;
+            out[found++] = word;
+        }
+        return found;
+    }
+
+  private:
+    const FunctionalMemory &mem_;
+};
+
+} // namespace grp
+
+#endif // GRP_PREFETCH_POINTER_SCANNER_HH

@@ -1,0 +1,199 @@
+#include "prefetch/region_queue.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+RegionQueue::RegionQueue(unsigned capacity, bool lifo, bool bank_aware)
+    : capacity_(capacity),
+      lifo_(lifo),
+      bankAware_(bank_aware)
+{
+    fatal_if(capacity == 0, "prefetch queue capacity must be non-zero");
+}
+
+RegionEntry *
+RegionQueue::findCovering(uint64_t block_num)
+{
+    for (RegionEntry &entry : entries_) {
+        if (block_num >= entry.baseBlock &&
+            block_num < entry.baseBlock + entry.numBlocks) {
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+uint64_t
+RegionQueue::buildWindowVector(uint64_t base_block, unsigned blocks,
+                               uint64_t exclude_block) const
+{
+    uint64_t vec = 0;
+    for (unsigned i = 0; i < blocks; ++i) {
+        const uint64_t block = base_block + i;
+        if (block == exclude_block)
+            continue;
+        if (present_ && present_(block << kBlockShift))
+            continue;
+        vec |= 1ull << i;
+    }
+    return vec;
+}
+
+void
+RegionQueue::pushFront(RegionEntry entry)
+{
+    entries_.push_front(entry);
+    while (entries_.size() > capacity_) {
+        dropped_ += std::popcount(entries_.back().bitvec);
+        entries_.pop_back();
+    }
+}
+
+unsigned
+RegionQueue::noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
+                             uint8_t ptr_depth, RefId ref)
+{
+    panic_if(window_blocks == 0 || window_blocks > kBlocksPerRegion ||
+             !isPowerOfTwo(window_blocks),
+             "window must be a power of two in [1, 64]");
+    const uint64_t miss_block = blockNumber(miss_addr);
+
+    if (RegionEntry *entry = findCovering(miss_block)) {
+        // Second miss to a queued region: clear the miss block's bit,
+        // restart the scan just after it and move the entry to the
+        // head of the queue.
+        const unsigned pos =
+            static_cast<unsigned>(miss_block - entry->baseBlock);
+        entry->bitvec &= ~(1ull << pos);
+        entry->index = (pos + 1) % entry->numBlocks;
+        RegionEntry updated = *entry;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (&*it == entry) {
+                entries_.erase(it);
+                break;
+            }
+        }
+        if (updated.bitvec != 0)
+            pushFront(updated);
+        return 0;
+    }
+
+    // The window is the aligned group of window_blocks blocks
+    // containing the miss (window_blocks == 64 gives the full 4 KB
+    // region of the original SRP design).
+    const uint64_t base = miss_block & ~static_cast<uint64_t>(
+                              window_blocks - 1);
+    RegionEntry entry;
+    entry.baseBlock = base;
+    entry.numBlocks = window_blocks;
+    entry.bitvec = buildWindowVector(base, window_blocks, miss_block);
+    entry.index = static_cast<unsigned>((miss_block - base + 1) %
+                                        window_blocks);
+    entry.ptrDepth = ptr_depth;
+    entry.refId = ref;
+    if (entry.bitvec != 0)
+        pushFront(entry);
+    return window_blocks;
+}
+
+void
+RegionQueue::addPointerTarget(Addr target, unsigned blocks,
+                              uint8_t ptr_depth, RefId ref)
+{
+    panic_if(blocks == 0 || blocks > kBlocksPerRegion,
+             "bad pointer window size");
+    const uint64_t base = blockNumber(target);
+
+    if (RegionEntry *entry = findCovering(base)) {
+        // Already queued (common for pointers into the same object):
+        // just deepen the chase if this request would go further.
+        if (ptr_depth > entry->ptrDepth)
+            entry->ptrDepth = ptr_depth;
+        return;
+    }
+
+    RegionEntry entry;
+    entry.baseBlock = base;
+    entry.numBlocks = blocks;
+    entry.bitvec = buildWindowVector(base, blocks, ~0ull);
+    entry.index = 0;
+    entry.ptrDepth = ptr_depth;
+    entry.refId = ref;
+    if (entry.bitvec != 0)
+        pushFront(entry);
+}
+
+std::optional<PrefetchCandidate>
+RegionQueue::dequeue(const DramSystem &dram, unsigned channel)
+{
+    // First choice: a candidate on this channel whose DRAM row is
+    // already open; fallback: the first candidate on this channel in
+    // queue order.
+    RegionEntry *fallback_entry = nullptr;
+    unsigned fallback_pos = 0;
+
+    auto scan_entry = [&](RegionEntry &entry)
+        -> std::optional<unsigned> {
+        for (unsigned step = 0; step < entry.numBlocks; ++step) {
+            const unsigned pos = (entry.index + step) % entry.numBlocks;
+            if (!(entry.bitvec & (1ull << pos)))
+                continue;
+            const Addr addr = (entry.baseBlock + pos) << kBlockShift;
+            if (dram.channelOf(addr) != channel)
+                continue;
+            if (!bankAware_ || dram.rowOpen(addr))
+                return pos;
+            if (!fallback_entry) {
+                fallback_entry = &entry;
+                fallback_pos = pos;
+            }
+        }
+        return std::nullopt;
+    };
+
+    auto take = [&](RegionEntry &entry, unsigned pos) {
+        PrefetchCandidate candidate;
+        candidate.blockAddr = (entry.baseBlock + pos) << kBlockShift;
+        candidate.ptrDepth = entry.ptrDepth;
+        candidate.refId = entry.refId;
+        entry.bitvec &= ~(1ull << pos);
+        if (entry.bitvec == 0) {
+            for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+                if (&*it == &entry) {
+                    entries_.erase(it);
+                    break;
+                }
+            }
+        }
+        return candidate;
+    };
+
+    if (lifo_) {
+        for (RegionEntry &entry : entries_) {
+            if (auto pos = scan_entry(entry))
+                return take(entry, *pos);
+        }
+    } else {
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+            if (auto pos = scan_entry(*it))
+                return take(*it, *pos);
+        }
+    }
+
+    if (fallback_entry)
+        return take(*fallback_entry, fallback_pos);
+    return std::nullopt;
+}
+
+void
+RegionQueue::clear()
+{
+    entries_.clear();
+    dropped_ = 0;
+}
+
+} // namespace grp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The SRP/GRP prefetch queue (Section 3.1).
+ *
+ * Each entry describes an aligned window of prefetch-candidate blocks:
+ * a base block number, a 64-bit candidate vector, and an index field
+ * marking where the scan starts (the block after the triggering
+ * miss). New entries are pushed at the head; the queue has a fixed
+ * capacity (32) and old entries fall off the bottom. Dequeue order is
+ * LIFO (newest region first) and optionally bank-aware, preferring
+ * candidates whose DRAM row is already open.
+ *
+ * Pointer and indirect prefetches reuse the same entry format with
+ * small windows (2 blocks per pointer) and a pointer-chase depth.
+ */
+
+#ifndef GRP_PREFETCH_REGION_QUEUE_HH
+#define GRP_PREFETCH_REGION_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "mem/dram.hh"
+#include "mem/request.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** One prefetch queue entry: a window of candidate blocks. */
+struct RegionEntry
+{
+    uint64_t baseBlock = 0; ///< Block number of the window base.
+    uint64_t bitvec = 0;    ///< Bit i set => base+i is a candidate.
+    unsigned numBlocks = 0; ///< Window size in blocks (<= 64).
+    unsigned index = 0;     ///< Scan start position within the window.
+    uint8_t ptrDepth = 0;   ///< Pointer-chase depth of resulting fills.
+    RefId refId = kInvalidRefId;
+};
+
+/** Fixed-capacity prefetch candidate queue. */
+class RegionQueue
+{
+  public:
+    using PresenceTest = std::function<bool(Addr)>;
+
+    /**
+     * @param capacity Maximum entries (paper: 32).
+     * @param lifo Scan newest entries first (paper default).
+     * @param bank_aware Prefer candidates with an open DRAM row.
+     */
+    RegionQueue(unsigned capacity, bool lifo, bool bank_aware);
+
+    /** Blocks already present/in-flight are excluded from windows. */
+    void setPresenceTest(PresenceTest test) { present_ = std::move(test); }
+
+    /**
+     * Record an L2 miss at @p miss_addr within a spatial window of
+     * @p window_blocks blocks (a power of two; 64 = full region).
+     * Updates the existing entry covering the miss or allocates a
+     * new one at the head.
+     *
+     * @return Window size allocated, or 0 when the miss only updated
+     *         an existing entry.
+     */
+    unsigned noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
+                             uint8_t ptr_depth, RefId ref);
+
+    /**
+     * Queue a pointer-target window of @p blocks blocks starting at
+     * @p target's block (paper: 2 blocks per pointer).
+     */
+    void addPointerTarget(Addr target, unsigned blocks,
+                          uint8_t ptr_depth, RefId ref);
+
+    /** Take the next candidate for @p channel, if any. */
+    std::optional<PrefetchCandidate>
+    dequeue(const DramSystem &dram, unsigned channel);
+
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Total candidate blocks dropped when old entries fell off. */
+    uint64_t droppedCandidates() const { return dropped_; }
+
+    void clear();
+
+  private:
+    RegionEntry *findCovering(uint64_t block_num);
+    void pushFront(RegionEntry entry);
+    uint64_t buildWindowVector(uint64_t base_block, unsigned blocks,
+                               uint64_t exclude_block) const;
+
+    std::deque<RegionEntry> entries_;
+    unsigned capacity_;
+    bool lifo_;
+    bool bankAware_;
+    PresenceTest present_;
+    uint64_t dropped_ = 0;
+};
+
+} // namespace grp
+
+#endif // GRP_PREFETCH_REGION_QUEUE_HH

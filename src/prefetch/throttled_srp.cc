@@ -1,0 +1,98 @@
+#include "prefetch/throttled_srp.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+ThrottledSrpEngine::ThrottledSrpEngine(const SimConfig &config,
+                                       double accuracy_floor,
+                                       unsigned resume_misses)
+    : config_(config),
+      queue_(config.region.queueEntries, config.region.lifo,
+             config.region.bankAware),
+      accuracyFloor_(accuracy_floor),
+      resumeMisses_(resume_misses),
+      stats_("throttledSrp")
+{
+    fatal_if(accuracy_floor < 0.0 || accuracy_floor > 1.0,
+             "accuracy floor must be in [0, 1]");
+}
+
+void
+ThrottledSrpEngine::setPresenceTest(RegionQueue::PresenceTest test)
+{
+    queue_.setPresenceTest(std::move(test));
+}
+
+void
+ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId, const LoadHints &)
+{
+    if (throttled_) {
+        // The misses a paused prefetcher fails to cover are exactly
+        // the opportunity cost the paper calls out.
+        ++stats_.counter("missesWhileThrottled");
+        if (++missesWhileThrottled_ >= resumeMisses_) {
+            throttled_ = false;
+            missesWhileThrottled_ = 0;
+            windowIssued_ = 0;
+            windowUseful_ = 0;
+            ++stats_.counter("resumes");
+        } else {
+            return; // No region allocation while paused.
+        }
+    }
+    if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0,
+                               kInvalidRefId)) {
+        ++stats_.counter("regionsAllocated");
+    } else {
+        ++stats_.counter("regionsUpdated");
+    }
+}
+
+void
+ThrottledSrpEngine::onPrefetchUseful(Addr)
+{
+    ++windowUseful_;
+}
+
+std::optional<PrefetchCandidate>
+ThrottledSrpEngine::dequeuePrefetch(const DramSystem &dram,
+                                    unsigned channel)
+{
+    if (throttled_)
+        return std::nullopt;
+
+    auto candidate = queue_.dequeue(dram, channel);
+    if (!candidate)
+        return std::nullopt;
+
+    ++windowIssued_;
+    if (windowIssued_ >= kWindow) {
+        const double accuracy =
+            static_cast<double>(windowUseful_) /
+            static_cast<double>(windowIssued_);
+        if (accuracy < accuracyFloor_) {
+            throttled_ = true;
+            missesWhileThrottled_ = 0;
+            queue_.clear();
+            ++stats_.counter("throttleEvents");
+        }
+        windowIssued_ = 0;
+        windowUseful_ = 0;
+    }
+    return candidate;
+}
+
+void
+ThrottledSrpEngine::reset()
+{
+    queue_.clear();
+    windowIssued_ = 0;
+    windowUseful_ = 0;
+    throttled_ = false;
+    missesWhileThrottled_ = 0;
+    stats_.reset();
+}
+
+} // namespace grp

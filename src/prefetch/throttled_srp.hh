@@ -1,0 +1,72 @@
+/**
+ * @file
+ * An accuracy-throttled SRP variant — the class of scheme the paper
+ * contrasts GRP against in Section 1: "While some schemes throttle
+ * prefetching when the accuracy drops below a threshold, they then
+ * miss opportunities for issuing useful prefetches" (citing Dahlgren
+ * and Stenstrom). This engine wraps the SRP region hardware with a
+ * purely dynamic accuracy monitor: no compiler information at all.
+ *
+ * It exists as an extension/ablation point: bench/ext_throttle
+ * compares SRP, throttled SRP and GRP to show that dynamic
+ * throttling cuts traffic by sacrificing coverage, where GRP's
+ * static hints cut traffic while keeping it.
+ */
+
+#ifndef GRP_PREFETCH_THROTTLED_SRP_HH
+#define GRP_PREFETCH_THROTTLED_SRP_HH
+
+#include "mem/functional_memory.hh"
+#include "mem/prefetch_iface.hh"
+#include "prefetch/region_queue.hh"
+#include "sim/config.hh"
+
+namespace grp
+{
+
+/** SRP with a dynamic accuracy governor. */
+class ThrottledSrpEngine : public PrefetchEngine
+{
+  public:
+    /** Issue statistics are evaluated once per window. */
+    static constexpr unsigned kWindow = 256;
+
+    /**
+     * @param accuracy_floor Minimum useful/issued ratio; below it
+     *        the engine pauses until demand misses accumulate.
+     * @param resume_misses Demand misses required to resume.
+     */
+    ThrottledSrpEngine(const SimConfig &config,
+                       double accuracy_floor = 0.20,
+                       unsigned resume_misses = 64);
+
+    void setPresenceTest(RegionQueue::PresenceTest test);
+
+    void onL2DemandMiss(Addr addr, RefId ref,
+                        const LoadHints &hints) override;
+    void onPrefetchUseful(Addr block_addr) override;
+    std::optional<PrefetchCandidate>
+    dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
+
+    StatGroup &stats() override { return stats_; }
+    bool throttled() const { return throttled_; }
+
+    void reset() override;
+
+  private:
+    SimConfig config_;
+    RegionQueue queue_;
+    double accuracyFloor_;
+    unsigned resumeMisses_;
+
+    uint64_t windowIssued_ = 0;
+    uint64_t windowUseful_ = 0;
+    bool throttled_ = false;
+    unsigned missesWhileThrottled_ = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace grp
+
+#endif // GRP_PREFETCH_THROTTLED_SRP_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A minimal tick-ordered event queue.
+ *
+ * The memory system uses this for DRAM completion events and other
+ * fixed-latency responses; the CPU model is ticked directly by the
+ * top-level simulation loop for speed.
+ */
+
+#ifndef GRP_SIM_EVENT_QUEUE_HH
+#define GRP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Tick-ordered queue of callbacks; FIFO among same-tick events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute time @p when (>= curTick()). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        panic_if(when < curTick_, "scheduling event in the past "
+                 "(%llu < %llu)", (unsigned long long)when,
+                 (unsigned long long)curTick_);
+        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(curTick_ + delay, std::move(cb));
+    }
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** True iff no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Tick of the next pending event (kMaxTick if none). */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kMaxTick : heap_.top().when;
+    }
+
+    /**
+     * Advance time to @p now, running every event scheduled at or
+     * before @p now in (tick, insertion) order.
+     */
+    void
+    advanceTo(Tick now)
+    {
+        panic_if(now < curTick_, "time cannot move backwards");
+        while (!heap_.empty() && heap_.top().when <= now) {
+            // Copy out before popping: the callback may schedule more.
+            Event ev = heap_.top();
+            heap_.pop();
+            curTick_ = ev.when;
+            ev.cb();
+        }
+        curTick_ = now;
+    }
+
+    /** Run every pending event; returns the final tick. */
+    Tick
+    drain()
+    {
+        while (!heap_.empty())
+            advanceTo(heap_.top().when);
+        return curTick_;
+    }
+
+    /** Reset to time zero, dropping pending events. */
+    void
+    reset()
+    {
+        heap_ = {};
+        curTick_ = 0;
+        nextSeq_ = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick curTick_ = 0;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace grp
+
+#endif // GRP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,75 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <stdexcept>
+
+namespace grp
+{
+
+namespace
+{
+bool g_quiet = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+bool
+quiet()
+{
+    return g_quiet;
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string result;
+    if (needed > 0) {
+        result.resize(static_cast<size_t>(needed) + 1);
+        std::vsnprintf(result.data(), result.size(), fmt, args_copy);
+        result.resize(static_cast<size_t>(needed));
+    }
+    va_end(args_copy);
+    return result;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Throw rather than abort so tests can use EXPECT_THROW on invariant
+    // violations; main()s that do not catch still terminate loudly.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace grp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error and status reporting, modelled on gem5's logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in us).
+ * fatal()  - the simulation cannot continue due to a user error
+ *            (bad configuration, impossible parameters).
+ * warn()   - something is suspicious but the simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef GRP_SIM_LOGGING_HH
+#define GRP_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace grp
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable warn()/inform() output (tests silence it). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace grp
+
+#define panic(...) \
+    ::grp::panicImpl(__FILE__, __LINE__, ::grp::csprintf(__VA_ARGS__))
+#define fatal(...) \
+    ::grp::fatalImpl(__FILE__, __LINE__, ::grp::csprintf(__VA_ARGS__))
+#define warn(...) ::grp::warnImpl(::grp::csprintf(__VA_ARGS__))
+#define inform(...) ::grp::informImpl(::grp::csprintf(__VA_ARGS__))
+
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // GRP_SIM_LOGGING_HH

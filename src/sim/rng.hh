@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * We use xoshiro256** so that workload traces are bit-identical across
+ * platforms and standard-library versions (std::mt19937 would also be
+ * portable, but this is lighter and fully under our control).
+ */
+
+#ifndef GRP_SIM_RNG_HH
+#define GRP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace grp
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialise state from a seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Simple modulo; bias is irrelevant for workload synthesis.
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi). */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** True with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace grp
+
+#endif // GRP_SIM_RNG_HH

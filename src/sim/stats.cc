@@ -1,0 +1,39 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+namespace grp
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat, counter] : counters_)
+        os << name_ << '.' << stat << ' ' << counter.value() << '\n';
+    for (const auto &[stat, dist] : distributions_) {
+        os << name_ << '.' << stat << ".samples " << dist.samples() << '\n';
+        os << name_ << '.' << stat << ".mean " << dist.mean() << '\n';
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[stat, counter] : counters_)
+        counter.reset();
+    for (auto &[stat, dist] : distributions_)
+        dist.reset();
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace grp

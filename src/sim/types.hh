@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fundamental simulator types and address arithmetic helpers.
+ *
+ * The whole simulator works on 64-bit virtual/physical addresses, a
+ * 64-byte cache block and a 4 KB prefetch region, matching the
+ * configuration used in the GRP paper (Wang et al., ISCA 2003).
+ */
+
+#ifndef GRP_SIM_TYPES_HH
+#define GRP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace grp
+{
+
+/** Simulated time, in CPU cycles. */
+using Tick = uint64_t;
+
+/** Simulated memory address (we use a flat address space). */
+using Addr = uint64_t;
+
+/** Static memory-reference identifier (the "PC" of a load/store). */
+using RefId = uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid reference id. */
+constexpr RefId kInvalidRefId = std::numeric_limits<RefId>::max();
+
+/** Cache block size in bytes (paper: 64 B). */
+constexpr unsigned kBlockBytes = 64;
+/** log2(kBlockBytes). */
+constexpr unsigned kBlockShift = 6;
+
+/** Prefetch region size in bytes (paper: 4 KB). */
+constexpr unsigned kRegionBytes = 4096;
+/** log2(kRegionBytes). */
+constexpr unsigned kRegionShift = 12;
+/** Number of cache blocks per region (64). */
+constexpr unsigned kBlocksPerRegion = kRegionBytes / kBlockBytes;
+
+/** Align an address down to its cache block. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+/** Align an address down to its 4 KB region. */
+constexpr Addr
+regionAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kRegionBytes - 1);
+}
+
+/** Index of the block containing @p addr within its region [0, 64). */
+constexpr unsigned
+blockInRegion(Addr addr)
+{
+    return static_cast<unsigned>((addr >> kBlockShift) &
+                                 (kBlocksPerRegion - 1));
+}
+
+/** Block number (address divided by block size). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer log2 for powers of two. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** Smallest power of two >= @p value (value must be >= 1). */
+constexpr uint64_t
+nextPowerOfTwo(uint64_t value)
+{
+    uint64_t result = 1;
+    while (result < value)
+        result <<= 1;
+    return result;
+}
+
+} // namespace grp
+
+#endif // GRP_SIM_TYPES_HH

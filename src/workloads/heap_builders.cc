@@ -1,0 +1,116 @@
+#include "workloads/heap_builders.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+BuiltList
+buildLinkedList(FunctionalMemory &mem, uint64_t node_size,
+                int64_t next_offset, uint64_t count,
+                double shuffle_fraction, Rng &rng)
+{
+    fatal_if(count == 0, "empty list");
+    BuiltList list;
+    list.nodes.reserve(count);
+    for (uint64_t i = 0; i < count; ++i)
+        list.nodes.push_back(mem.heapAlloc(node_size, 8));
+
+    // Shuffle traversal order: pick pairs and swap their positions.
+    const uint64_t swaps = static_cast<uint64_t>(
+        shuffle_fraction * static_cast<double>(count));
+    for (uint64_t s = 0; s < swaps; ++s) {
+        const uint64_t a = rng.below(count);
+        const uint64_t b = rng.below(count);
+        std::swap(list.nodes[a], list.nodes[b]);
+    }
+
+    for (uint64_t i = 0; i < count; ++i) {
+        const Addr next = i + 1 < count ? list.nodes[i + 1] : 0;
+        mem.write64(list.nodes[i] + static_cast<uint64_t>(next_offset),
+                    next);
+    }
+    list.head = list.nodes.front();
+    return list;
+}
+
+BuiltTree
+buildTree(FunctionalMemory &mem, uint64_t node_size,
+          const std::vector<int64_t> &child_offsets, uint64_t count,
+          double shuffle_fraction, Rng &rng)
+{
+    fatal_if(count == 0 || child_offsets.empty(), "bad tree shape");
+    BuiltTree tree;
+    tree.nodes.reserve(count);
+    for (uint64_t i = 0; i < count; ++i)
+        tree.nodes.push_back(mem.heapAlloc(node_size, 8));
+
+    const uint64_t swaps = static_cast<uint64_t>(
+        shuffle_fraction * static_cast<double>(count));
+    for (uint64_t s = 0; s < swaps; ++s) {
+        const uint64_t a = rng.below(count);
+        const uint64_t b = rng.below(count);
+        std::swap(tree.nodes[a], tree.nodes[b]);
+    }
+
+    const uint64_t arity = child_offsets.size();
+    for (uint64_t i = 0; i < count; ++i) {
+        for (uint64_t c = 0; c < arity; ++c) {
+            const uint64_t child = i * arity + c + 1;
+            const Addr child_addr =
+                child < count ? tree.nodes[child] : 0;
+            mem.write64(tree.nodes[i] +
+                            static_cast<uint64_t>(child_offsets[c]),
+                        child_addr);
+        }
+    }
+    tree.root = tree.nodes.front();
+    return tree;
+}
+
+std::vector<Addr>
+buildPointerRows(FunctionalMemory &mem, Addr ptr_array_base,
+                 uint64_t rows, uint64_t row_bytes, Rng *shuffle_rng)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(rows);
+    for (uint64_t i = 0; i < rows; ++i) {
+        const Addr row = mem.heapAlloc(row_bytes, kBlockBytes);
+        // Touch the row's first word so the page exists; rows are
+        // data arrays whose values the kernels do not depend on.
+        mem.write64(row, i);
+        addrs.push_back(row);
+    }
+    if (shuffle_rng) {
+        for (uint64_t i = rows; i > 1; --i) {
+            const uint64_t j = shuffle_rng->below(i);
+            std::swap(addrs[i - 1], addrs[j]);
+        }
+    }
+    for (uint64_t i = 0; i < rows; ++i)
+        mem.write64(ptr_array_base + 8 * i, addrs[i]);
+    return addrs;
+}
+
+void
+fillIndexArray(FunctionalMemory &mem, Addr base, uint64_t count,
+               uint64_t value_range, unsigned cluster_run, Rng &rng)
+{
+    fatal_if(value_range == 0, "empty index range");
+    uint64_t current = rng.below(value_range);
+    unsigned run = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+        if (run == 0) {
+            current = rng.below(value_range);
+            run = cluster_run ? cluster_run : 1;
+        } else {
+            current = (current + 1) % value_range;
+        }
+        --run;
+        mem.write32(base + 4 * i, static_cast<uint32_t>(current));
+    }
+}
+
+} // namespace grp

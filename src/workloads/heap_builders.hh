@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Helpers that materialise pointer-connected data structures in the
+ * functional memory: linked lists, trees, and heap arrays of row
+ * pointers. Pointer prefetching reads real pointer bits, so these
+ * builders write genuine addresses.
+ *
+ * Layout control matters: the paper observes that allocation order
+ * gives pointer programs spatially-local layouts (why SRP subsumes
+ * pointer prefetching on SPEC). Builders therefore support both
+ * sequential layout (nodes allocated in traversal order) and
+ * shuffled layout (traversal order decorrelated from addresses).
+ */
+
+#ifndef GRP_WORKLOADS_HEAP_BUILDERS_HH
+#define GRP_WORKLOADS_HEAP_BUILDERS_HH
+
+#include <vector>
+
+#include "mem/functional_memory.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** A built linked list. */
+struct BuiltList
+{
+    Addr head = 0;
+    std::vector<Addr> nodes; ///< In traversal order.
+};
+
+/**
+ * Build a singly linked list of @p count nodes of @p node_size bytes
+ * with the next pointer at @p next_offset.
+ *
+ * @param shuffle_fraction Fraction of traversal links that jump to a
+ *        non-adjacent node (0 = allocation order, 1 = fully
+ *        scrambled).
+ */
+BuiltList buildLinkedList(FunctionalMemory &mem, uint64_t node_size,
+                          int64_t next_offset, uint64_t count,
+                          double shuffle_fraction, Rng &rng);
+
+/** A built binary (or k-ary) tree. */
+struct BuiltTree
+{
+    Addr root = 0;
+    std::vector<Addr> nodes;
+};
+
+/**
+ * Build a complete k-ary tree of @p count nodes with child pointers
+ * at @p child_offsets. Nodes are allocated in BFS order, then an
+ * optional fraction of the address<->node binding is shuffled.
+ */
+BuiltTree buildTree(FunctionalMemory &mem, uint64_t node_size,
+                    const std::vector<int64_t> &child_offsets,
+                    uint64_t count, double shuffle_fraction, Rng &rng);
+
+/**
+ * Allocate @p rows heap rows of @p row_bytes each and write their
+ * addresses into the pointer array at @p ptr_array_base
+ * (8-byte entries) — the `T **buf` pattern of Figure 4.
+ *
+ * @param shuffle_rng When non-null, the array-index -> row-address
+ *        binding is permuted, so walking the pointer array visits
+ *        rows in an address order no stride predictor can learn
+ *        (only reading the pointers themselves helps — art's case).
+ */
+std::vector<Addr> buildPointerRows(FunctionalMemory &mem,
+                                   Addr ptr_array_base, uint64_t rows,
+                                   uint64_t row_bytes,
+                                   Rng *shuffle_rng = nullptr);
+
+/**
+ * Fill a 4-byte index array with values in [0, value_range).
+ *
+ * @param cluster_run With probability ~1, indices continue a
+ *        sequential run of this length before jumping (1 = fully
+ *        random): vpr's clustered indices vs bzip2's random ones.
+ */
+void fillIndexArray(FunctionalMemory &mem, Addr base, uint64_t count,
+                    uint64_t value_range, unsigned cluster_run,
+                    Rng &rng);
+
+} // namespace grp
+
+#endif // GRP_WORKLOADS_HEAP_BUILDERS_HH

@@ -1,0 +1,307 @@
+#include "workloads/interpreter.hh"
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+Interpreter::Interpreter(const Program &prog, FunctionalMemory &mem,
+                         uint64_t seed, uint64_t passes)
+    : prog_(prog),
+      mem_(mem),
+      seed_(seed),
+      maxPasses_(passes),
+      rng_(seed)
+{
+    vars_.resize(static_cast<size_t>(prog.nextVarId), 0);
+    ptrs_.resize(prog.ptrs.size(), 0);
+    startPass();
+}
+
+void
+Interpreter::reset()
+{
+    rng_.reseed(seed_);
+    passesDone_ = 0;
+    pending_.clear();
+    finished_ = false;
+    emitted_ = 0;
+    startPass();
+}
+
+void
+Interpreter::startPass()
+{
+    stack_.clear();
+    for (size_t i = 0; i < prog_.ptrs.size(); ++i)
+        ptrs_[i] = prog_.ptrs[i].initial;
+    stack_.push_back(Frame{&prog_.top, 0, nullptr, 0});
+}
+
+int64_t
+Interpreter::evalAffine(const Affine &expr) const
+{
+    int64_t value = expr.constant;
+    for (const AffineTerm &term : expr.terms)
+        value += term.coeff * vars_[static_cast<size_t>(term.var)];
+    return value;
+}
+
+uint64_t
+Interpreter::evalSubscript(const Subscript &sub, uint64_t extent)
+{
+    int64_t value = 0;
+    switch (sub.kind) {
+      case Subscript::Kind::AffineExpr:
+        value = evalAffine(sub.expr);
+        break;
+      case Subscript::Kind::Indirect: {
+        const ArrayDecl &index = prog_.arrays[sub.indexArray];
+        int64_t idx = evalAffine(sub.indexExpr);
+        const uint64_t elems = index.totalElems();
+        idx = static_cast<int64_t>(
+            static_cast<uint64_t>(idx) % elems);
+        const Addr index_addr =
+            index.base + static_cast<uint64_t>(idx) * index.elemSize;
+        emitLoad(index_addr, sub.indexRefId);
+        const uint64_t loaded =
+            index.elemSize == 4 ? mem_.read32(index_addr)
+                                : mem_.read64(index_addr);
+        value = sub.scale * static_cast<int64_t>(loaded) + sub.offset;
+        break;
+      }
+      case Subscript::Kind::Random:
+        value = static_cast<int64_t>(rng_.below(sub.randomRange));
+        break;
+    }
+    // Keep synthetic kernels memory-safe even with hostile index
+    // data: wrap into the dimension.
+    return static_cast<uint64_t>(value) % extent;
+}
+
+Addr
+Interpreter::arrayElemAddr(const ArrayDecl &array,
+                           const std::vector<Subscript> &subs)
+{
+    uint64_t linear = 0;
+    for (size_t d = 0; d < subs.size(); ++d) {
+        const uint64_t idx = evalSubscript(subs[d], array.extents[d]);
+        linear += idx * array.dimStrideElems(d);
+    }
+    return array.base + linear * array.elemSize;
+}
+
+Addr
+Interpreter::linearElemAddr(const ArrayDecl &array, const Subscript &sub)
+{
+    const uint64_t idx = evalSubscript(sub, array.totalElems());
+    return array.base + idx * array.elemSize;
+}
+
+void
+Interpreter::emitLoad(Addr addr, RefId ref)
+{
+    pending_.push_back(TraceOp::load(addr, ref));
+    ++emitted_;
+}
+
+void
+Interpreter::emitStore(Addr addr, RefId ref)
+{
+    pending_.push_back(TraceOp::store(addr, ref));
+    ++emitted_;
+}
+
+void
+Interpreter::exec(const Stmt &stmt)
+{
+    switch (stmt.kind) {
+      case StmtKind::ArrayRef: {
+        const ArrayDecl &array = prog_.arrays[stmt.array];
+        const Addr addr = arrayElemAddr(array, stmt.subs);
+        if (stmt.isWrite)
+            emitStore(addr, stmt.refId);
+        else
+            emitLoad(addr, stmt.refId);
+        break;
+      }
+      case StmtKind::PtrLoadFromArray: {
+        const ArrayDecl &array = prog_.arrays[stmt.array];
+        const Addr addr = linearElemAddr(array, stmt.subs[0]);
+        emitLoad(addr, stmt.refId);
+        ptrs_[static_cast<size_t>(stmt.ptr)] = mem_.read64(addr);
+        break;
+      }
+      case StmtKind::PtrAddrOfArray: {
+        const ArrayDecl &array = prog_.arrays[stmt.array];
+        ptrs_[static_cast<size_t>(stmt.ptr)] =
+            linearElemAddr(array, stmt.subs[0]);
+        break;
+      }
+      case StmtKind::PtrRef: {
+        const Addr base = ptrs_[static_cast<size_t>(stmt.ptr)];
+        if (base == 0)
+            break; // Null dereference would be a kernel bug; skip.
+        const Addr addr = base + static_cast<uint64_t>(stmt.offset);
+        if (stmt.isWrite)
+            emitStore(addr, stmt.refId);
+        else
+            emitLoad(addr, stmt.refId);
+        break;
+      }
+      case StmtKind::PtrArrayRef: {
+        const Addr base = ptrs_[static_cast<size_t>(stmt.ptr)];
+        if (base == 0)
+            break;
+        const int64_t idx = stmt.subs[0].kind ==
+                                    Subscript::Kind::AffineExpr
+                                ? evalAffine(stmt.subs[0].expr)
+                                : static_cast<int64_t>(rng_.below(
+                                      stmt.subs[0].randomRange));
+        const Addr addr =
+            base + static_cast<uint64_t>(idx) * stmt.elemSize;
+        if (stmt.isWrite)
+            emitStore(addr, stmt.refId);
+        else
+            emitLoad(addr, stmt.refId);
+        break;
+      }
+      case StmtKind::PtrUpdateField: {
+        const Addr base = ptrs_[static_cast<size_t>(stmt.ptr)];
+        if (base == 0)
+            break;
+        const Addr addr = base + static_cast<uint64_t>(stmt.offset);
+        emitLoad(addr, stmt.refId);
+        ptrs_[static_cast<size_t>(stmt.ptr)] = mem_.read64(addr);
+        break;
+      }
+      case StmtKind::PtrSelectField: {
+        const Addr base = ptrs_[static_cast<size_t>(stmt.srcPtr)];
+        if (base == 0)
+            break;
+        const int64_t offset = stmt.offsetChoices[rng_.below(
+            stmt.offsetChoices.size())];
+        const Addr addr = base + static_cast<uint64_t>(offset);
+        emitLoad(addr, stmt.refId);
+        ptrs_[static_cast<size_t>(stmt.ptr)] = mem_.read64(addr);
+        break;
+      }
+      case StmtKind::PtrUpdateConst:
+        ptrs_[static_cast<size_t>(stmt.ptr)] = static_cast<Addr>(
+            static_cast<int64_t>(
+                ptrs_[static_cast<size_t>(stmt.ptr)]) +
+            stmt.stride);
+        break;
+      case StmtKind::Compute:
+        for (uint32_t i = 0; i < stmt.count; ++i) {
+            pending_.push_back(TraceOp::compute());
+            ++emitted_;
+        }
+        break;
+      case StmtKind::IndirectPf: {
+        const int64_t idx = evalAffine(stmt.indexExpr);
+        if (idx % static_cast<int64_t>(stmt.everyN) != 0)
+            break;
+        const ArrayDecl &index = prog_.arrays[stmt.indexArray];
+        const ArrayDecl &target = prog_.arrays[stmt.targetArray];
+        const uint64_t wrapped = static_cast<uint64_t>(idx) %
+                                 index.totalElems();
+        const Addr index_addr =
+            index.base + wrapped * index.elemSize;
+        const Addr base =
+            target.base + static_cast<uint64_t>(stmt.indexOffset) *
+                              target.elemSize;
+        const uint32_t elem = static_cast<uint32_t>(
+            stmt.scale * static_cast<int64_t>(target.elemSize));
+        pending_.push_back(
+            TraceOp::indirect(base, elem, index_addr, stmt.refId));
+        ++emitted_;
+        break;
+      }
+    }
+}
+
+void
+Interpreter::enterLoop(const Loop &loop)
+{
+    if (loop.kind == Loop::Kind::Counted) {
+        const bool runs = loop.step > 0 ? loop.lower < loop.upper
+                                        : loop.lower > loop.upper;
+        if (!runs)
+            return;
+        vars_[static_cast<size_t>(loop.var)] = loop.lower;
+    } else {
+        if (ptrs_[static_cast<size_t>(loop.chasePtr)] == 0 ||
+            loop.maxIter == 0) {
+            return;
+        }
+    }
+    stack_.push_back(Frame{&loop.body, 0, &loop, 0});
+}
+
+void
+Interpreter::finishFrame()
+{
+    Frame &frame = stack_.back();
+    const Loop *loop = frame.loop;
+    if (loop == nullptr) {
+        // End of a whole pass.
+        stack_.pop_back();
+        ++passesDone_;
+        if (passesDone_ < maxPasses_)
+            startPass();
+        else
+            finished_ = true;
+        return;
+    }
+    if (loop->kind == Loop::Kind::Counted) {
+        int64_t &var = vars_[static_cast<size_t>(loop->var)];
+        var += loop->step;
+        const bool more = loop->step > 0 ? var < loop->upper
+                                         : var > loop->upper;
+        if (more) {
+            frame.pos = 0;
+            return;
+        }
+    } else {
+        ++frame.chaseIters;
+        if (ptrs_[static_cast<size_t>(loop->chasePtr)] != 0 &&
+            frame.chaseIters < loop->maxIter) {
+            frame.pos = 0;
+            return;
+        }
+    }
+    stack_.pop_back();
+}
+
+bool
+Interpreter::step()
+{
+    if (finished_)
+        return false;
+    Frame &frame = stack_.back();
+    if (frame.pos >= frame.body->size()) {
+        finishFrame();
+        return !finished_;
+    }
+    const Node &node = (*frame.body)[frame.pos++];
+    if (node.kind == Node::Kind::Statement)
+        exec(node.stmt);
+    else
+        enterLoop(node.loop);
+    return true;
+}
+
+bool
+Interpreter::next(TraceOp &op)
+{
+    while (pending_.empty()) {
+        if (!step())
+            return false;
+    }
+    op = pending_.front();
+    pending_.pop_front();
+    return true;
+}
+
+} // namespace grp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The IR interpreter: executes a Program against the functional
+ * memory, producing the dynamic instruction trace the CPU consumes.
+ *
+ * The interpreter is resumable (TraceSource::next pulls one op at a
+ * time) and deterministic for a given seed. Because it executes the
+ * same IR the compiler analysed, every dynamic access carries the
+ * RefId of the static reference the hint generator annotated —
+ * faithfully modelling a hinted binary.
+ *
+ * The whole program is re-executed in passes (pointers reset to
+ * their initial values each pass) so that arbitrarily long
+ * steady-state windows can be simulated, in the spirit of the
+ * paper's SimPoint-selected 200M-instruction windows.
+ */
+
+#ifndef GRP_WORKLOADS_INTERPRETER_HH
+#define GRP_WORKLOADS_INTERPRETER_HH
+
+#include <deque>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "cpu/trace.hh"
+#include "mem/functional_memory.hh"
+#include "sim/rng.hh"
+
+namespace grp
+{
+
+/** Executes IR programs into TraceOps. */
+class Interpreter : public TraceSource
+{
+  public:
+    /**
+     * @param prog The program; must outlive the interpreter.
+     * @param mem Functional memory holding the program's data.
+     * @param seed RNG seed (Random subscripts, tree descents).
+     * @param passes How many times to re-execute the whole program.
+     */
+    Interpreter(const Program &prog, FunctionalMemory &mem,
+                uint64_t seed = 1, uint64_t passes = ~0ull);
+
+    bool next(TraceOp &op) override;
+
+    /** Restart from the beginning (same seed). */
+    void reset();
+
+    uint64_t opsEmitted() const { return emitted_; }
+
+  private:
+    struct Frame
+    {
+        const std::vector<Node> *body;
+        size_t pos;
+        const Loop *loop; ///< Loop owning this body; null at top.
+        uint64_t chaseIters;
+    };
+
+    void startPass();
+    bool step(); ///< Advance; returns false when fully finished.
+    void exec(const Stmt &stmt);
+    void enterLoop(const Loop &loop);
+    void finishFrame();
+
+    int64_t evalAffine(const Affine &expr) const;
+    uint64_t evalSubscript(const Subscript &sub, uint64_t extent);
+    Addr arrayElemAddr(const ArrayDecl &array,
+                       const std::vector<Subscript> &subs);
+    Addr linearElemAddr(const ArrayDecl &array, const Subscript &sub);
+
+    void emitLoad(Addr addr, RefId ref);
+    void emitStore(Addr addr, RefId ref);
+
+    const Program &prog_;
+    FunctionalMemory &mem_;
+    uint64_t seed_;
+    uint64_t maxPasses_;
+    uint64_t passesDone_ = 0;
+
+    Rng rng_;
+    std::vector<int64_t> vars_;
+    std::vector<Addr> ptrs_;
+    std::vector<Frame> stack_;
+    std::deque<TraceOp> pending_;
+    bool finished_ = false;
+    uint64_t emitted_ = 0;
+};
+
+} // namespace grp
+
+#endif // GRP_WORKLOADS_INTERPRETER_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Factory functions for the 18 benchmark kernels (17 SPEC CPU2000
+ * programs the paper compiles plus Sphinx). Each kernel reproduces
+ * the documented dominant access idioms of its namesake; see
+ * DESIGN.md for the idiom-by-idiom mapping.
+ */
+
+#ifndef GRP_WORKLOADS_KERNELS_HH
+#define GRP_WORKLOADS_KERNELS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace grp
+{
+
+std::unique_ptr<Workload> makeGzip();    // 164.gzip
+std::unique_ptr<Workload> makeWupwise(); // 168.wupwise
+std::unique_ptr<Workload> makeSwim();    // 171.swim
+std::unique_ptr<Workload> makeMgrid();   // 172.mgrid
+std::unique_ptr<Workload> makeApplu();   // 173.applu
+std::unique_ptr<Workload> makeVpr();     // 175.vpr
+std::unique_ptr<Workload> makeMesa();    // 177.mesa
+std::unique_ptr<Workload> makeArt();     // 179.art
+std::unique_ptr<Workload> makeMcf();     // 181.mcf
+std::unique_ptr<Workload> makeEquake();  // 183.equake
+std::unique_ptr<Workload> makeCrafty();  // 186.crafty
+std::unique_ptr<Workload> makeAmmp();    // 188.ammp
+std::unique_ptr<Workload> makeParser();  // 197.parser
+std::unique_ptr<Workload> makeGap();     // 254.gap
+std::unique_ptr<Workload> makeBzip2();   // 256.bzip2
+std::unique_ptr<Workload> makeTwolf();   // 300.twolf
+std::unique_ptr<Workload> makeApsi();    // 301.apsi
+std::unique_ptr<Workload> makeSphinx();  // sphinx
+
+} // namespace grp
+
+#endif // GRP_WORKLOADS_KERNELS_HH

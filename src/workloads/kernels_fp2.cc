@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Pointer-flavoured floating-point kernels: mesa, art, equake, ammp.
+ *
+ * These C codes mix arrays with heap data: mesa touches short vertex
+ * runs scattered over a large buffer (the variable-region win of
+ * Table 4), art and equake read heap arrays through arrays of row
+ * pointers (where the paper's pointer prefetching wins, Figure 9),
+ * and ammp walks large heap objects through a pointer array.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "compiler/builder.hh"
+#include "sim/rng.hh"
+#include "workloads/heap_builders.hh"
+#include "workloads/tuning.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+/** 177.mesa: 3-D rendering; per-primitive processing touches short
+ *  runs of a large vertex buffer, so spatial reuse spans only a
+ *  couple of cache blocks (GRP/Var prefetches region size 2 for 90%
+ *  of its requests, Table 4). */
+class MesaWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"mesa", true, "short vertex runs", 0, false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t) override
+    {
+        ProgramBuilder b(mem);
+        const uint64_t verts = 192 * 1024; // 1.5 MB buffer.
+        const ArrayId vbuf = b.array("vbuf", 8, {verts});
+        const ArrayId hot = declareHotArray(b);
+        const PtrId p = b.ptr("vtx");
+
+        const int64_t prims = 64 * 1024;
+        const VarId t = b.forLoop(0, prims);
+        (void)t;
+        // Pick a primitive's vertex run anywhere in the buffer.
+        b.ptrAddrOfArray(p, vbuf, Subscript::random(verts - 16));
+        {
+            const VarId j = b.forLoop(0, 12);
+            b.ptrArrayRef(p, 8, Subscript::affine(Affine::var(j)));
+            b.compute(2);
+            b.end();
+        }
+        hotWork(b, hot, 1000);
+        b.end();
+        return b.build();
+    }
+};
+
+/** 179.art: neural-network image recognition; repeated full sweeps
+ *  of the F1 layer plus a column-order traversal of heap rows (the
+ *  "transpose heap array access" of Table 6) make it bandwidth
+ *  bound. */
+class ArtWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"art", true, "bandwidth / transpose heap arrays", 0,
+                false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t) override
+    {
+        ProgramBuilder b(mem);
+        const uint64_t f1_elems = 512 * 1024; // 4 MB F1 layer.
+        const ArrayId f1 = b.array("f1", 8, {f1_elems});
+        const ArrayId hot = declareHotArray(b);
+
+        const uint64_t rows = 2048;
+        const uint64_t row_elems = 1024; // 8 KB rows, 16 MB total.
+        ArrayOpts ptr_opts;
+        ptr_opts.heap = true;
+        ptr_opts.elemIsPointer = true;
+        const ArrayId tds = b.array("tds", 8, {rows}, ptr_opts);
+        // Shuffled binding: array order is decorrelated from row
+        // addresses, so only reading the pointers themselves (GRP's
+        // pointer hint) predicts the next row.
+        Rng shuffle(0x9a7);
+        buildPointerRows(mem, b.arrayBase(tds), rows, row_elems * 8,
+                         &shuffle);
+        const PtrId row = b.ptr("row");
+
+        // Interleave an F1 strip with one transpose column per
+        // outer step.
+        const VarId s = b.forLoop(0, 512);
+        // F1 sweep strip (spatial, bandwidth heavy).
+        {
+            const VarId ii = b.forLoop(0, 1024);
+            Affine f1_expr = Affine::var(s, 1024);
+            f1_expr.terms.push_back({ii, 1});
+            b.arrayRef(f1, {Subscript::affine(f1_expr)});
+            b.compute(1);
+            hotWork(b, hot, 12);
+            b.end();
+        }
+        // Transpose traversal of the heap rows: touch every row's
+        // s-th element.
+        {
+            const VarId i = b.forLoop(0,
+                                      static_cast<int64_t>(rows));
+            b.ptrLoadFromArray(row, tds,
+                               Subscript::affine(Affine::var(i)));
+            b.ptrArrayRef(row, 8, Subscript::affine(Affine::var(s)));
+            b.compute(1);
+            hotWork(b, hot, 130);
+            b.end();
+        }
+        b.end();
+        return b.build();
+    }
+};
+
+/** 183.equake: earthquake FEM; sparse matrix-vector products read
+ *  rows through a heap array of row pointers — the pattern whose
+ *  pointer prefetching gains 48% in Figure 9. */
+class EquakeWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"equake", true, "heap arrays of row pointers", 0,
+                false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+        const uint64_t n_rows = 96 * 1024;
+        const uint64_t row_elems = 16; // 128 B rows, 12 MB total.
+        ArrayOpts ptr_opts;
+        ptr_opts.heap = true;
+        ptr_opts.elemIsPointer = true;
+        const ArrayId rowptr = b.array("K", 8, {n_rows}, ptr_opts);
+        buildPointerRows(mem, b.arrayBase(rowptr), n_rows,
+                         row_elems * 8);
+
+        const uint64_t n = 256 * 1024;
+        const ArrayId x = b.array("x", 8, {n});
+        const ArrayId col = b.array("col", 4, {4096});
+        fillIndexArray(mem, b.arrayBase(col), 4096, n, 8, rng);
+        const ArrayId hot = declareHotArray(b);
+
+        const PtrId row = b.ptr("row");
+        const VarId i = b.forLoop(0, static_cast<int64_t>(n_rows));
+        b.ptrLoadFromArray(row, rowptr,
+                           Subscript::affine(Affine::var(i)));
+        {
+            const VarId j = b.forLoop(
+                0, static_cast<int64_t>(row_elems), 1,
+                /*bound_known=*/false); // Row lengths vary at run time.
+            b.ptrArrayRef(row, 8, Subscript::affine(Affine::var(j)));
+            // Gather x[col[j]] — a small indirect component.
+            b.arrayRef(x, {Subscript::indirect(col, Affine::var(j))});
+            b.compute(2);
+            hotWork(b, hot, 16);
+            b.end();
+        }
+        b.end();
+        return b.build();
+    }
+};
+
+/** 188.ammp: molecular dynamics; iterates a pointer array over
+ *  large atom records, touching several fields of each (Table 6:
+ *  pointer-structure traversal; Table 3: pointer hints but no
+ *  recursive ones). */
+class AmmpWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"ammp", true, "atom list traversal", 0, false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+        const uint64_t n_atoms = 4096;
+        const uint64_t atom_bytes = 768; // ~3 MB of atoms.
+
+        const TypeId atom_t = b.structType(
+            "atom", atom_bytes,
+            {{"x", 0, false, kNoId},
+             {"y", 8, false, kNoId},
+             {"fx", 256, false, kNoId},
+             {"fy", 264, false, kNoId},
+             {"close", 512, true, kNoId}});
+
+        ArrayOpts ptr_opts;
+        ptr_opts.heap = true;
+        ptr_opts.elemIsPointer = true;
+        const ArrayId atoms = b.array("atoms", 8, {n_atoms}, ptr_opts);
+        for (uint64_t i = 0; i < n_atoms; ++i) {
+            const Addr a = mem.heapAlloc(atom_bytes, 8);
+            mem.write64(b.arrayBase(atoms) + 8 * i, a);
+            mem.write64(a + 512, a);
+        }
+        // Re-point each close pointer at a random neighbour.
+        for (uint64_t i = 0; i < n_atoms; ++i) {
+            const Addr self = mem.read64(b.arrayBase(atoms) + 8 * i);
+            const Addr other = mem.read64(
+                b.arrayBase(atoms) + 8 * rng.below(n_atoms));
+            mem.write64(self + 512, other);
+        }
+        const ArrayId hot = declareHotArray(b);
+
+        const PtrId a = b.ptr("a", atom_t);
+        const PtrId nb = b.ptr("nb", atom_t);
+        const VarId i = b.forLoop(0, static_cast<int64_t>(n_atoms));
+        (void)i;
+        // The simulation visits atoms in a data-dependent order
+        // (real ammp walks linked lists), so the atom loads carry no
+        // spatial mark — only the pointer hint guides prefetching.
+        b.ptrLoadFromArray(a, atoms, Subscript::random(n_atoms));
+        b.ptrRef(a, 0);   // x
+        b.ptrRef(a, 8);   // y
+        b.ptrRef(a, 256); // fx
+        b.compute(3);
+        b.ptrSelectField(nb, a, {512}); // follow `close`
+        b.ptrRef(nb, 16);               // neighbour z
+        b.ptrRef(a, 264, true);         // store fy
+        hotWork(b, hot, 450);
+        b.end();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMesa()
+{
+    return std::make_unique<MesaWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeArt()
+{
+    return std::make_unique<ArtWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeEquake()
+{
+    return std::make_unique<EquakeWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeAmmp()
+{
+    return std::make_unique<AmmpWorkload>();
+}
+
+} // namespace grp

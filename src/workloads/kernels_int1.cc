@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Integer kernels, part 1: gzip, vpr, crafty, gap.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "compiler/builder.hh"
+#include "sim/rng.hh"
+#include "workloads/heap_builders.hh"
+#include "workloads/tuning.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+/** 164.gzip: compression; a sequential input scan combined with
+ *  probes into a sliding window that only partly fits the L2, plus a
+ *  small indirect code-table lookup. */
+class GzipWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"gzip", false, "sequential scan + window probes", 0,
+                false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+        const uint64_t n = 512 * 1024;      // 4 MB input.
+        const uint64_t window = 128 * 1024; // 1 MB window.
+        const uint64_t codes = 64 * 1024;   // 512 KB code table.
+        const ArrayId input = b.array("input", 8, {n});
+        const ArrayId win = b.array("window", 8, {window});
+        const ArrayId code = b.array("code", 8, {codes});
+        const ArrayId idx = b.array("idx", 4, {codes});
+        const ArrayId out = b.array("out", 8, {n});
+        fillIndexArray(mem, b.arrayBase(idx), codes, codes, 1, rng);
+        const ArrayId hot = declareHotArray(b);
+
+        const VarId i = b.forLoop(0, static_cast<int64_t>(n));
+        b.arrayRef(input, {Subscript::affine(Affine::var(i))});
+        b.arrayRef(win, {Subscript::random(window)});
+        b.compute(2);
+        b.arrayRef(code,
+                   {Subscript::indirect(idx, Affine::var(i, 1, 0))});
+        b.arrayRef(out, {Subscript::affine(Affine::var(i))}, true);
+        hotWork(b, hot, 1000);
+        b.end();
+        return b.build();
+    }
+};
+
+/** 175.vpr: place-and-route; indirect net-cost lookups whose index
+ *  values are clustered (so the indirect targets themselves exhibit
+ *  spatial locality, §5.2) plus short pin lists per net. */
+class VprWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"vpr", false, "clustered indirect references", 0,
+                false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+        const uint64_t nets = 512 * 1024;
+        const ArrayId cost = b.array("cost", 8, {nets});  // 4 MB.
+        const ArrayId order = b.array("order", 4, {nets});
+        // Clustered indices: runs of 16 sequential nets.
+        fillIndexArray(mem, b.arrayBase(order), nets, nets, 16, rng);
+        const ArrayId hot = declareHotArray(b);
+
+        const TypeId pin_t = b.structType(
+            "pin", 64,
+            {{"net", 0, false, kNoId},
+             {"x", 8, false, kNoId},
+             {"next", 16, true, 0}}); // pin_t is struct id 0.
+        const uint64_t n_pins = 128 * 1024;
+        Rng list_rng(seed + 1);
+        BuiltList pins = buildLinkedList(mem, 64, 16, n_pins, 0.35,
+                                         list_rng);
+        const PtrId p = b.ptr("pin", pin_t, pins.head);
+
+        // Interleave indirect-cost chunks with pin-list walks.
+        const VarId s = b.forLoop(0, 128);
+        {
+            const VarId ii = b.forLoop(0, 2048);
+            Affine i_expr = Affine::var(s, 2048);
+            i_expr.terms.push_back({ii, 1});
+            b.arrayRef(cost, {Subscript::indirect(order, i_expr)});
+            b.compute(2);
+            b.arrayRef(cost, {Subscript::indirect(order, i_expr)},
+                       true);
+            hotWork(b, hot, 90);
+            b.end();
+        }
+        // Short pin-list walks.
+        {
+            const VarId w = b.forLoop(0, 128);
+            (void)w;
+            b.whileLoop(p, 4);
+            b.ptrRef(p, 0);
+            b.ptrRef(p, 8);
+            b.compute(1);
+            b.ptrUpdateField(p, 16);
+            b.end();
+            hotWork(b, hot, 260);
+            b.end();
+        }
+        b.end();
+        return b.build();
+    }
+};
+
+/** 186.crafty: chess; its tables fit comfortably in the 1 MB L2
+ *  (0.4% miss rate) so the paper excludes it from the performance
+ *  figures — we reproduce that by giving it an L2-resident set. */
+class CraftyWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"crafty", false, "L2-resident tables", 0, true};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t) override
+    {
+        ProgramBuilder b(mem);
+        const uint64_t elems = 48 * 1024; // 384 KB, fits the L2.
+        const ArrayId tbl = b.array("attacks", 8, {elems});
+        const ArrayId hist = b.array("history", 8, {4096});
+        const ArrayId hot = declareHotArray(b);
+
+        const VarId i = b.forLoop(0, 512 * 1024);
+        (void)i;
+        b.arrayRef(tbl, {Subscript::random(elems)});
+        b.compute(4);
+        b.arrayRef(hist, {Subscript::random(4096)}, true);
+        b.compute(3);
+        hotWork(b, hot, 16);
+        b.end();
+        return b.build();
+    }
+};
+
+/** 254.gap: computational group theory; sequential sweeps over heap
+ *  "bags" reached through a large pointer array — many pointer and
+ *  spatial hints (Table 3's biggest pointer count). */
+class GapWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"gap", false, "heap bag sweeps", 0, false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t) override
+    {
+        ProgramBuilder b(mem);
+        const uint64_t n_bags = 64 * 1024;
+        const uint64_t bag_bytes = 128; // 8 MB of bags.
+        ArrayOpts ptr_opts;
+        ptr_opts.heap = true;
+        ptr_opts.elemIsPointer = true;
+        const ArrayId bags = b.array("bags", 8, {n_bags}, ptr_opts);
+        buildPointerRows(mem, b.arrayBase(bags), n_bags, bag_bytes);
+        const ArrayId hot = declareHotArray(b);
+
+        const PtrId bag = b.ptr("bag");
+        const VarId i = b.forLoop(0, static_cast<int64_t>(n_bags));
+        b.ptrLoadFromArray(bag, bags,
+                           Subscript::affine(Affine::var(i)));
+        {
+            // Bag sizes vary at run time: symbolic bound.
+            const VarId j = b.forLoop(0, 12, 1, /*bound_known=*/false);
+            b.ptrArrayRef(bag, 8, Subscript::affine(Affine::var(j)));
+            b.compute(1);
+            b.end();
+        }
+        hotWork(b, hot, 500);
+        b.end();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGzip()
+{
+    return std::make_unique<GzipWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeVpr()
+{
+    return std::make_unique<VprWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeCrafty()
+{
+    return std::make_unique<CraftyWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeGap()
+{
+    return std::make_unique<GapWorkload>();
+}
+
+} // namespace grp

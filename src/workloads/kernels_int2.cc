@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Integer kernels, part 2: mcf, parser, bzip2, twolf — the
+ * benchmarks whose irregular misses (tree traversals, scrambled
+ * lists, random indirection) resist every prefetcher in the paper
+ * (Table 6).
+ */
+
+#include "workloads/kernels.hh"
+
+#include "compiler/builder.hh"
+#include "sim/rng.hh"
+#include "workloads/heap_builders.hh"
+#include "workloads/tuning.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+/** 181.mcf: network simplex. Phase one sweeps a heap array of arc
+ *  records through an induction pointer (where hardware pointer
+ *  prefetching accidentally helps, §5.2); phase two walks a
+ *  scrambled tree (60.7% of misses, Table 6). The paper caps mcf's
+ *  recursion depth at 3 to keep simulation tractable. */
+class McfWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"mcf", false, "tree traversal", 3, false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+
+        // Arc array: sequential heap records, 192 B each (24 MB).
+        const uint64_t n_arcs = 128 * 1024;
+        const uint64_t arc_bytes = 192;
+        const TypeId arc_t = b.structType(
+            "arc", arc_bytes,
+            {{"cost", 0, false, kNoId},
+             {"ident", 8, false, kNoId},
+             {"tail", 16, true, 1},
+             {"flow", 64, false, kNoId}});
+        const Addr arcs_base = mem.heapAlloc(n_arcs * arc_bytes,
+                                             kBlockBytes);
+        for (uint64_t i = 0; i < n_arcs; ++i)
+            mem.write64(arcs_base + i * arc_bytes + 16,
+                        arcs_base + rng.below(n_arcs) * arc_bytes);
+
+        // Node tree: 96 B nodes, children scrambled (id 1 == node_t).
+        const TypeId node_t = b.structType(
+            "node", 96,
+            {{"potential", 0, false, kNoId},
+             {"child", 8, true, 1},
+             {"sibling", 16, true, 1},
+             {"basic_arc", 32, true, 0}});
+        Rng tree_rng(seed + 7);
+        BuiltTree tree = buildTree(mem, 96, {8, 16}, 96 * 1024, 0.6,
+                                   tree_rng);
+        const ArrayId hot = declareHotArray(b);
+
+        // Interleave arc-sweep chunks with batches of tree descents
+        // so a simulation window samples both phases. Tree descents
+        // dominate the miss mix (60.7%, Table 6).
+        const PtrId arc = b.ptr("arc", arc_t, arcs_base);
+        const PtrId walker = b.ptr("walker", node_t, tree.root);
+        const PtrId cursor = b.ptr("cursor", node_t, tree.root);
+
+        const VarId phase = b.forLoop(0, 128);
+        (void)phase;
+        // refresh_potential-style sweep: one chunk of the arc array
+        // through an induction pointer.
+        {
+            const VarId i = b.forLoop(
+                0, static_cast<int64_t>(n_arcs / 128));
+            (void)i;
+            b.ptrRef(arc, 8);         // ident
+            b.ptrRef(arc, 64, true);  // reset flow
+            b.compute(1);
+            b.ptrUpdateConst(arc, static_cast<int64_t>(arc_bytes));
+            hotWork(b, hot, 60);
+            b.end();
+        }
+        // A batch of descents of the scrambled tree.
+        {
+            const VarId d = b.forLoop(0, 200);
+            (void)d;
+            b.whileLoop(cursor, 15);
+            b.ptrRef(cursor, 0);                  // potential
+            b.compute(1);
+            b.ptrSelectField(cursor, cursor, {8, 16});
+            hotWork(b, hot, 75);
+            b.end();
+            // Restart the descent from the root.
+            b.ptrSelectField(cursor, walker, {8, 16});
+            b.end();
+        }
+        b.end();
+        return b.build();
+    }
+};
+
+/** 197.parser: link grammar; hash-bucket lookups chase short,
+ *  scrambled linked lists (Table 3's largest recursive-hint
+ *  count). */
+class ParserWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"parser", false, "linked list traversal", 0, false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+
+        const TypeId word_t = b.structType(
+            "word", 64,
+            {{"hash", 0, false, kNoId},
+             {"str", 8, false, kNoId},
+             {"next", 16, true, 0}});
+
+        const uint64_t n_words = 512 * 1024; // 32 MB of nodes.
+        Rng list_rng(seed + 3);
+        BuiltList words = buildLinkedList(mem, 64, 16, n_words, 0.25,
+                                          list_rng);
+
+        // A bucket array pointing into the list at random offsets.
+        const uint64_t n_buckets = 64 * 1024;
+        ArrayOpts ptr_opts;
+        ptr_opts.heap = true;
+        ptr_opts.elemIsPointer = true;
+        const ArrayId buckets = b.array("buckets", 8, {n_buckets},
+                                        ptr_opts);
+        for (uint64_t i = 0; i < n_buckets; ++i)
+            mem.write64(b.arrayBase(buckets) + 8 * i,
+                        words.nodes[rng.below(n_words)]);
+        const ArrayId hot = declareHotArray(b);
+
+        const PtrId w = b.ptr("w", word_t);
+        const VarId q = b.forLoop(0, 64 * 1024);
+        (void)q;
+        b.ptrLoadFromArray(w, buckets,
+                           Subscript::random(n_buckets));
+        b.whileLoop(w, 3);
+        b.ptrRef(w, 0); // compare hash
+        b.compute(2);
+        b.ptrUpdateField(w, 16); // w = w->next
+        hotWork(b, hot, 140);
+        b.end();
+        b.end();
+        return b.build();
+    }
+};
+
+/** 256.bzip2: Burrows-Wheeler compression; the suffix-sorting phase
+ *  is dominated by a[b[i]] indirection with effectively random index
+ *  values — the pattern GRP's indirect prefetch instruction targets
+ *  (49.7% of misses, Table 6). */
+class Bzip2Workload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"bzip2", false, "indirect array references", 0,
+                false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+        const uint64_t n = 512 * 1024;
+        const uint64_t block_elems = 2 * 1024 * 1024; // 16 MB target.
+        const ArrayId block = b.array("block", 8, {block_elems});
+        const ArrayId quadrant = b.array("quadrant", 4, {n});
+        const ArrayId zptr = b.array("zptr", 8, {n});
+        fillIndexArray(mem, b.arrayBase(quadrant), n, block_elems, 1,
+                       rng);
+        const ArrayId hot = declareHotArray(b);
+
+        // Interleave sorting chunks with run-length chunks.
+        const VarId s = b.forLoop(0, 128);
+        // Sorting phase: random-valued indirection.
+        {
+            const VarId ii = b.forLoop(0, 512);
+            Affine i_expr = Affine::var(s, 512);
+            i_expr.terms.push_back({ii, 1});
+            b.arrayRef(block,
+                       {Subscript::indirect(quadrant, i_expr)});
+            b.compute(2);
+            b.arrayRef(zptr, {Subscript::affine(i_expr)}, true);
+            hotWork(b, hot, 420);
+            b.end();
+        }
+        // Run-length pass: short known-bound spatial runs starting
+        // at data-dependent positions (the variable-region case of
+        // Table 4: the compiler can bound the run length but not
+        // extend it, so GRP/Var fetches 2-block regions).
+        {
+            const PtrId run = b.ptr("run");
+            const VarId rr = b.forLoop(0, 256);
+            (void)rr;
+            b.ptrAddrOfArray(run, block,
+                             Subscript::random(block_elems - 16));
+            const VarId j = b.forLoop(0, 16);
+            b.ptrArrayRef(run, 8, Subscript::affine(Affine::var(j)));
+            b.compute(1);
+            b.end();
+            hotWork(b, hot, 36);
+            b.end();
+        }
+        b.end();
+        return b.build();
+    }
+};
+
+/** 300.twolf: standard-cell placement; random cell records plus
+ *  short scrambled net lists ("linked list and random pointers",
+ *  Table 6) defeat spatial and pointer prefetching alike. */
+class TwolfWorkload : public Workload
+{
+  public:
+    WorkloadInfo
+    info() const override
+    {
+        return {"twolf", false, "lists and random pointers", 0,
+                false};
+    }
+
+    Program
+    build(FunctionalMemory &mem, uint64_t seed) override
+    {
+        Rng rng(seed);
+        ProgramBuilder b(mem);
+
+        const TypeId cell_t = b.structType(
+            "cell", 128,
+            {{"xcenter", 0, false, kNoId},
+             {"ycenter", 8, false, kNoId},
+             {"orient", 16, false, kNoId},
+             {"netlist", 24, true, 1}});
+        const TypeId net_t = b.structType(
+            "net", 64,
+            {{"cost", 0, false, kNoId},
+             {"next", 8, true, 1}});
+        (void)net_t;
+
+        const uint64_t n_cells = 192 * 1024; // 24 MB of cells.
+        ArrayOpts ptr_opts;
+        ptr_opts.heap = true;
+        ptr_opts.elemIsPointer = true;
+        const ArrayId cells = b.array("cells", 8, {n_cells}, ptr_opts);
+
+        Rng net_rng(seed + 11);
+        BuiltList nets = buildLinkedList(mem, 64, 8, 256 * 1024, 0.9,
+                                         net_rng);
+        for (uint64_t i = 0; i < n_cells; ++i) {
+            const Addr cell = mem.heapAlloc(128, 8);
+            mem.write64(b.arrayBase(cells) + 8 * i, cell);
+            mem.write64(cell + 24,
+                        nets.nodes[rng.below(nets.nodes.size())]);
+        }
+        const ArrayId hot = declareHotArray(b);
+
+        const PtrId cell = b.ptr("cell", cell_t);
+        const PtrId net = b.ptr("net", net_t);
+        const VarId m = b.forLoop(0, 96 * 1024);
+        (void)m;
+        b.ptrLoadFromArray(cell, cells,
+                           Subscript::random(n_cells));
+        b.ptrRef(cell, 0);
+        b.ptrRef(cell, 8, true);
+        b.compute(2);
+        b.ptrSelectField(net, cell, {24});
+        b.whileLoop(net, 2);
+        b.ptrRef(net, 0);
+        b.compute(1);
+        b.ptrUpdateField(net, 8);
+        hotWork(b, hot, 300);
+        b.end();
+        hotWork(b, hot, 400);
+        b.end();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMcf()
+{
+    return std::make_unique<McfWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeParser()
+{
+    return std::make_unique<ParserWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeBzip2()
+{
+    return std::make_unique<Bzip2Workload>();
+}
+
+std::unique_ptr<Workload>
+makeTwolf()
+{
+    return std::make_unique<TwolfWorkload>();
+}
+
+} // namespace grp

@@ -1,0 +1,57 @@
+#include "workloads/workload.hh"
+
+#include <functional>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+using Factory = std::function<std::unique_ptr<Workload>()>;
+
+/** Suite order follows Table 3 of the paper. */
+const std::vector<std::pair<const char *, Factory>> &
+factories()
+{
+    static const std::vector<std::pair<const char *, Factory>> table = {
+        {"gzip", makeGzip},       {"wupwise", makeWupwise},
+        {"swim", makeSwim},       {"mgrid", makeMgrid},
+        {"applu", makeApplu},     {"vpr", makeVpr},
+        {"mesa", makeMesa},       {"art", makeArt},
+        {"mcf", makeMcf},         {"equake", makeEquake},
+        {"crafty", makeCrafty},   {"ammp", makeAmmp},
+        {"parser", makeParser},   {"gap", makeGap},
+        {"bzip2", makeBzip2},     {"twolf", makeTwolf},
+        {"apsi", makeApsi},       {"sphinx", makeSphinx},
+    };
+    return table;
+}
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    names.reserve(factories().size());
+    for (const auto &[name, factory] : factories())
+        names.emplace_back(name);
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (const auto &[candidate, factory] : factories()) {
+        if (name == candidate)
+            return factory();
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace grp

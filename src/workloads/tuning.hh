@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for calibrating kernel instruction mixes.
+ *
+ * Real SPEC programs execute hundreds of cache-friendly instructions
+ * per L2 miss; the synthetic kernels reproduce that by interleaving
+ * their cold "signature" accesses with bursts of hot work — loads
+ * from a small L1-resident scratch array plus ALU operations. The
+ * hot-work size per iteration is each kernel's main calibration
+ * knob for the paper's per-benchmark perfect-L2 gaps.
+ */
+
+#ifndef GRP_WORKLOADS_TUNING_HH
+#define GRP_WORKLOADS_TUNING_HH
+
+#include "compiler/builder.hh"
+
+namespace grp
+{
+
+/** Elements in a hot scratch array (8 KB: comfortably L1-resident). */
+constexpr uint64_t kHotElems = 1024;
+
+/** Declare a kernel's hot scratch array. */
+inline ArrayId
+declareHotArray(ProgramBuilder &b, const char *name = "scratch")
+{
+    return b.array(name, 8, {kHotElems});
+}
+
+/**
+ * Emit a burst of hot work: a loop of @p iters iterations, each one
+ * L1-resident load plus two ALU ops (~3 * iters instructions).
+ * Bounds are capped so the scratch array is never overrun.
+ */
+inline void
+hotWork(ProgramBuilder &b, ArrayId hot, int64_t iters)
+{
+    if (iters <= 0)
+        return;
+    if (iters > static_cast<int64_t>(kHotElems))
+        iters = static_cast<int64_t>(kHotElems);
+    const VarId j = b.forLoop(0, iters);
+    b.arrayRef(hot, {Subscript::affine(Affine::var(j))});
+    b.compute(2);
+    b.end();
+}
+
+} // namespace grp
+
+#endif // GRP_WORKLOADS_TUNING_HH

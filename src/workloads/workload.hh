@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The workload interface and registry.
+ *
+ * Each workload is a synthetic kernel standing in for one benchmark
+ * of the paper's suite (17 SPEC CPU2000 programs plus Sphinx). A
+ * workload allocates its data structures at real addresses in the
+ * functional memory and returns the IR program that both the
+ * compiler analyses and the interpreter executes. DESIGN.md records
+ * which documented access idioms each kernel reproduces.
+ */
+
+#ifndef GRP_WORKLOADS_WORKLOAD_HH
+#define GRP_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "mem/functional_memory.hh"
+
+namespace grp
+{
+
+/** Static description of a workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    bool isFloat = false;      ///< Figure 10 vs Figure 11 grouping.
+    std::string missCause;     ///< Dominant L2 miss cause (Table 6).
+    /** Per-workload recursion-depth override (paper: mcf uses 3);
+     *  0 keeps the configuration default. */
+    unsigned recursiveDepthOverride = 0;
+    /** Excluded from performance figures (crafty: 0.4% miss rate). */
+    bool negligibleL2 = false;
+};
+
+/** One synthetic benchmark kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual WorkloadInfo info() const = 0;
+
+    /**
+     * Allocate data in @p mem and build the kernel's IR.
+     * Deterministic for a given @p seed.
+     */
+    virtual Program build(FunctionalMemory &mem, uint64_t seed) = 0;
+};
+
+/** Names of all registered workloads, in suite order. */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by name (fatal on unknown names). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace grp
+
+#endif // GRP_WORKLOADS_WORKLOAD_HH

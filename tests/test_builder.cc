@@ -1,0 +1,160 @@
+/** @file Unit tests for the IR program builder. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/builder.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class BuilderTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    FunctionalMemory mem;
+};
+
+TEST_F(BuilderTest, ArraysAllocateAtRealAddresses)
+{
+    ProgramBuilder b(mem);
+    const ArrayId s = b.array("s", 8, {100});
+    ArrayOpts heap;
+    heap.heap = true;
+    const ArrayId h = b.array("h", 4, {100}, heap);
+    Program prog = b.build();
+    EXPECT_LT(prog.arrays[s].base, FunctionalMemory::kHeapBase);
+    EXPECT_GE(prog.arrays[h].base, FunctionalMemory::kHeapBase);
+    EXPECT_EQ(prog.arrays[s].base % kBlockBytes, 0u);
+    EXPECT_TRUE(prog.arrays[h].isHeap);
+}
+
+TEST_F(BuilderTest, RefIdsAreUniqueAndDense)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {16});
+    const VarId i = b.forLoop(0, 4);
+    const RefId r0 = b.arrayRef(a, {Subscript::affine(Affine::var(i))});
+    const RefId r1 = b.ptrRef(b.ptr("p"), 0);
+    const RefId r2 =
+        b.arrayRef(a, {Subscript::affine(Affine::var(i))}, true);
+    b.end();
+    Program prog = b.build();
+    EXPECT_EQ(r0, 0u);
+    EXPECT_EQ(r1, 1u);
+    EXPECT_EQ(r2, 2u);
+    EXPECT_EQ(prog.nextRefId, 3u);
+}
+
+TEST_F(BuilderTest, IndirectSubscriptGetsOwnRefId)
+{
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 4, {16});
+    const ArrayId a = b.array("a", 8, {256});
+    const VarId i = b.forLoop(0, 4);
+    const RefId target =
+        b.arrayRef(a, {Subscript::indirect(idx, Affine::var(i))});
+    b.end();
+    Program prog = b.build();
+    const Stmt &stmt = prog.top[0].loop.body[0].stmt;
+    EXPECT_NE(stmt.subs[0].indexRefId, kInvalidRefId);
+    EXPECT_NE(stmt.subs[0].indexRefId, target);
+    EXPECT_EQ(prog.nextRefId, 2u);
+}
+
+TEST_F(BuilderTest, LoopNestingStructure)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {64});
+    const VarId i = b.forLoop(0, 4);
+    b.compute(1);
+    const VarId j = b.forLoop(0, 8);
+    b.arrayRef(a, {Subscript::affine(Affine::var(j))});
+    b.end();
+    b.compute(1);
+    b.end();
+    (void)i;
+    Program prog = b.build();
+    ASSERT_EQ(prog.top.size(), 1u);
+    const Loop &outer = prog.top[0].loop;
+    ASSERT_EQ(outer.body.size(), 3u);
+    EXPECT_EQ(outer.body[0].kind, Node::Kind::Statement);
+    EXPECT_EQ(outer.body[1].kind, Node::Kind::NestedLoop);
+    EXPECT_EQ(outer.body[1].loop.body.size(), 1u);
+}
+
+TEST_F(BuilderTest, TripCountComputation)
+{
+    ProgramBuilder b(mem);
+    b.forLoop(0, 10);
+    b.end();
+    b.forLoop(1, 10, 3);
+    b.end();
+    b.forLoop(10, 0, -2);
+    b.end();
+    b.forLoop(5, 5);
+    b.end();
+    b.forLoop(0, 100, 1, /*bound_known=*/false);
+    b.end();
+    Program prog = b.build();
+    EXPECT_EQ(prog.top[0].loop.tripCount(), 10u);
+    EXPECT_EQ(prog.top[1].loop.tripCount(), 3u);
+    EXPECT_EQ(prog.top[2].loop.tripCount(), 5u);
+    EXPECT_EQ(prog.top[3].loop.tripCount(), 0u);
+    EXPECT_EQ(prog.top[4].loop.tripCount(), 0u); // Unknown.
+}
+
+TEST_F(BuilderTest, DimStrides)
+{
+    ProgramBuilder b(mem);
+    const ArrayId c_arr = b.array("c", 8, {4, 8, 16});
+    ArrayOpts fortran;
+    fortran.columnMajor = true;
+    const ArrayId f_arr = b.array("f", 8, {4, 8, 16}, fortran);
+    Program prog = b.build();
+    // Row-major: last dimension contiguous.
+    EXPECT_EQ(prog.arrays[c_arr].dimStrideElems(2), 1u);
+    EXPECT_EQ(prog.arrays[c_arr].dimStrideElems(1), 16u);
+    EXPECT_EQ(prog.arrays[c_arr].dimStrideElems(0), 128u);
+    // Column-major: first dimension contiguous.
+    EXPECT_EQ(prog.arrays[f_arr].dimStrideElems(0), 1u);
+    EXPECT_EQ(prog.arrays[f_arr].dimStrideElems(1), 4u);
+    EXPECT_EQ(prog.arrays[f_arr].dimStrideElems(2), 32u);
+}
+
+TEST_F(BuilderTest, SubscriptCountMismatchIsFatal)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {4, 4});
+    b.forLoop(0, 4);
+    EXPECT_THROW(b.arrayRef(a, {Subscript::affine(Affine::of(0))}),
+                 std::runtime_error);
+}
+
+TEST_F(BuilderTest, UnbalancedLoopsAreFatal)
+{
+    ProgramBuilder b(mem);
+    b.forLoop(0, 4);
+    EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST_F(BuilderTest, EndWithoutLoopIsFatal)
+{
+    ProgramBuilder b(mem);
+    EXPECT_THROW(b.end(), std::runtime_error);
+}
+
+TEST_F(BuilderTest, PtrInitialCanBeSetLate)
+{
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p");
+    const Addr node = mem.heapAlloc(64);
+    b.setPtrInitial(p, node);
+    Program prog = b.build();
+    EXPECT_EQ(prog.ptrs[p].initial, node);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,215 @@
+/** @file Unit tests for the set-associative tag store. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+CacheConfig
+smallConfig(unsigned assoc = 4)
+{
+    // 4 sets x assoc x 64 B.
+    return CacheConfig{4ull * assoc * kBlockBytes, assoc, 3, 8, 8};
+}
+
+/** Address of way-distinct block @p n in set @p set (4 sets). */
+Addr
+addrIn(unsigned set, unsigned n)
+{
+    return (static_cast<Addr>(n) * 4 + set) << kBlockShift;
+}
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_F(CacheTest, MissThenHit)
+{
+    Cache cache(smallConfig(), "t");
+    EXPECT_FALSE(cache.access(0x40, false).hit);
+    cache.insert(0x40, false, false);
+    EXPECT_TRUE(cache.access(0x40, false).hit);
+    EXPECT_TRUE(cache.contains(0x7f)); // Same block.
+    EXPECT_FALSE(cache.contains(0x80));
+}
+
+TEST_F(CacheTest, LruEviction)
+{
+    Cache cache(smallConfig(2), "t");
+    cache.insert(addrIn(0, 0), false, false);
+    cache.insert(addrIn(0, 1), false, false);
+    cache.access(addrIn(0, 0), false); // Touch 0: 1 becomes LRU.
+    auto evicted = cache.insert(addrIn(0, 2), false, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, addrIn(0, 1));
+    EXPECT_TRUE(cache.contains(addrIn(0, 0)));
+}
+
+TEST_F(CacheTest, EvictionReportsDirtiness)
+{
+    Cache cache(smallConfig(1), "t");
+    cache.insert(addrIn(1, 0), false, true);
+    auto evicted = cache.insert(addrIn(1, 1), false, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_TRUE(evicted->dirty);
+    EXPECT_EQ(evicted->blockAddr, addrIn(1, 0));
+}
+
+TEST_F(CacheTest, WriteMarksDirty)
+{
+    Cache cache(smallConfig(1), "t");
+    cache.insert(addrIn(0, 0), false, false);
+    cache.access(addrIn(0, 0), true);
+    auto evicted = cache.insert(addrIn(0, 1), false, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_TRUE(evicted->dirty);
+}
+
+TEST_F(CacheTest, PrefetchInsertsAtLruPosition)
+{
+    Cache cache(smallConfig(2), "t");
+    cache.insert(addrIn(0, 0), false, false); // MRU-ish.
+    cache.insert(addrIn(0, 1), true, false);  // Prefetch at LRU.
+    // A new insert should displace the prefetched line, not block 0.
+    auto evicted = cache.insert(addrIn(0, 2), false, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, addrIn(0, 1));
+    EXPECT_TRUE(evicted->wasUnusedPrefetch);
+    EXPECT_TRUE(cache.contains(addrIn(0, 0)));
+}
+
+TEST_F(CacheTest, ReferencedPrefetchIsPromoted)
+{
+    Cache cache(smallConfig(2), "t");
+    cache.insert(addrIn(0, 0), false, false);
+    cache.insert(addrIn(0, 1), true, false);
+    auto result = cache.access(addrIn(0, 1), false);
+    EXPECT_TRUE(result.hit);
+    EXPECT_TRUE(result.firstUseOfPrefetch);
+    // Second touch is no longer a "first use".
+    EXPECT_FALSE(cache.access(addrIn(0, 1), false).firstUseOfPrefetch);
+    // Promotion means block 0 is now the LRU victim.
+    auto evicted = cache.insert(addrIn(0, 2), false, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, addrIn(0, 0));
+    EXPECT_FALSE(evicted->wasUnusedPrefetch);
+}
+
+TEST_F(CacheTest, MruInsertionKnob)
+{
+    Cache cache(smallConfig(2), "t", /*lru_insertion=*/false);
+    cache.insert(addrIn(0, 0), false, false);
+    cache.insert(addrIn(0, 1), true, false); // Prefetch at MRU.
+    auto evicted = cache.insert(addrIn(0, 2), false, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->blockAddr, addrIn(0, 0));
+}
+
+TEST_F(CacheTest, PollutionBoundedToOneWay)
+{
+    // The paper's property: unused prefetches displace at most 1/n
+    // of the useful data. With n demand blocks resident and a stream
+    // of prefetches into the set, exactly one way churns.
+    const unsigned assoc = 4;
+    Cache cache(smallConfig(assoc), "t");
+    for (unsigned w = 0; w < assoc; ++w) {
+        cache.insert(addrIn(2, w), false, false);
+        cache.access(addrIn(2, w), false);
+    }
+    unsigned demand_evictions = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+        auto evicted = cache.insert(addrIn(2, 100 + i), true, false);
+        if (evicted && !evicted->wasUnusedPrefetch)
+            ++demand_evictions;
+    }
+    EXPECT_EQ(demand_evictions, 1u);
+    // Three of the four original blocks survive.
+    unsigned survivors = 0;
+    for (unsigned w = 0; w < assoc; ++w)
+        survivors += cache.contains(addrIn(2, w));
+    EXPECT_EQ(survivors, assoc - 1);
+}
+
+TEST_F(CacheTest, ReinsertOnlyUpdatesState)
+{
+    Cache cache(smallConfig(2), "t");
+    cache.insert(addrIn(0, 0), false, false);
+    auto evicted = cache.insert(addrIn(0, 0), false, true);
+    EXPECT_FALSE(evicted.has_value());
+    auto out = cache.insert(addrIn(0, 1), false, false);
+    EXPECT_FALSE(out.has_value()); // Second way was free.
+}
+
+TEST_F(CacheTest, MarkDirtyAndInvalidate)
+{
+    Cache cache(smallConfig(1), "t");
+    cache.insert(addrIn(0, 0), false, false);
+    cache.markDirty(addrIn(0, 0));
+    cache.markDirty(addrIn(0, 5)); // Absent: no-op.
+    cache.invalidate(addrIn(0, 0));
+    EXPECT_FALSE(cache.contains(addrIn(0, 0)));
+}
+
+TEST_F(CacheTest, ContainsUnusedPrefetch)
+{
+    Cache cache(smallConfig(2), "t");
+    cache.insert(addrIn(0, 0), true, false);
+    EXPECT_TRUE(cache.containsUnusedPrefetch(addrIn(0, 0)));
+    cache.access(addrIn(0, 0), false);
+    EXPECT_FALSE(cache.containsUnusedPrefetch(addrIn(0, 0)));
+    EXPECT_FALSE(cache.containsUnusedPrefetch(addrIn(0, 1)));
+}
+
+TEST_F(CacheTest, StatsCountHitsAndMisses)
+{
+    Cache cache(smallConfig(), "t");
+    cache.access(0x40, false);
+    cache.insert(0x40, false, false);
+    cache.access(0x40, false);
+    EXPECT_EQ(cache.stats().value("accesses"), 2u);
+    EXPECT_EQ(cache.stats().value("misses"), 1u);
+    EXPECT_EQ(cache.stats().value("hits"), 1u);
+}
+
+TEST_F(CacheTest, ResetClearsContentAndStats)
+{
+    Cache cache(smallConfig(), "t");
+    cache.insert(0x40, false, false);
+    cache.access(0x40, false);
+    cache.reset();
+    EXPECT_FALSE(cache.contains(0x40));
+    EXPECT_EQ(cache.stats().value("accesses"), 0u);
+}
+
+/** Parameterized geometry sweep: fills never lose blocks that were
+ *  just inserted, across associativities. */
+class CacheGeometry : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheGeometry, InsertedBlockIsPresent)
+{
+    setQuiet(true);
+    const unsigned assoc = GetParam();
+    Cache cache(CacheConfig{64ull * assoc * kBlockBytes, assoc, 3, 8,
+                            8},
+                "t");
+    for (Addr block = 0; block < 512; ++block) {
+        const Addr addr = block << kBlockShift;
+        cache.insert(addr, block % 2 == 0, false);
+        EXPECT_TRUE(cache.contains(addr));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheGeometry,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace grp

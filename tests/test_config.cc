@@ -1,0 +1,125 @@
+/** @file Unit tests for configuration validation and helpers. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class ConfigTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    SimConfig config;
+};
+
+TEST_F(ConfigTest, DefaultsMatchPaperParameters)
+{
+    EXPECT_EQ(config.l1d.sizeBytes, 64u * 1024);
+    EXPECT_EQ(config.l1d.assoc, 2u);
+    EXPECT_EQ(config.l1d.latency, 3u);
+    EXPECT_EQ(config.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(config.l2.assoc, 4u);
+    EXPECT_EQ(config.l2.latency, 12u);
+    EXPECT_EQ(config.l1d.mshrs, 8u);
+    EXPECT_EQ(config.l2.mshrs, 8u);
+    EXPECT_EQ(config.dram.channels, 4u);
+    EXPECT_EQ(config.cpu.issueWidth, 4u);
+    EXPECT_EQ(config.cpu.robEntries, 64u);
+    EXPECT_EQ(config.region.queueEntries, 32u);
+    EXPECT_TRUE(config.region.lifo);
+    EXPECT_EQ(config.region.recursiveDepth, 6u);
+    EXPECT_EQ(config.region.blocksPerPointer, 2u);
+    EXPECT_EQ(config.region.indirectFanout, 16u);
+    EXPECT_EQ(config.stride.tableEntries, 1024u);
+    EXPECT_EQ(config.stride.tableAssoc, 4u);
+    EXPECT_EQ(config.stride.streamBuffers, 8u);
+    EXPECT_EQ(config.stride.bufferEntries, 8u);
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST_F(ConfigTest, RejectsNonPowerOfTwoCache)
+{
+    config.l2.sizeBytes = 1000 * 1000;
+    EXPECT_THROW(config.validate(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, RejectsZeroAssoc)
+{
+    config.l1d.assoc = 0;
+    EXPECT_THROW(config.validate(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, RejectsL2SmallerThanL1)
+{
+    config.l2.sizeBytes = 32 * 1024;
+    EXPECT_THROW(config.validate(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, RejectsZeroMshrs)
+{
+    config.l2.mshrs = 0;
+    EXPECT_THROW(config.validate(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, RejectsBadChannelCount)
+{
+    config.dram.channels = 3;
+    EXPECT_THROW(config.validate(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, RejectsOverlongRecursion)
+{
+    config.region.recursiveDepth = 8; // 3-bit counter.
+    EXPECT_THROW(config.validate(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, RejectsBadStrideTableShape)
+{
+    config.stride.tableEntries = 10;
+    config.stride.tableAssoc = 4;
+    EXPECT_THROW(config.validate(), std::runtime_error);
+}
+
+TEST_F(ConfigTest, SchemePredicates)
+{
+    config.scheme = PrefetchScheme::None;
+    EXPECT_FALSE(config.usesHints());
+    EXPECT_FALSE(config.usesRegions());
+    EXPECT_FALSE(config.usesPointerScan());
+
+    config.scheme = PrefetchScheme::Srp;
+    EXPECT_FALSE(config.usesHints());
+    EXPECT_TRUE(config.usesRegions());
+    EXPECT_FALSE(config.usesPointerScan());
+
+    config.scheme = PrefetchScheme::GrpVar;
+    EXPECT_TRUE(config.usesHints());
+    EXPECT_TRUE(config.usesRegions());
+    EXPECT_TRUE(config.usesPointerScan());
+
+    config.scheme = PrefetchScheme::PointerHw;
+    EXPECT_FALSE(config.usesRegions());
+    EXPECT_TRUE(config.usesPointerScan());
+
+    config.scheme = PrefetchScheme::SrpPlusPointer;
+    EXPECT_TRUE(config.usesRegions());
+    EXPECT_TRUE(config.usesPointerScan());
+}
+
+TEST_F(ConfigTest, ToStringNames)
+{
+    EXPECT_STREQ(toString(PrefetchScheme::Srp), "srp");
+    EXPECT_STREQ(toString(PrefetchScheme::GrpFix), "grp-fix");
+    EXPECT_STREQ(toString(Perfection::PerfectL2), "perfect-l2");
+    EXPECT_STREQ(toString(CompilerPolicy::Aggressive), "aggressive");
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,172 @@
+/** @file Unit tests for the out-of-order CPU model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+/** A canned trace source. */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<TraceOp> ops)
+        : ops_(std::move(ops))
+    {
+    }
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceOp> ops_;
+    size_t pos_ = 0;
+};
+
+class CpuTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    /** Run a trace to completion; returns cycles used. */
+    uint64_t
+    run(std::vector<TraceOp> ops, const HintTable *hints = nullptr,
+        SimConfig config = SimConfig{})
+    {
+        EventQueue events;
+        MemorySystem mem(config, events);
+        VectorTrace trace(std::move(ops));
+        cpu = std::make_unique<Cpu>(config, mem, events, trace,
+                                    hints);
+        Tick cycle = 0;
+        while (!cpu->done() && cycle < 1'000'000) {
+            events.advanceTo(cycle);
+            cpu->tick();
+            mem.tick();
+            ++cycle;
+        }
+        EXPECT_TRUE(cpu->done());
+        return cpu->cycles();
+    }
+
+    std::unique_ptr<Cpu> cpu;
+};
+
+TEST_F(CpuTest, ComputeRetiresAtFullWidth)
+{
+    std::vector<TraceOp> ops(400, TraceOp::compute());
+    const uint64_t cycles = run(ops);
+    EXPECT_EQ(cpu->retiredInstructions(), 400u);
+    // 4-wide: at least 100 cycles, with small pipeline overheads.
+    EXPECT_GE(cycles, 100u);
+    EXPECT_LE(cycles, 110u);
+    EXPECT_GT(cpu->ipc(), 3.6);
+}
+
+TEST_F(CpuTest, IndependentLoadsOverlap)
+{
+    // Two loads to distinct blocks on different channels: total time
+    // must be far less than two serial DRAM accesses.
+    std::vector<TraceOp> serial{TraceOp::load(0x10000, 0)};
+    const uint64_t one = run(serial);
+    std::vector<TraceOp> both{TraceOp::load(0x20000, 0),
+                              TraceOp::load(0x20040, 1)};
+    const uint64_t two = run(both);
+    EXPECT_LT(two, 2 * one - 20);
+}
+
+TEST_F(CpuTest, DependentChainIsBoundedByRob)
+{
+    // More loads than ROB entries to the same cold blocks still
+    // complete (no deadlock) and retire in order.
+    std::vector<TraceOp> ops;
+    for (unsigned i = 0; i < 200; ++i)
+        ops.push_back(TraceOp::load(0x100000 + 8 * i, 0));
+    run(ops);
+    EXPECT_EQ(cpu->retiredInstructions(), 200u);
+}
+
+TEST_F(CpuTest, StoresDoNotBlockRetirement)
+{
+    std::vector<TraceOp> ops;
+    for (unsigned i = 0; i < 64; ++i)
+        ops.push_back(TraceOp::store(0x200000 + 64 * i, 0));
+    ops.push_back(TraceOp::compute());
+    const uint64_t cycles = run(ops);
+    // Stores complete from the store buffer; with 8 MSHRs limiting
+    // issue, this still finishes quickly relative to 64 serial
+    // misses (~150 cycles each).
+    EXPECT_LT(cycles, 64 * 150u);
+    EXPECT_EQ(cpu->retiredInstructions(), 65u);
+}
+
+TEST_F(CpuTest, IndirectOpsAreElidedWithoutHints)
+{
+    std::vector<TraceOp> ops{
+        TraceOp::indirect(0x1000, 8, 0x2000, 0),
+        TraceOp::compute(),
+    };
+    run(ops, nullptr);
+    // The unhinted binary contains no indirect prefetch instruction.
+    EXPECT_EQ(cpu->retiredInstructions(), 1u);
+    EXPECT_EQ(cpu->stats().value("indirectPrefetchOps"), 0u);
+}
+
+TEST_F(CpuTest, IndirectOpsExecuteWithHints)
+{
+    SimConfig config;
+    config.scheme = PrefetchScheme::GrpVar;
+    HintTable hints;
+    std::vector<TraceOp> ops{
+        TraceOp::indirect(0x1000, 8, 0x2000, 0),
+        TraceOp::compute(),
+    };
+    run(ops, &hints, config);
+    EXPECT_EQ(cpu->retiredInstructions(), 2u);
+    EXPECT_EQ(cpu->stats().value("indirectPrefetchOps"), 1u);
+}
+
+TEST_F(CpuTest, LoadAndStoreCountsTracked)
+{
+    std::vector<TraceOp> ops{
+        TraceOp::load(0x1000, 0),
+        TraceOp::store(0x2000, 1),
+        TraceOp::compute(),
+        TraceOp::load(0x1008, 2),
+    };
+    run(ops);
+    EXPECT_EQ(cpu->stats().value("loads"), 2u);
+    EXPECT_EQ(cpu->stats().value("stores"), 1u);
+}
+
+TEST_F(CpuTest, EmptyTraceFinishesImmediately)
+{
+    run({});
+    EXPECT_EQ(cpu->retiredInstructions(), 0u);
+    EXPECT_TRUE(cpu->done());
+}
+
+TEST_F(CpuTest, MemStallsAreCounted)
+{
+    // 20 distinct cold blocks, 8 MSHRs: some issues must stall.
+    std::vector<TraceOp> ops;
+    for (unsigned i = 0; i < 20; ++i)
+        ops.push_back(TraceOp::load(0x400000 + 64 * i, 0));
+    run(ops);
+    EXPECT_GT(cpu->stats().value("memStalls"), 0u);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,135 @@
+/** @file Unit tests for the DRAM timing model. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/dram.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class DramTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    DramConfig config; // Defaults: 4 ch, 16 banks, 2 KB rows.
+};
+
+TEST_F(DramTest, BlocksInterleaveAcrossChannels)
+{
+    DramSystem dram(config);
+    for (unsigned i = 0; i < 16; ++i) {
+        const Addr addr = static_cast<Addr>(i) << kBlockShift;
+        EXPECT_EQ(dram.channelOf(addr), i % 4);
+    }
+}
+
+TEST_F(DramTest, ConsecutiveChannelBlocksShareARow)
+{
+    DramSystem dram(config);
+    // Blocks 0 and 4 are consecutive on channel 0.
+    EXPECT_EQ(dram.channelOf(0), dram.channelOf(4 << kBlockShift));
+    EXPECT_EQ(dram.rowOf(0), dram.rowOf(4 << kBlockShift));
+    EXPECT_EQ(dram.bankOf(0), dram.bankOf(4 << kBlockShift));
+}
+
+TEST_F(DramTest, RowConflictThenRowHitTiming)
+{
+    DramSystem dram(config);
+    const Addr addr = 0x40; // Channel 1.
+    const Tick first = dram.serve(addr, 0);
+    EXPECT_EQ(first, config.rowConflictCycles + config.transferCycles);
+    // Same row, later: row hit.
+    const Tick busy_until = config.transferCycles;
+    const Tick second = dram.serve(addr + 4 * kBlockBytes, busy_until);
+    EXPECT_EQ(second, busy_until + config.rowHitCycles +
+                          config.transferCycles);
+    EXPECT_EQ(dram.stats().value("rowHits"), 1u);
+    EXPECT_EQ(dram.stats().value("rowConflicts"), 1u);
+}
+
+TEST_F(DramTest, ChannelOccupiedOnlyForTransfer)
+{
+    DramSystem dram(config);
+    dram.serve(0x40, 0);
+    EXPECT_FALSE(dram.channelIdle(1, config.transferCycles - 1));
+    EXPECT_TRUE(dram.channelIdle(1, config.transferCycles));
+    // Other channels stay idle throughout.
+    EXPECT_TRUE(dram.channelIdle(0, 0));
+    EXPECT_TRUE(dram.channelIdle(2, 0));
+}
+
+TEST_F(DramTest, ServingBusyChannelPanics)
+{
+    DramSystem dram(config);
+    dram.serve(0x40, 0);
+    EXPECT_THROW(dram.serve(0x40 + 4 * kBlockBytes, 1),
+                 std::logic_error);
+}
+
+TEST_F(DramTest, RowOpenTracking)
+{
+    DramSystem dram(config);
+    EXPECT_FALSE(dram.rowOpen(0x40));
+    dram.serve(0x40, 0);
+    EXPECT_TRUE(dram.rowOpen(0x40));
+    EXPECT_TRUE(dram.rowOpen(0x40 + 4 * kBlockBytes)); // Same row.
+    // A different row in the same bank closes the old one.
+    const Addr same_bank_other_row =
+        0x40 + static_cast<Addr>(config.rowBytes) *
+                   config.banksPerChannel * 4;
+    ASSERT_EQ(dram.channelOf(same_bank_other_row), 1u);
+    ASSERT_EQ(dram.bankOf(same_bank_other_row), dram.bankOf(0x40));
+    dram.serve(same_bank_other_row, 1000);
+    EXPECT_FALSE(dram.rowOpen(0x40));
+}
+
+TEST_F(DramTest, BanksPartitionTheChannel)
+{
+    DramSystem dram(config);
+    std::set<unsigned> banks;
+    // Walk one channel at row granularity: banks should cycle.
+    for (unsigned i = 0; i < config.banksPerChannel; ++i) {
+        const Addr addr =
+            static_cast<Addr>(config.rowBytes) * 4 * i;
+        ASSERT_EQ(dram.channelOf(addr), 0u);
+        banks.insert(dram.bankOf(addr));
+    }
+    EXPECT_EQ(banks.size(), config.banksPerChannel);
+}
+
+TEST_F(DramTest, TransferCounting)
+{
+    DramSystem dram(config);
+    dram.serve(0x0, 0);
+    dram.serve(0x40, 0);
+    EXPECT_EQ(dram.transfersServed(), 2u);
+    dram.reset();
+    EXPECT_EQ(dram.transfersServed(), 0u);
+    EXPECT_TRUE(dram.channelIdle(0, 0));
+    EXPECT_FALSE(dram.rowOpen(0x0));
+}
+
+/** Region streaming property: the 64 blocks of a region land evenly
+ *  on the 4 channels with 16 blocks per channel, all in one row. */
+TEST_F(DramTest, RegionStreamsAcrossAllChannels)
+{
+    DramSystem dram(config);
+    unsigned per_channel[4] = {};
+    std::set<uint64_t> rows;
+    for (unsigned i = 0; i < kBlocksPerRegion; ++i) {
+        const Addr addr = static_cast<Addr>(i) << kBlockShift;
+        ++per_channel[dram.channelOf(addr)];
+        rows.insert(dram.rowOf(addr));
+    }
+    for (unsigned ch = 0; ch < 4; ++ch)
+        EXPECT_EQ(per_channel[ch], kBlocksPerRegion / 4);
+    EXPECT_EQ(rows.size(), 1u);
+}
+
+} // namespace
+} // namespace grp

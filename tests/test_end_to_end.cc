@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Integration tests: whole-system invariants across workloads and
+ * prefetch schemes — the properties the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/suite.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class EndToEnd : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        opts.maxInstructions = 60'000;
+        opts.warmupInstructions = 15'000;
+    }
+
+    RunOptions opts;
+};
+
+TEST_F(EndToEnd, GzipBaselineRuns)
+{
+    SimConfig config;
+    RunResult result = runWorkload("gzip", config, opts);
+    // Retirement is 4-wide, so the window can stop a few
+    // instructions either side of the target.
+    EXPECT_GE(result.instructions + 4, opts.maxInstructions);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_LE(result.ipc, 4.0); // Issue width bound.
+    EXPECT_GT(result.l2DemandAccesses, 0u);
+    EXPECT_GT(result.trafficBytes, 0u);
+}
+
+TEST_F(EndToEnd, AllWorkloadsRunAllSchemes)
+{
+    const PrefetchScheme schemes[] = {
+        PrefetchScheme::None,      PrefetchScheme::Stride,
+        PrefetchScheme::Srp,       PrefetchScheme::GrpFix,
+        PrefetchScheme::GrpVar,    PrefetchScheme::PointerHw,
+        PrefetchScheme::PointerHwRec,
+        PrefetchScheme::SrpPlusPointer,
+    };
+    RunOptions quick;
+    quick.maxInstructions = 15'000;
+    quick.warmupInstructions = 0;
+    for (const auto &name : workloadNames()) {
+        for (PrefetchScheme scheme : schemes) {
+            SimConfig config;
+            config.scheme = scheme;
+            RunResult result = runWorkload(name, config, quick);
+            EXPECT_GT(result.instructions, 0u)
+                << name << "/" << toString(scheme);
+            EXPECT_LE(result.accuracy(), 1.0)
+                << name << "/" << toString(scheme);
+        }
+    }
+}
+
+TEST_F(EndToEnd, PerfectCachesDominateBaseline)
+{
+    for (const char *name : {"gzip", "swim", "mcf", "equake"}) {
+        const RunResult base =
+            runScheme(name, PrefetchScheme::None, opts);
+        const RunResult l2 =
+            runPerfect(name, Perfection::PerfectL2, opts);
+        const RunResult l1 =
+            runPerfect(name, Perfection::PerfectL1, opts);
+        EXPECT_GT(l2.ipc, base.ipc * 0.99) << name;
+        EXPECT_GT(l1.ipc, l2.ipc * 0.99) << name;
+        EXPECT_EQ(l1.trafficBytes, 0u) << name;
+        EXPECT_EQ(l2.trafficBytes, 0u) << name;
+    }
+}
+
+TEST_F(EndToEnd, GrpNeverExceedsSrpTraffic)
+{
+    // The paper's headline: GRP needs a fraction of SRP's
+    // bandwidth. Allow a small tolerance for timing noise.
+    for (const char *name : {"gzip", "swim", "mcf", "twolf", "bzip2",
+                             "sphinx", "parser", "mesa"}) {
+        const RunResult srp = runScheme(name, PrefetchScheme::Srp,
+                                        opts);
+        const RunResult grp = runScheme(name, PrefetchScheme::GrpVar,
+                                        opts);
+        EXPECT_LE(grp.trafficBytes,
+                  srp.trafficBytes + srp.trafficBytes / 10)
+            << name;
+    }
+}
+
+TEST_F(EndToEnd, VarRegionsNeverExceedFixTraffic)
+{
+    for (const char *name : {"mesa", "bzip2", "sphinx"}) {
+        const RunResult fix = runScheme(name, PrefetchScheme::GrpFix,
+                                        opts);
+        const RunResult var = runScheme(name, PrefetchScheme::GrpVar,
+                                        opts);
+        EXPECT_LE(var.trafficBytes,
+                  fix.trafficBytes + fix.trafficBytes / 10)
+            << name;
+    }
+}
+
+TEST_F(EndToEnd, SpatialWorkloadsBenefitFromRegionPrefetching)
+{
+    for (const char *name : {"wupwise", "equake", "mgrid"}) {
+        const RunResult base =
+            runScheme(name, PrefetchScheme::None, opts);
+        const RunResult srp = runScheme(name, PrefetchScheme::Srp,
+                                        opts);
+        EXPECT_GT(speedup(srp, base), 1.1) << name;
+    }
+}
+
+TEST_F(EndToEnd, GrpMatchesSrpOnSpatialWorkloads)
+{
+    for (const char *name : {"wupwise", "equake", "mgrid"}) {
+        const RunResult srp = runScheme(name, PrefetchScheme::Srp,
+                                        opts);
+        const RunResult grp = runScheme(name, PrefetchScheme::GrpVar,
+                                        opts);
+        EXPECT_GT(grp.ipc, srp.ipc * 0.93) << name;
+    }
+}
+
+TEST_F(EndToEnd, PrefetchingNeverBreaksCorrectness)
+{
+    // The trace and its functional effects are identical across
+    // schemes: instruction counts must match exactly.
+    const RunResult base = runScheme("mcf", PrefetchScheme::None,
+                                     opts);
+    const RunResult srp = runScheme("mcf", PrefetchScheme::Srp, opts);
+    // Retirement is 4-wide, so windows can differ by a few
+    // instructions at each boundary — never by more.
+    const int64_t delta = static_cast<int64_t>(base.instructions) -
+                          static_cast<int64_t>(srp.instructions);
+    EXPECT_LE(delta < 0 ? -delta : delta, 8);
+}
+
+TEST_F(EndToEnd, CoverageIsBoundedByBaseMisses)
+{
+    for (const char *name : {"wupwise", "bzip2"}) {
+        const RunResult base =
+            runScheme(name, PrefetchScheme::None, opts);
+        const RunResult grp = runScheme(name, PrefetchScheme::GrpVar,
+                                        opts);
+        EXPECT_LE(grp.coveragePct(base), 100.0) << name;
+    }
+}
+
+TEST_F(EndToEnd, RegionSizeDistributionOnlyForGrp)
+{
+    const RunResult srp = runScheme("mesa", PrefetchScheme::Srp,
+                                    opts);
+    EXPECT_TRUE(srp.regionSizes.empty());
+    const RunResult var = runScheme("mesa", PrefetchScheme::GrpVar,
+                                    opts);
+    ASSERT_FALSE(var.regionSizes.empty());
+    // mesa's variable regions are dominated by 2-block windows.
+    uint64_t total = 0;
+    for (const auto &[blocks, count] : var.regionSizes)
+        total += count;
+    ASSERT_GT(total, 0u);
+    const auto it = var.regionSizes.find(2);
+    ASSERT_NE(it, var.regionSizes.end());
+    EXPECT_GT(static_cast<double>(it->second) /
+                  static_cast<double>(total),
+              0.5);
+}
+
+TEST_F(EndToEnd, CompilerPolicyMovesTraffic)
+{
+    SimConfig conservative;
+    conservative.scheme = PrefetchScheme::GrpVar;
+    conservative.policy = CompilerPolicy::Conservative;
+    SimConfig aggressive = conservative;
+    aggressive.policy = CompilerPolicy::Aggressive;
+    const RunResult cons = runWorkload("art", conservative, opts);
+    const RunResult aggr = runWorkload("art", aggressive, opts);
+    // The aggressive policy marks art's big-volume transposes and
+    // pays for it in traffic (§5.4).
+    EXPECT_GT(aggr.trafficBytes, cons.trafficBytes);
+}
+
+TEST_F(EndToEnd, HintStatsArePropagatedIntoResults)
+{
+    const RunResult grp = runScheme("mcf", PrefetchScheme::GrpVar,
+                                    opts);
+    EXPECT_GT(grp.hints.memInsts, 0u);
+    EXPECT_GT(grp.hints.recursive, 0u);
+    EXPECT_EQ(grp.info.name, "mcf");
+}
+
+TEST_F(EndToEnd, SuiteGroupingsPartitionTheBenchmarks)
+{
+    const auto ints = intSuite();
+    const auto fps = fpSuite();
+    EXPECT_EQ(ints.size() + fps.size(), perfSuite().size());
+    EXPECT_EQ(perfSuite().size(), 17u); // crafty excluded.
+}
+
+} // namespace
+} // namespace grp

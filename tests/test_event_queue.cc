@@ -1,0 +1,122 @@
+/** @file Unit tests for the event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace grp
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(10, [&] { order.push_back(2); });
+    queue.schedule(5, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(3); });
+    queue.advanceTo(25);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.curTick(), 25u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        queue.schedule(7, [&order, i] { order.push_back(i); });
+    queue.advanceTo(7);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, AdvancePartially)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(5, [&] { ++fired; });
+    queue.schedule(10, [&] { ++fired; });
+    queue.advanceTo(7);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.size(), 1u);
+    EXPECT_EQ(queue.nextEventTick(), 10u);
+    queue.advanceTo(10);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.nextEventTick(), kMaxTick);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue queue;
+    queue.advanceTo(100);
+    Tick seen = 0;
+    queue.scheduleIn(5, [&] { seen = queue.curTick(); });
+    queue.advanceTo(105);
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, [&] {
+        ++fired;
+        queue.scheduleIn(1, [&] { ++fired; });
+    });
+    queue.advanceTo(10);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbackMayScheduleSameTick)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(3, [&] { queue.scheduleIn(0, [&] { ++fired; }); });
+    queue.advanceTo(3);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DrainRunsEverything)
+{
+    EventQueue queue;
+    int fired = 0;
+    for (Tick t = 1; t <= 32; ++t)
+        queue.schedule(t * 3, [&] { ++fired; });
+    EXPECT_EQ(queue.drain(), 96u);
+    EXPECT_EQ(fired, 32);
+}
+
+TEST(EventQueue, PastSchedulingPanics)
+{
+    EventQueue queue;
+    queue.advanceTo(10);
+    EXPECT_THROW(queue.schedule(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, TimeBackwardsPanics)
+{
+    EventQueue queue;
+    queue.advanceTo(10);
+    EXPECT_THROW(queue.advanceTo(5), std::logic_error);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(5, [&] { ++fired; });
+    queue.advanceTo(2);
+    queue.reset();
+    EXPECT_EQ(queue.curTick(), 0u);
+    EXPECT_TRUE(queue.empty());
+    queue.advanceTo(10);
+    EXPECT_EQ(fired, 0);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,129 @@
+/** @file Unit tests for the functional memory and simulated heap. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mem/functional_memory.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class FunctionalMemoryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    FunctionalMemory mem;
+};
+
+TEST_F(FunctionalMemoryTest, ReadsZeroWhenUntouched)
+{
+    EXPECT_EQ(mem.read64(0x1000), 0u);
+    EXPECT_EQ(mem.read32(0x1004), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST_F(FunctionalMemoryTest, Write64ReadBack)
+{
+    mem.write64(0x2000, 0xdead'beef'cafe'f00dull);
+    EXPECT_EQ(mem.read64(0x2000), 0xdead'beef'cafe'f00dull);
+    EXPECT_EQ(mem.pageCount(), 1u);
+}
+
+TEST_F(FunctionalMemoryTest, Write32HalvesOfAWord)
+{
+    mem.write32(0x3000, 0x1111'2222);
+    mem.write32(0x3004, 0x3333'4444);
+    EXPECT_EQ(mem.read32(0x3000), 0x1111'2222u);
+    EXPECT_EQ(mem.read32(0x3004), 0x3333'4444u);
+    EXPECT_EQ(mem.read64(0x3000), 0x3333'4444'1111'2222ull);
+}
+
+TEST_F(FunctionalMemoryTest, Write32PreservesOtherHalf)
+{
+    mem.write64(0x3000, 0xaaaa'bbbb'cccc'ddddull);
+    mem.write32(0x3000, 0x1234'5678);
+    EXPECT_EQ(mem.read64(0x3000), 0xaaaa'bbbb'1234'5678ull);
+}
+
+TEST_F(FunctionalMemoryTest, UnalignedAccessPanics)
+{
+    EXPECT_THROW(mem.read64(0x1001), std::logic_error);
+    EXPECT_THROW(mem.write64(0x1004, 1), std::logic_error);
+    EXPECT_THROW(mem.read32(0x1002), std::logic_error);
+}
+
+TEST_F(FunctionalMemoryTest, ReadBlockGathersEightWords)
+{
+    const Addr base = 0x4000;
+    for (unsigned i = 0; i < 8; ++i)
+        mem.write64(base + 8 * i, 100 + i);
+    std::array<uint64_t, 8> words;
+    mem.readBlock(base + 24, words); // Mid-block address is fine.
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(words[i], 100 + i);
+}
+
+TEST_F(FunctionalMemoryTest, HeapAllocIsMonotoneAndDisjoint)
+{
+    const Addr a = mem.heapAlloc(100);
+    const Addr b = mem.heapAlloc(100);
+    EXPECT_GE(a, mem.heapBase());
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(mem.heapEnd(), b + 100);
+}
+
+TEST_F(FunctionalMemoryTest, HeapAllocRespectsAlignment)
+{
+    mem.heapAlloc(3);
+    const Addr aligned = mem.heapAlloc(64, 64);
+    EXPECT_EQ(aligned % 64, 0u);
+}
+
+TEST_F(FunctionalMemoryTest, SequentialAllocationIsSpatiallyLocal)
+{
+    // The property the paper leans on: consecutive allocations land
+    // at consecutive addresses.
+    Addr prev = mem.heapAlloc(64, 64);
+    for (int i = 0; i < 16; ++i) {
+        const Addr next = mem.heapAlloc(64, 64);
+        EXPECT_EQ(next, prev + 64);
+        prev = next;
+    }
+}
+
+TEST_F(FunctionalMemoryTest, PointerTestBaseAndBounds)
+{
+    const Addr node = mem.heapAlloc(64);
+    EXPECT_TRUE(mem.looksLikeHeapPointer(node));
+    EXPECT_TRUE(mem.looksLikeHeapPointer(mem.heapEnd() - 1));
+    EXPECT_FALSE(mem.looksLikeHeapPointer(mem.heapEnd()));
+    EXPECT_FALSE(mem.looksLikeHeapPointer(mem.heapBase() - 1));
+    EXPECT_FALSE(mem.looksLikeHeapPointer(0));
+    EXPECT_FALSE(mem.looksLikeHeapPointer(42));
+}
+
+TEST_F(FunctionalMemoryTest, StaticSegmentIsDistinctFromHeap)
+{
+    const Addr s = mem.staticAlloc(4096, 64);
+    EXPECT_GE(s, FunctionalMemory::kStaticBase);
+    EXPECT_LT(s, FunctionalMemory::kHeapBase);
+    EXPECT_FALSE(mem.looksLikeHeapPointer(s));
+}
+
+TEST_F(FunctionalMemoryTest, ZeroByteAllocationIsFatal)
+{
+    EXPECT_THROW(mem.heapAlloc(0), std::runtime_error);
+    EXPECT_THROW(mem.staticAlloc(0), std::runtime_error);
+}
+
+TEST_F(FunctionalMemoryTest, BadAlignmentIsFatal)
+{
+    EXPECT_THROW(mem.heapAlloc(8, 3), std::runtime_error);
+}
+
+} // namespace
+} // namespace grp

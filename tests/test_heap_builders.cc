@@ -1,0 +1,150 @@
+/** @file Unit tests for the heap data-structure builders. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logging.hh"
+#include "workloads/heap_builders.hh"
+
+namespace grp
+{
+namespace
+{
+
+class HeapBuildersTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    FunctionalMemory mem;
+    Rng rng{7};
+};
+
+TEST_F(HeapBuildersTest, SequentialListLinksInOrder)
+{
+    BuiltList list = buildLinkedList(mem, 64, 8, 16, 0.0, rng);
+    EXPECT_EQ(list.nodes.size(), 16u);
+    EXPECT_EQ(list.head, list.nodes[0]);
+    for (size_t i = 0; i + 1 < list.nodes.size(); ++i) {
+        EXPECT_EQ(mem.read64(list.nodes[i] + 8), list.nodes[i + 1]);
+        // Allocation-order layout: next node is adjacent.
+        EXPECT_EQ(list.nodes[i + 1], list.nodes[i] + 64);
+    }
+    EXPECT_EQ(mem.read64(list.nodes.back() + 8), 0u);
+}
+
+TEST_F(HeapBuildersTest, ListWalkTerminatesAndCoversAllNodes)
+{
+    BuiltList list = buildLinkedList(mem, 64, 16, 256, 0.8, rng);
+    std::set<Addr> seen;
+    Addr node = list.head;
+    while (node != 0) {
+        EXPECT_TRUE(seen.insert(node).second) << "cycle!";
+        node = mem.read64(node + 16);
+    }
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST_F(HeapBuildersTest, ShuffledListIsNotAllocationOrder)
+{
+    BuiltList list = buildLinkedList(mem, 64, 8, 512, 0.9, rng);
+    unsigned adjacent = 0;
+    for (size_t i = 0; i + 1 < list.nodes.size(); ++i)
+        adjacent += list.nodes[i + 1] == list.nodes[i] + 64;
+    EXPECT_LT(adjacent, 300u);
+}
+
+TEST_F(HeapBuildersTest, TreeChildrenAreWired)
+{
+    BuiltTree tree = buildTree(mem, 96, {8, 16}, 31, 0.0, rng);
+    EXPECT_EQ(tree.nodes.size(), 31u);
+    EXPECT_EQ(tree.root, tree.nodes[0]);
+    // Complete binary tree in BFS order.
+    for (size_t i = 0; i < 15; ++i) {
+        EXPECT_EQ(mem.read64(tree.nodes[i] + 8),
+                  tree.nodes[2 * i + 1]);
+        EXPECT_EQ(mem.read64(tree.nodes[i] + 16),
+                  tree.nodes[2 * i + 2]);
+    }
+    // Leaves have null children.
+    for (size_t i = 15; i < 31; ++i) {
+        EXPECT_EQ(mem.read64(tree.nodes[i] + 8), 0u);
+        EXPECT_EQ(mem.read64(tree.nodes[i] + 16), 0u);
+    }
+}
+
+TEST_F(HeapBuildersTest, TreeDescentsTerminate)
+{
+    BuiltTree tree = buildTree(mem, 96, {8, 16}, 1024, 0.7, rng);
+    for (int trial = 0; trial < 64; ++trial) {
+        Addr node = tree.root;
+        unsigned depth = 0;
+        while (node != 0 && depth < 64) {
+            node = mem.read64(node + (rng.chance(0.5) ? 8 : 16));
+            ++depth;
+        }
+        EXPECT_LT(depth, 64u) << "descent did not terminate";
+    }
+}
+
+TEST_F(HeapBuildersTest, PointerRowsArePointers)
+{
+    const Addr array = mem.heapAlloc(8 * 32, 64);
+    auto rows = buildPointerRows(mem, array, 32, 512);
+    EXPECT_EQ(rows.size(), 32u);
+    for (unsigned i = 0; i < 32; ++i) {
+        const Addr stored = mem.read64(array + 8 * i);
+        EXPECT_EQ(stored, rows[i]);
+        EXPECT_TRUE(mem.looksLikeHeapPointer(stored));
+        EXPECT_EQ(stored % kBlockBytes, 0u);
+    }
+}
+
+TEST_F(HeapBuildersTest, ShuffledRowsBreakStridePatterns)
+{
+    const Addr array = mem.heapAlloc(8 * 256, 64);
+    Rng shuffle(3);
+    auto rows = buildPointerRows(mem, array, 256, 512, &shuffle);
+    // The set of rows is intact...
+    std::set<Addr> unique(rows.begin(), rows.end());
+    EXPECT_EQ(unique.size(), 256u);
+    // ...but consecutive entries are rarely adjacent in memory.
+    unsigned adjacent = 0;
+    for (size_t i = 0; i + 1 < rows.size(); ++i)
+        adjacent += rows[i + 1] == rows[i] + 512;
+    EXPECT_LT(adjacent, 32u);
+}
+
+TEST_F(HeapBuildersTest, IndexArrayRandomValuesInRange)
+{
+    const Addr base = mem.heapAlloc(4 * 1024, 64);
+    fillIndexArray(mem, base, 1024, 5000, 1, rng);
+    for (unsigned i = 0; i < 1024; ++i)
+        EXPECT_LT(mem.read32(base + 4 * i), 5000u);
+}
+
+TEST_F(HeapBuildersTest, IndexArrayClustersRun)
+{
+    const Addr base = mem.heapAlloc(4 * 1024, 64);
+    fillIndexArray(mem, base, 1024, 1 << 20, 16, rng);
+    unsigned sequential = 0;
+    for (unsigned i = 1; i < 1024; ++i) {
+        sequential += mem.read32(base + 4 * i) ==
+                      mem.read32(base + 4 * (i - 1)) + 1;
+    }
+    // 15 of every 16 transitions continue a run.
+    EXPECT_GT(sequential, 900u);
+}
+
+TEST_F(HeapBuildersTest, EmptyStructuresAreFatal)
+{
+    EXPECT_THROW(buildLinkedList(mem, 64, 8, 0, 0.0, rng),
+                 std::runtime_error);
+    EXPECT_THROW(buildTree(mem, 96, {}, 8, 0.0, rng),
+                 std::runtime_error);
+    EXPECT_THROW(fillIndexArray(mem, 0x1000, 4, 0, 1, rng),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,135 @@
+/** @file Unit tests for the hint encoding and hint table. */
+
+#include <gtest/gtest.h>
+
+#include "core/hint_table.hh"
+#include "core/hints.hh"
+
+namespace grp
+{
+namespace
+{
+
+TEST(LoadHints, FlagPredicates)
+{
+    LoadHints hints;
+    EXPECT_FALSE(hints.any());
+    hints.flags = kHintSpatial;
+    EXPECT_TRUE(hints.spatial());
+    EXPECT_FALSE(hints.pointer());
+    hints.flags |= kHintPointer | kHintRecursive;
+    EXPECT_TRUE(hints.pointer());
+    EXPECT_TRUE(hints.recursive());
+    EXPECT_TRUE(hints.any());
+}
+
+TEST(LoadHints, FixedRegionByDefault)
+{
+    LoadHints hints;
+    EXPECT_EQ(hints.sizeCoeff, kFixedRegionCoeff);
+    EXPECT_EQ(hints.regionBlocks(64), 64u);
+}
+
+TEST(LoadHints, VariableRegionFromBoundAndCoeff)
+{
+    LoadHints hints;
+    hints.flags = kHintSpatial | kHintSizeValid;
+    hints.sizeCoeff = 3; // 8-byte elements.
+    hints.loopBound = 16;
+    // 16 << 3 = 128 bytes = 2 blocks.
+    EXPECT_EQ(hints.regionBlocks(64), 2u);
+    hints.loopBound = 64; // 512 bytes = 8 blocks.
+    EXPECT_EQ(hints.regionBlocks(64), 8u);
+    hints.loopBound = 48; // 384 B = 6 blocks -> next pow2 = 8.
+    EXPECT_EQ(hints.regionBlocks(64), 8u);
+}
+
+TEST(LoadHints, VariableRegionClampsToFixed)
+{
+    LoadHints hints;
+    hints.flags = kHintSizeValid;
+    hints.sizeCoeff = 3;
+    hints.loopBound = 1'000'000;
+    EXPECT_EQ(hints.regionBlocks(64), 64u);
+}
+
+TEST(LoadHints, VariableRegionFloorsAtTwoBlocks)
+{
+    LoadHints hints;
+    hints.flags = kHintSizeValid;
+    hints.sizeCoeff = 0;
+    hints.loopBound = 3; // 3 bytes.
+    EXPECT_EQ(hints.regionBlocks(64), 2u);
+}
+
+TEST(LoadHints, SizeWithoutBoundIsFixed)
+{
+    LoadHints hints;
+    hints.flags = kHintSizeValid;
+    hints.sizeCoeff = 3;
+    hints.loopBound = 0;
+    EXPECT_EQ(hints.regionBlocks(64), 64u);
+}
+
+TEST(LoadHints, PointerDepthSelection)
+{
+    LoadHints hints;
+    EXPECT_EQ(hints.pointerDepth(6), 0u);
+    hints.flags = kHintPointer;
+    EXPECT_EQ(hints.pointerDepth(6), 1u);
+    hints.flags = kHintPointer | kHintRecursive;
+    EXPECT_EQ(hints.pointerDepth(6), 6u);
+    EXPECT_EQ(hints.pointerDepth(3), 3u); // The mcf override.
+}
+
+TEST(LoadHints, Describe)
+{
+    LoadHints hints;
+    EXPECT_EQ(hints.describe(), "none");
+    hints.flags = kHintSpatial | kHintPointer;
+    EXPECT_EQ(hints.describe(), "spatial|pointer");
+}
+
+TEST(HintTable, SetAndGet)
+{
+    HintTable table;
+    LoadHints hints;
+    hints.flags = kHintSpatial;
+    table.set(5, hints);
+    EXPECT_TRUE(table.get(5).spatial());
+    EXPECT_FALSE(table.get(4).any());
+    EXPECT_FALSE(table.get(100).any()); // Out of range is empty.
+    EXPECT_EQ(table.size(), 6u);
+}
+
+TEST(HintTable, AddFlagsMerges)
+{
+    HintTable table;
+    table.addFlags(2, kHintSpatial);
+    table.addFlags(2, kHintPointer);
+    EXPECT_TRUE(table.get(2).spatial());
+    EXPECT_TRUE(table.get(2).pointer());
+}
+
+TEST(HintTable, CountWith)
+{
+    HintTable table;
+    table.addFlags(0, kHintSpatial);
+    table.addFlags(1, kHintSpatial | kHintPointer);
+    table.addFlags(2, kHintPointer);
+    EXPECT_EQ(table.countWith(kHintSpatial), 2u);
+    EXPECT_EQ(table.countWith(kHintPointer), 2u);
+    EXPECT_EQ(table.countWith(kHintRecursive), 0u);
+}
+
+TEST(HintTable, ClearEmpties)
+{
+    HintTable table;
+    table.addFlags(3, kHintSpatial);
+    table.clear();
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_FALSE(table.get(3).spatial());
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,136 @@
+/** @file Unit tests for the pure-hardware engines (SRP, pointer). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/dram.hh"
+#include "prefetch/hw_engine.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class HwEngineTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    std::vector<PrefetchCandidate>
+    drain(HwPrefetchEngine &engine)
+    {
+        std::vector<PrefetchCandidate> out;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (unsigned ch = 0; ch < 4; ++ch) {
+                if (auto cand = engine.dequeuePrefetch(dram, ch)) {
+                    out.push_back(*cand);
+                    progress = true;
+                }
+            }
+        }
+        return out;
+    }
+
+    SimConfig config;
+    FunctionalMemory mem;
+    DramSystem dram{DramConfig{}};
+};
+
+TEST_F(HwEngineTest, RejectsHintSchemes)
+{
+    config.scheme = PrefetchScheme::GrpVar;
+    EXPECT_THROW(HwPrefetchEngine(config, mem), std::runtime_error);
+}
+
+TEST_F(HwEngineTest, SrpPrefetchesEveryMissUnconditionally)
+{
+    config.scheme = PrefetchScheme::Srp;
+    HwPrefetchEngine engine(config, mem);
+    // No hints at all: SRP does not care.
+    engine.onL2DemandMiss(0x40000, kInvalidRefId, LoadHints{});
+    EXPECT_EQ(drain(engine).size(), 63u);
+    EXPECT_EQ(engine.stats().value("regionsAllocated"), 1u);
+}
+
+TEST_F(HwEngineTest, SrpDoesNotScanPointers)
+{
+    config.scheme = PrefetchScheme::Srp;
+    HwPrefetchEngine engine(config, mem);
+    const Addr node = mem.heapAlloc(64, 64);
+    mem.write64(node, mem.heapAlloc(64, 64));
+    engine.onFill(node, 1, ReqClass::Demand);
+    EXPECT_EQ(engine.stats().value("linesScanned"), 0u);
+}
+
+TEST_F(HwEngineTest, PointerModeScansButNoRegions)
+{
+    config.scheme = PrefetchScheme::PointerHw;
+    HwPrefetchEngine engine(config, mem);
+    engine.onL2DemandMiss(0x40000, 0, LoadHints{});
+    EXPECT_TRUE(drain(engine).empty()); // No region prefetching.
+
+    const Addr node = mem.heapAlloc(64, 64);
+    const Addr next = mem.heapAlloc(64, 64);
+    mem.write64(node, next);
+    engine.onFill(node, 1, ReqClass::Demand);
+    auto candidates = drain(engine);
+    EXPECT_EQ(candidates.size(), 2u); // Target + successor block.
+    EXPECT_EQ(engine.stats().value("pointersFound"), 1u);
+}
+
+TEST_F(HwEngineTest, SrpPlusPointerDoesBoth)
+{
+    config.scheme = PrefetchScheme::SrpPlusPointer;
+    HwPrefetchEngine engine(config, mem);
+    const Addr node = mem.heapAlloc(64, 64);
+    mem.write64(node + 8, mem.heapAlloc(64, 64));
+
+    engine.onL2DemandMiss(node, 0, LoadHints{});
+    engine.onFill(node, 1, ReqClass::Demand);
+    auto candidates = drain(engine);
+    // 63 region blocks + pointer blocks (some may overlap with the
+    // region and merge).
+    EXPECT_GE(candidates.size(), 63u);
+    EXPECT_EQ(engine.stats().value("regionsAllocated"), 1u);
+    EXPECT_EQ(engine.stats().value("linesScanned"), 1u);
+}
+
+TEST_F(HwEngineTest, RecursiveDepthDecrements)
+{
+    config.scheme = PrefetchScheme::PointerHwRec;
+    HwPrefetchEngine engine(config, mem);
+    const Addr node = mem.heapAlloc(64, 64);
+    mem.write64(node, mem.heapAlloc(4096, 64));
+    engine.onFill(node, 6, ReqClass::Demand);
+    auto candidates = drain(engine);
+    ASSERT_FALSE(candidates.empty());
+    for (const auto &cand : candidates)
+        EXPECT_EQ(cand.ptrDepth, 5u);
+}
+
+TEST_F(HwEngineTest, SecondMissToRegionUpdatesNotAllocates)
+{
+    config.scheme = PrefetchScheme::Srp;
+    HwPrefetchEngine engine(config, mem);
+    engine.onL2DemandMiss(0x40000, 0, LoadHints{});
+    engine.onL2DemandMiss(0x40000 + 3 * kBlockBytes, 0, LoadHints{});
+    EXPECT_EQ(engine.stats().value("regionsAllocated"), 1u);
+    EXPECT_EQ(engine.stats().value("regionsUpdated"), 1u);
+    EXPECT_EQ(drain(engine).size(), 62u);
+}
+
+TEST_F(HwEngineTest, ResetDropsPendingWork)
+{
+    config.scheme = PrefetchScheme::Srp;
+    HwPrefetchEngine engine(config, mem);
+    engine.onL2DemandMiss(0x40000, 0, LoadHints{});
+    engine.reset();
+    EXPECT_TRUE(drain(engine).empty());
+}
+
+} // namespace
+} // namespace grp

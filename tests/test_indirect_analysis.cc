@@ -1,0 +1,133 @@
+/** @file Unit tests for indirect detection and instruction
+ *  insertion (§4.3). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/builder.hh"
+#include "compiler/indirect_analysis.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class IndirectTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    FunctionalMemory mem;
+};
+
+TEST_F(IndirectTest, InsertsInstructionBeforeReference)
+{
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 4, {1024});
+    const ArrayId data = b.array("a", 8, {64 * 1024});
+    const VarId i = b.forLoop(0, 1024);
+    b.arrayRef(data,
+               {Subscript::indirect(idx, Affine::var(i), 2, 5)});
+    b.end();
+    Program prog = b.build();
+
+    IndirectAnalysis analysis;
+    EXPECT_EQ(analysis.run(prog), 1u);
+
+    const auto &body = prog.top[0].loop.body;
+    ASSERT_EQ(body.size(), 2u);
+    const Stmt &pf = body[0].stmt;
+    EXPECT_EQ(pf.kind, StmtKind::IndirectPf);
+    EXPECT_EQ(pf.targetArray, data);
+    EXPECT_EQ(pf.indexArray, idx);
+    EXPECT_EQ(pf.scale, 2);
+    EXPECT_EQ(pf.indexOffset, 5);
+    // One instruction per 64 B of 4-byte indices.
+    EXPECT_EQ(pf.everyN, 16u);
+    EXPECT_EQ(body[1].stmt.kind, StmtKind::ArrayRef);
+}
+
+TEST_F(IndirectTest, NoInsertionOutsideLoops)
+{
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 4, {16});
+    const ArrayId data = b.array("a", 8, {1024});
+    b.arrayRef(data, {Subscript::indirect(idx, Affine::of(3))});
+    Program prog = b.build();
+    IndirectAnalysis analysis;
+    EXPECT_EQ(analysis.run(prog), 0u);
+}
+
+TEST_F(IndirectTest, NoInsertionForNonInductionIndex)
+{
+    // The index expression does not depend on any loop variable.
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 4, {16});
+    const ArrayId data = b.array("a", 8, {1024});
+    b.forLoop(0, 8);
+    b.arrayRef(data, {Subscript::indirect(idx, Affine::of(3))});
+    b.end();
+    Program prog = b.build();
+    IndirectAnalysis analysis;
+    EXPECT_EQ(analysis.run(prog), 0u);
+    EXPECT_EQ(prog.top[0].loop.body.size(), 1u);
+}
+
+TEST_F(IndirectTest, PlainAffineReferencesUntouched)
+{
+    ProgramBuilder b(mem);
+    const ArrayId data = b.array("a", 8, {1024});
+    const VarId i = b.forLoop(0, 8);
+    b.arrayRef(data, {Subscript::affine(Affine::var(i))});
+    b.end();
+    Program prog = b.build();
+    IndirectAnalysis analysis;
+    EXPECT_EQ(analysis.run(prog), 0u);
+}
+
+TEST_F(IndirectTest, EveryNScalesWithIndexElementSize)
+{
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 8, {1024}); // 8-byte indices.
+    const ArrayId data = b.array("a", 8, {64 * 1024});
+    const VarId i = b.forLoop(0, 1024);
+    b.arrayRef(data, {Subscript::indirect(idx, Affine::var(i))});
+    b.end();
+    Program prog = b.build();
+    IndirectAnalysis analysis;
+    ASSERT_EQ(analysis.run(prog), 1u);
+    EXPECT_EQ(prog.top[0].loop.body[0].stmt.everyN, 8u);
+}
+
+TEST_F(IndirectTest, NestedLoopsAreSearched)
+{
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 4, {1024});
+    const ArrayId data = b.array("a", 8, {64 * 1024});
+    b.forLoop(0, 4);
+    const VarId i = b.forLoop(0, 256);
+    b.arrayRef(data, {Subscript::indirect(idx, Affine::var(i))});
+    b.end();
+    b.end();
+    Program prog = b.build();
+    IndirectAnalysis analysis;
+    EXPECT_EQ(analysis.run(prog), 1u);
+}
+
+TEST_F(IndirectTest, OneInstructionPerReference)
+{
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 4, {1024});
+    const ArrayId data = b.array("a", 8, {64 * 1024});
+    const VarId i = b.forLoop(0, 256);
+    b.arrayRef(data, {Subscript::indirect(idx, Affine::var(i))});
+    b.arrayRef(data, {Subscript::indirect(idx, Affine::var(i))},
+               true);
+    b.end();
+    Program prog = b.build();
+    IndirectAnalysis analysis;
+    EXPECT_EQ(analysis.run(prog), 2u);
+    EXPECT_EQ(prog.top[0].loop.body.size(), 4u);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,130 @@
+/** @file Unit tests for induction-variable/pointer recognition. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/induction.hh"
+#include "compiler/builder.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class InductionTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    FunctionalMemory mem;
+};
+
+TEST_F(InductionTest, RecognisesConstantPointerIncrement)
+{
+    // Figure 5: for (; p < s; p += c) { ...*p... }
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, 0x1000);
+    b.forLoop(0, 100);
+    b.ptrArrayRef(p, 8, Subscript::affine(Affine::of(0)));
+    b.ptrUpdateConst(p, 16);
+    b.end();
+    Program prog = b.build();
+
+    InductionAnalysis analysis;
+    analysis.run(prog);
+    EXPECT_EQ(analysis.pairCount(), 1u);
+    const Loop *loop = &prog.top[0].loop;
+    EXPECT_EQ(analysis.strideOf(loop, p), 16);
+    LoopNest nest{loop};
+    EXPECT_TRUE(analysis.isSpatialInductionPtr(nest, p));
+}
+
+TEST_F(InductionTest, LargeStridesAreNotSpatial)
+{
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, 0x1000);
+    b.forLoop(0, 100);
+    b.ptrUpdateConst(p, 8192); // Jumps pages.
+    b.end();
+    Program prog = b.build();
+    InductionAnalysis analysis;
+    analysis.run(prog);
+    const Loop *loop = &prog.top[0].loop;
+    EXPECT_EQ(analysis.strideOf(loop, p), 8192);
+    LoopNest nest{loop};
+    EXPECT_FALSE(analysis.isSpatialInductionPtr(nest, p));
+}
+
+TEST_F(InductionTest, FieldWalkDisqualifiesInduction)
+{
+    // p += c and p = p->next in the same loop: not an induction
+    // pointer.
+    ProgramBuilder b(mem);
+    const TypeId t = b.structType("t", 64, {{"next", 8, true, 0}});
+    const PtrId p = b.ptr("p", t, 0x1000);
+    b.forLoop(0, 100);
+    b.ptrUpdateConst(p, 64);
+    b.ptrUpdateField(p, 8);
+    b.end();
+    Program prog = b.build();
+    InductionAnalysis analysis;
+    analysis.run(prog);
+    EXPECT_EQ(analysis.strideOf(&prog.top[0].loop, p), 0);
+}
+
+TEST_F(InductionTest, ArrayReloadDisqualifiesInduction)
+{
+    // p = buf[i] each iteration: p is not a constant induction.
+    ProgramBuilder b(mem);
+    const ArrayId buf = b.array("buf", 8, {64});
+    const PtrId p = b.ptr("p");
+    const VarId i = b.forLoop(0, 64);
+    b.ptrLoadFromArray(p, buf, Subscript::affine(Affine::var(i)));
+    b.ptrUpdateConst(p, 8);
+    b.end();
+    Program prog = b.build();
+    InductionAnalysis analysis;
+    analysis.run(prog);
+    EXPECT_EQ(analysis.strideOf(&prog.top[0].loop, p), 0);
+}
+
+TEST_F(InductionTest, ConflictingStridesDisqualify)
+{
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, 0x1000);
+    b.forLoop(0, 100);
+    b.ptrUpdateConst(p, 16);
+    b.ptrUpdateConst(p, 32);
+    b.end();
+    Program prog = b.build();
+    InductionAnalysis analysis;
+    analysis.run(prog);
+    EXPECT_EQ(analysis.strideOf(&prog.top[0].loop, p), 0);
+}
+
+TEST_F(InductionTest, NegativeStrideIsSpatial)
+{
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, 0x100000);
+    b.forLoop(0, 100);
+    b.ptrUpdateConst(p, -8);
+    b.end();
+    Program prog = b.build();
+    InductionAnalysis analysis;
+    analysis.run(prog);
+    LoopNest nest{&prog.top[0].loop};
+    EXPECT_TRUE(analysis.isSpatialInductionPtr(nest, p));
+}
+
+TEST_F(InductionTest, OutsideLoopsNothingIsInduction)
+{
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, 0x1000);
+    b.ptrUpdateConst(p, 8); // Top level: not in any loop.
+    Program prog = b.build();
+    InductionAnalysis analysis;
+    analysis.run(prog);
+    EXPECT_EQ(analysis.pairCount(), 0u);
+}
+
+} // namespace
+} // namespace grp

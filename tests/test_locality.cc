@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the spatial locality analysis (Figure 7),
+ * exercising the paper's Figure 3-6 example shapes and the §5.4
+ * policy variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/builder.hh"
+#include "compiler/hint_generator.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+constexpr uint64_t kL2 = 1024 * 1024;
+
+class LocalityTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    HintTable
+    analyse(Program &prog,
+            CompilerPolicy policy = CompilerPolicy::Default)
+    {
+        HintTable table;
+        HintGenerator generator(policy, kL2);
+        generator.run(prog, table);
+        return table;
+    }
+
+    FunctionalMemory mem;
+};
+
+TEST_F(LocalityTest, Figure3FortranColumnMajor)
+{
+    // do j: do i: a(i,j) — spatial; c(b(i), j) — indirect target.
+    ProgramBuilder b(mem);
+    ArrayOpts fortran;
+    fortran.columnMajor = true;
+    const ArrayId a = b.array("a", 8, {128, 128}, fortran);
+    const VarId j = b.forLoop(0, 128);
+    const VarId i = b.forLoop(0, 128);
+    const RefId a_ref =
+        b.arrayRef(a, {Subscript::affine(Affine::var(i)),
+                       Subscript::affine(Affine::var(j))});
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(a_ref).spatial());
+}
+
+TEST_F(LocalityTest, RowMajorNeedsInnerLastDimension)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {512, 512}); // C layout.
+    const VarId i = b.forLoop(0, 512);
+    const VarId j = b.forLoop(0, 512);
+    const RefId good =
+        b.arrayRef(a, {Subscript::affine(Affine::var(i)),
+                       Subscript::affine(Affine::var(j))});
+    b.end();
+    b.end();
+    // Transposed nest: inner loop walks the row dimension.
+    const ArrayId c = b.array("c", 8, {512, 512});
+    const VarId jj = b.forLoop(0, 512);
+    const VarId ii = b.forLoop(0, 512);
+    const RefId transposed =
+        b.arrayRef(c, {Subscript::affine(Affine::var(ii)),
+                       Subscript::affine(Affine::var(jj))});
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(good).spatial());
+    // 512x8 B = 4 KB per inner sweep: outer-carried reuse fits the
+    // L2, so the default policy still marks it.
+    EXPECT_TRUE(table.get(transposed).spatial());
+}
+
+TEST_F(LocalityTest, TransposeBeyondL2IsUnmarkedByDefault)
+{
+    // a[i][j] with inner i: the spatial dimension (j, outer) is
+    // reused only after the inner sweep touches 2 MB > L2.
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {256 * 1024, 64});
+    const VarId j = b.forLoop(0, 64);
+    const VarId i = b.forLoop(0, 256 * 1024);
+    const RefId ref =
+        b.arrayRef(a, {Subscript::affine(Affine::var(i)),
+                       Subscript::affine(Affine::var(j))});
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable def = analyse(prog);
+    EXPECT_FALSE(def.get(ref).spatial());
+}
+
+TEST_F(LocalityTest, PolicyChangesOuterMarking)
+{
+    auto build = [&](FunctionalMemory &fmem) {
+        ProgramBuilder b(fmem);
+        // a[i][o]: spatial dimension carried by the outer loop;
+        // volume per outer iteration = 512K elems * 8 B = 4 MB > L2.
+        const ArrayId a = b.array("a", 8, {512 * 1024, 64});
+        const VarId o = b.forLoop(0, 64);
+        const VarId i = b.forLoop(0, 512 * 1024);
+        b.arrayRef(a, {Subscript::affine(Affine::var(i)),
+                       Subscript::affine(Affine::var(o))});
+        b.end();
+        b.end();
+        return b.build();
+    };
+
+    FunctionalMemory m1, m2, m3;
+    Program conservative_prog = build(m1);
+    Program default_prog = build(m2);
+    Program aggressive_prog = build(m3);
+
+    HintTable conservative =
+        analyse(conservative_prog, CompilerPolicy::Conservative);
+    HintTable def = analyse(default_prog, CompilerPolicy::Default);
+    HintTable aggressive =
+        analyse(aggressive_prog, CompilerPolicy::Aggressive);
+
+    // Spatial-dimension reuse is carried by the outer loop with a
+    // 4 MB volume: only the aggressive policy marks it.
+    EXPECT_FALSE(conservative.get(0).spatial());
+    EXPECT_FALSE(def.get(0).spatial());
+    EXPECT_TRUE(aggressive.get(0).spatial());
+}
+
+TEST_F(LocalityTest, ConservativeDropsOuterFitsMarks)
+{
+    auto build = [&](FunctionalMemory &fmem) {
+        ProgramBuilder b(fmem);
+        const ArrayId a = b.array("a", 8, {128, 64});
+        const VarId o = b.forLoop(0, 64);
+        const VarId i = b.forLoop(0, 128);
+        b.arrayRef(a, {Subscript::affine(Affine::var(i)),
+                       Subscript::affine(Affine::var(o))});
+        b.end();
+        b.end();
+        return b.build();
+    };
+    FunctionalMemory m1, m2;
+    Program p1 = build(m1), p2 = build(m2);
+    HintTable conservative = analyse(p1, CompilerPolicy::Conservative);
+    HintTable def = analyse(p2, CompilerPolicy::Default);
+    EXPECT_FALSE(conservative.get(0).spatial());
+    EXPECT_TRUE(def.get(0).spatial()); // 1 KB volume fits easily.
+}
+
+TEST_F(LocalityTest, RandomSubscriptIsNeverSpatial)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {4096});
+    b.forLoop(0, 100);
+    const RefId ref = b.arrayRef(a, {Subscript::random(4096)});
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog, CompilerPolicy::Aggressive);
+    EXPECT_FALSE(table.get(ref).spatial());
+}
+
+TEST_F(LocalityTest, Figure4HeapArrayOfPointers)
+{
+    // T **buf: buf[i] spatial (and pointer, tested elsewhere);
+    // buf[i][j] spatial through the row pointer.
+    ProgramBuilder b(mem);
+    ArrayOpts opts;
+    opts.heap = true;
+    opts.elemIsPointer = true;
+    const ArrayId buf = b.array("buf", 8, {64}, opts);
+    const PtrId row = b.ptr("row");
+    const VarId i = b.forLoop(0, 64);
+    const RefId row_load =
+        b.ptrLoadFromArray(row, buf, Subscript::affine(Affine::var(i)));
+    const VarId j = b.forLoop(0, 64);
+    const RefId elem =
+        b.ptrArrayRef(row, 8, Subscript::affine(Affine::var(j)));
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(row_load).spatial());
+    EXPECT_TRUE(table.get(elem).spatial());
+}
+
+TEST_F(LocalityTest, Figure5InductionPointerDereference)
+{
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, 0x1000);
+    b.forLoop(0, 100);
+    const RefId deref =
+        b.ptrArrayRef(p, 8, Subscript::affine(Affine::of(0)));
+    b.ptrUpdateConst(p, 8);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(deref).spatial());
+}
+
+TEST_F(LocalityTest, Figure6ListWalkIsNotSpatial)
+{
+    ProgramBuilder b(mem);
+    const TypeId t = b.structType("t", 64, {{"next", 8, true, 0}});
+    const Addr head = mem.heapAlloc(64);
+    const PtrId a = b.ptr("a", t, head);
+    b.whileLoop(a, 100);
+    const RefId field = b.ptrRef(a, 0);
+    const RefId walk = b.ptrUpdateField(a, 8);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_FALSE(table.get(field).spatial());
+    EXPECT_FALSE(table.get(walk).spatial());
+}
+
+TEST_F(LocalityTest, PropagationThroughSpatialPointerLoad)
+{
+    // p = buf[i] (spatial) => p->f marked spatial (Figure 7's
+    // do/while propagation).
+    ProgramBuilder b(mem);
+    ArrayOpts opts;
+    opts.heap = true;
+    opts.elemIsPointer = true;
+    const ArrayId buf = b.array("buf", 8, {64}, opts);
+    const TypeId t = b.structType("t", 64, {{"f", 8, false, kNoId}});
+    const PtrId p = b.ptr("p", t);
+    const VarId i = b.forLoop(0, 64);
+    b.ptrLoadFromArray(p, buf, Subscript::affine(Affine::var(i)));
+    const RefId field = b.ptrRef(p, 8);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(field).spatial());
+}
+
+TEST_F(LocalityTest, NoPropagationFromRandomPointerLoad)
+{
+    ProgramBuilder b(mem);
+    ArrayOpts opts;
+    opts.heap = true;
+    opts.elemIsPointer = true;
+    const ArrayId buf = b.array("buf", 8, {4096}, opts);
+    const TypeId t = b.structType("t", 64, {{"f", 8, false, kNoId}});
+    const PtrId p = b.ptr("p", t);
+    b.forLoop(0, 64);
+    b.ptrLoadFromArray(p, buf, Subscript::random(4096));
+    const RefId field = b.ptrRef(p, 8);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_FALSE(table.get(field).spatial());
+}
+
+TEST_F(LocalityTest, ReferencesOutsideLoopsAreUnmarked)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {64});
+    const RefId ref =
+        b.arrayRef(a, {Subscript::affine(Affine::of(3))});
+    Program prog = b.build();
+    HintTable table = analyse(prog, CompilerPolicy::Aggressive);
+    EXPECT_FALSE(table.get(ref).spatial());
+}
+
+TEST_F(LocalityTest, IndexArrayOfIndirectAccessIsSpatial)
+{
+    ProgramBuilder b(mem);
+    const ArrayId idx = b.array("b", 4, {4096});
+    const ArrayId data = b.array("a", 8, {64 * 1024});
+    const VarId i = b.forLoop(0, 4096);
+    const RefId target =
+        b.arrayRef(data, {Subscript::indirect(idx, Affine::var(i))});
+    b.end();
+    Program prog = b.build();
+
+    // Find the embedded index load's RefId.
+    const Stmt &stmt = prog.top[0].loop.body.back().stmt;
+    const RefId index_ref = stmt.subs[0].indexRefId;
+
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(index_ref).spatial());
+    EXPECT_FALSE(table.get(target).spatial());
+}
+
+} // namespace
+} // namespace grp

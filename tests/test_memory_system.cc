@@ -1,0 +1,249 @@
+/** @file Integration tests for the memory hierarchy timing model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine_factory.hh"
+#include "mem/memory_system.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class MemorySystemTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        mem = std::make_unique<MemorySystem>(config, events);
+        mem->setLoadCallback(
+            [this](uint64_t token) { completed.push_back(token); });
+    }
+
+    void
+    runTo(Tick when)
+    {
+        for (Tick t = events.curTick(); t <= when; ++t) {
+            events.advanceTo(t);
+            mem->tick();
+        }
+    }
+
+    /** Run until the load with @p token completes; returns the
+     *  completion tick. */
+    Tick
+    runUntilDone(uint64_t token, Tick limit = 10'000)
+    {
+        for (Tick t = events.curTick(); t <= limit; ++t) {
+            events.advanceTo(t);
+            mem->tick();
+            for (uint64_t done : completed) {
+                if (done == token)
+                    return t;
+            }
+        }
+        ADD_FAILURE() << "load " << token << " never completed";
+        return 0;
+    }
+
+    SimConfig config;
+    EventQueue events;
+    std::unique_ptr<MemorySystem> mem;
+    std::vector<uint64_t> completed;
+};
+
+TEST_F(MemorySystemTest, ColdLoadPaysDramLatency)
+{
+    ASSERT_TRUE(mem->load(0x10000, 0, {}, 1));
+    const Tick done = runUntilDone(1);
+    // At least row conflict + transfer + L1 fill.
+    EXPECT_GE(done, config.dram.rowConflictCycles +
+                        config.dram.transferCycles);
+    EXPECT_EQ(mem->stats().value("demandToMemory"), 1u);
+    EXPECT_EQ(mem->trafficBytes(), kBlockBytes);
+}
+
+TEST_F(MemorySystemTest, L1HitIsFast)
+{
+    ASSERT_TRUE(mem->load(0x10000, 0, {}, 1));
+    runUntilDone(1);
+    completed.clear();
+    ASSERT_TRUE(mem->load(0x10008, 0, {}, 2));
+    const Tick start = events.curTick();
+    const Tick done = runUntilDone(2);
+    EXPECT_LE(done - start, config.l1d.latency + 1);
+    // No new memory traffic.
+    EXPECT_EQ(mem->trafficBytes(), kBlockBytes);
+}
+
+TEST_F(MemorySystemTest, L2HitAvoidsDram)
+{
+    ASSERT_TRUE(mem->load(0x10000, 0, {}, 1));
+    runUntilDone(1);
+    // Evict from L1 by filling its set: L1 is 64 KB 2-way -> 512
+    // sets; same set repeats every 32 KB.
+    ASSERT_TRUE(mem->load(0x10000 + 32 * 1024, 0, {}, 2));
+    runUntilDone(2);
+    ASSERT_TRUE(mem->load(0x10000 + 64 * 1024, 0, {}, 3));
+    runUntilDone(3);
+    completed.clear();
+    const uint64_t traffic_before = mem->trafficBytes();
+    ASSERT_TRUE(mem->load(0x10000, 0, {}, 4));
+    const Tick start = events.curTick();
+    const Tick done = runUntilDone(4);
+    EXPECT_LE(done - start, config.l1d.latency + config.l2.latency + 2);
+    EXPECT_EQ(mem->trafficBytes(), traffic_before);
+}
+
+TEST_F(MemorySystemTest, CoalescedLoadsShareOneFill)
+{
+    ASSERT_TRUE(mem->load(0x20000, 0, {}, 1));
+    ASSERT_TRUE(mem->load(0x20008, 0, {}, 2));
+    runUntilDone(1);
+    runUntilDone(2);
+    EXPECT_EQ(mem->stats().value("demandToMemory"), 1u);
+}
+
+TEST_F(MemorySystemTest, MshrExhaustionStallsNewMisses)
+{
+    // 8 L1 MSHRs: the ninth distinct-block miss must be refused.
+    for (unsigned i = 0; i < 8; ++i)
+        ASSERT_TRUE(mem->load(0x40000 + i * kBlockBytes, 0, {}, i));
+    EXPECT_FALSE(mem->load(0x80000, 0, {}, 99));
+    EXPECT_GT(mem->stats().value("l1MshrStalls"), 0u);
+    runUntilDone(7);
+    EXPECT_TRUE(mem->load(0x80000, 0, {}, 99));
+}
+
+TEST_F(MemorySystemTest, StoresWriteAllocateAndWriteBack)
+{
+    ASSERT_TRUE(mem->store(0x30000, 0, {}));
+    runTo(2000);
+    EXPECT_EQ(mem->stats().value("demandToMemory"), 1u);
+
+    // Push the dirty line out of the L1 (32 KB apart -> same set)
+    // and then out of the L2 (256 KB apart -> same L2 set).
+    for (unsigned i = 1; i <= 2; ++i) {
+        ASSERT_TRUE(
+            mem->load(0x30000 + i * 32 * 1024, 0, {}, 100 + i));
+        runUntilDone(100 + i);
+    }
+    for (unsigned i = 1; i <= 4; ++i) {
+        ASSERT_TRUE(
+            mem->load(0x30000 + i * 256 * 1024, 0, {}, 200 + i));
+        runUntilDone(200 + i);
+    }
+    runTo(events.curTick() + 2000);
+    EXPECT_GE(mem->stats().value("writebacksQueued"), 1u);
+    EXPECT_GE(mem->stats().value("writebacks"), 1u);
+}
+
+TEST_F(MemorySystemTest, PerfectL1NeverTouchesMemory)
+{
+    config.perfection = Perfection::PerfectL1;
+    MemorySystem perfect(config, events);
+    std::vector<uint64_t> done;
+    perfect.setLoadCallback(
+        [&done](uint64_t token) { done.push_back(token); });
+    ASSERT_TRUE(perfect.load(0xdeadbe00, 0, {}, 1));
+    ASSERT_TRUE(perfect.store(0xdeadbe40, 0, {}));
+    for (Tick t = 0; t < 20; ++t) {
+        events.advanceTo(events.curTick() + 1);
+        perfect.tick();
+    }
+    EXPECT_EQ(done.size(), 1u);
+    EXPECT_EQ(perfect.trafficBytes(), 0u);
+}
+
+TEST_F(MemorySystemTest, PerfectL2NeverTouchesMemory)
+{
+    config.perfection = Perfection::PerfectL2;
+    MemorySystem perfect(config, events);
+    std::vector<uint64_t> done;
+    perfect.setLoadCallback(
+        [&done](uint64_t token) { done.push_back(token); });
+    ASSERT_TRUE(perfect.load(0x123400, 0, {}, 1));
+    for (Tick t = 0; t < 100 && done.empty(); ++t) {
+        events.advanceTo(events.curTick() + 1);
+        perfect.tick();
+    }
+    EXPECT_EQ(done.size(), 1u);
+    EXPECT_EQ(perfect.trafficBytes(), 0u);
+}
+
+TEST_F(MemorySystemTest, QuiescedTracksOutstandingWork)
+{
+    EXPECT_TRUE(mem->quiesced());
+    ASSERT_TRUE(mem->load(0x50000, 0, {}, 1));
+    EXPECT_FALSE(mem->quiesced());
+    runUntilDone(1);
+    runTo(events.curTick() + 1);
+    EXPECT_TRUE(mem->quiesced());
+}
+
+class SrpIntegration : public MemorySystemTest
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        config.scheme = PrefetchScheme::Srp;
+        mem = std::make_unique<MemorySystem>(config, events);
+        mem->setLoadCallback(
+            [this](uint64_t token) { completed.push_back(token); });
+        engine = makePrefetchEngine(config, fmem, *mem);
+    }
+
+    FunctionalMemory fmem;
+    std::unique_ptr<PrefetchEngine> engine;
+};
+
+TEST_F(SrpIntegration, MissTriggersRegionPrefetching)
+{
+    ASSERT_TRUE(mem->load(0x100000, 0, {}, 1));
+    runUntilDone(1);
+    runTo(events.curTick() + 5000); // Idle: prefetcher works.
+    EXPECT_GT(mem->stats().value("prefetchesIssued"), 0u);
+    EXPECT_GT(mem->stats().value("prefetchFills"), 0u);
+    // The prefetched neighbour now hits in the L2.
+    completed.clear();
+    const uint64_t to_memory = mem->stats().value("demandToMemory");
+    ASSERT_TRUE(mem->load(0x100000 + kBlockBytes, 0, {}, 2));
+    runUntilDone(2);
+    EXPECT_EQ(mem->stats().value("demandToMemory"), to_memory);
+    EXPECT_GT(mem->l2().stats().value("prefetchHits"), 0u);
+}
+
+TEST_F(SrpIntegration, PrefetchesWaitForDemandToDrain)
+{
+    // Queue a demand and a region together; while the demand is in
+    // flight no prefetch may issue.
+    ASSERT_TRUE(mem->load(0x200000, 0, {}, 1));
+    events.advanceTo(1);
+    mem->tick(); // Demand starts on its channel.
+    EXPECT_EQ(mem->stats().value("prefetchesIssued"), 0u);
+    runUntilDone(1);
+    runTo(events.curTick() + 3000);
+    EXPECT_GT(mem->stats().value("prefetchesIssued"), 0u);
+    EXPECT_GT(mem->stats().value("prefetchDemandThrottled"), 0u);
+}
+
+TEST_F(SrpIntegration, TrafficCountsPrefetches)
+{
+    ASSERT_TRUE(mem->load(0x300000, 0, {}, 1));
+    runUntilDone(1);
+    runTo(events.curTick() + 20'000);
+    const uint64_t fills = mem->stats().value("demandFills") +
+                           mem->stats().value("prefetchFills") +
+                           mem->stats().value("writebacks");
+    EXPECT_EQ(mem->trafficBytes(), fills * kBlockBytes);
+    // A full region should eventually be fetched.
+    EXPECT_EQ(mem->stats().value("prefetchFills"), 63u);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,116 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class MshrTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    MshrFile file{4, 2, "t"};
+};
+
+TEST_F(MshrTest, AllocateAndFindByBlock)
+{
+    Mshr &mshr = file.allocate(0x1234, false, {}, 0, 10);
+    EXPECT_EQ(mshr.blockAddr, blockAlign(0x1234));
+    EXPECT_EQ(file.find(0x1200), &mshr); // Same block.
+    EXPECT_EQ(file.find(0x2000), nullptr);
+    EXPECT_EQ(file.inFlight(), 1u);
+    EXPECT_EQ(file.demandInFlight(), 1u);
+}
+
+TEST_F(MshrTest, PrefetchAllocationIsNotDemand)
+{
+    file.allocate(0x1000, true, {}, 3, 0);
+    EXPECT_EQ(file.inFlight(), 1u);
+    EXPECT_EQ(file.demandInFlight(), 0u);
+}
+
+TEST_F(MshrTest, UpgradeOnDemandTarget)
+{
+    Mshr &mshr = file.allocate(0x1000, true, {}, 2, 0);
+    EXPECT_TRUE(file.addTarget(mshr, {1, false, 5}));
+    EXPECT_FALSE(mshr.isPrefetch);
+    EXPECT_EQ(file.demandInFlight(), 1u);
+    EXPECT_EQ(mshr.ptrDepth, 2u); // Depth survives the upgrade.
+}
+
+TEST_F(MshrTest, TargetListIsBounded)
+{
+    Mshr &mshr = file.allocate(0x1000, false, {}, 0, 0);
+    EXPECT_TRUE(file.addTarget(mshr, {1, false, 0}));
+    EXPECT_TRUE(file.addTarget(mshr, {2, true, 0}));
+    EXPECT_FALSE(file.addTarget(mshr, {3, false, 0}));
+    EXPECT_EQ(mshr.targets.size(), 2u);
+}
+
+TEST_F(MshrTest, FullAndDeallocate)
+{
+    for (int i = 0; i < 4; ++i)
+        file.allocate(0x1000 + 0x40 * i, i % 2 == 0, {}, 0, 0);
+    EXPECT_TRUE(file.full());
+    Mshr *mshr = file.find(0x1000);
+    ASSERT_NE(mshr, nullptr);
+    file.deallocate(*mshr);
+    EXPECT_FALSE(file.full());
+    EXPECT_EQ(file.find(0x1000), nullptr);
+    EXPECT_EQ(file.inFlight(), 3u);
+}
+
+TEST_F(MshrTest, DemandCountTracksDeallocation)
+{
+    Mshr &demand = file.allocate(0x1000, false, {}, 0, 0);
+    Mshr &prefetch = file.allocate(0x2000, true, {}, 0, 0);
+    EXPECT_EQ(file.demandInFlight(), 1u);
+    file.deallocate(demand);
+    EXPECT_EQ(file.demandInFlight(), 0u);
+    file.deallocate(prefetch);
+    EXPECT_EQ(file.demandInFlight(), 0u);
+    EXPECT_EQ(file.inFlight(), 0u);
+}
+
+TEST_F(MshrTest, DuplicateAllocationPanics)
+{
+    file.allocate(0x1000, false, {}, 0, 0);
+    EXPECT_THROW(file.allocate(0x1010, false, {}, 0, 0),
+                 std::logic_error);
+}
+
+TEST_F(MshrTest, AllocationWhenFullPanics)
+{
+    for (int i = 0; i < 4; ++i)
+        file.allocate(0x40ull * i, false, {}, 0, 0);
+    EXPECT_THROW(file.allocate(0x4000, false, {}, 0, 0),
+                 std::logic_error);
+}
+
+TEST_F(MshrTest, HintsAndDepthStored)
+{
+    LoadHints hints;
+    hints.flags = kHintSpatial | kHintRecursive;
+    Mshr &mshr = file.allocate(0x3000, false, hints, 6, 77);
+    EXPECT_TRUE(mshr.hints.spatial());
+    EXPECT_TRUE(mshr.hints.recursive());
+    EXPECT_EQ(mshr.ptrDepth, 6u);
+    EXPECT_EQ(mshr.allocated, 77u);
+}
+
+TEST_F(MshrTest, ResetClearsEverything)
+{
+    file.allocate(0x1000, false, {}, 0, 0);
+    file.reset();
+    EXPECT_EQ(file.inFlight(), 0u);
+    EXPECT_EQ(file.demandInFlight(), 0u);
+    EXPECT_EQ(file.find(0x1000), nullptr);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,179 @@
+/** @file Unit tests for pointer/recursive hint generation (Fig 8). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/builder.hh"
+#include "compiler/hint_generator.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class PointerAnalysisTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    HintTable
+    analyse(Program &prog)
+    {
+        HintTable table;
+        HintGenerator generator(CompilerPolicy::Default, 1 << 20);
+        generator.run(prog, table);
+        return table;
+    }
+
+    FunctionalMemory mem;
+};
+
+TEST_F(PointerAnalysisTest, Figure6RecursiveListWalk)
+{
+    // while (...) { ...a->f...; a = a->next; }
+    ProgramBuilder b(mem);
+    const TypeId t = b.structType(
+        "t", 64, {{"f", 0, false, kNoId}, {"next", 8, true, 0}});
+    const PtrId a = b.ptr("a", t, mem.heapAlloc(64));
+    b.whileLoop(a, 10);
+    const RefId field = b.ptrRef(a, 0);
+    const RefId walk = b.ptrUpdateField(a, 8);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+
+    // The walk updates a recurrent pointer: recursive (and pointer).
+    EXPECT_TRUE(table.get(walk).recursive());
+    EXPECT_TRUE(table.get(walk).pointer());
+    // The sibling field access touches a structure whose pointer
+    // field is accessed in the same loop: pointer hint.
+    EXPECT_TRUE(table.get(field).pointer());
+    EXPECT_FALSE(table.get(field).recursive());
+}
+
+TEST_F(PointerAnalysisTest, TreeDescentThroughSelectIsRecursive)
+{
+    ProgramBuilder b(mem);
+    const TypeId t = b.structType(
+        "node", 64,
+        {{"key", 0, false, kNoId},
+         {"left", 8, true, 0},
+         {"right", 16, true, 0}});
+    const PtrId n = b.ptr("n", t, mem.heapAlloc(64));
+    b.whileLoop(n, 10);
+    const RefId descend = b.ptrSelectField(n, n, {8, 16});
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(descend).recursive());
+}
+
+TEST_F(PointerAnalysisTest, NonRecurrentPointerFieldIsPointerOnly)
+{
+    // A structure's pointer field points to a *different* type:
+    // pointer hint without recursion (the ammp shape).
+    ProgramBuilder b(mem);
+    const TypeId other = b.structType("other", 64, {});
+    const TypeId t = b.structType(
+        "t", 64, {{"val", 0, false, kNoId}, {"buddy", 8, true, other}});
+    const PtrId a = b.ptr("a", t, mem.heapAlloc(64));
+    const PtrId buddy = b.ptr("buddy", t);
+    b.forLoop(0, 10);
+    const RefId val = b.ptrRef(a, 0);
+    const RefId follow = b.ptrSelectField(buddy, a, {8});
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(val).pointer());
+    EXPECT_TRUE(table.get(follow).pointer());
+    EXPECT_FALSE(table.get(follow).recursive());
+}
+
+TEST_F(PointerAnalysisTest, NoPointerHintWithoutPointerFieldAccess)
+{
+    // Only scalar fields accessed: no pointer hint, even though the
+    // type declares a pointer field somewhere.
+    ProgramBuilder b(mem);
+    const TypeId t = b.structType(
+        "t", 64, {{"x", 0, false, kNoId}, {"next", 8, true, 0}});
+    const PtrId a = b.ptr("a", t, mem.heapAlloc(64));
+    b.forLoop(0, 10);
+    const RefId x_ref = b.ptrRef(a, 0);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_FALSE(table.get(x_ref).pointer());
+}
+
+TEST_F(PointerAnalysisTest, SameLoopScopeIsRequired)
+{
+    // Pointer field accessed in a *different* loop: the scalar loop
+    // gets no pointer hints.
+    ProgramBuilder b(mem);
+    const TypeId t = b.structType(
+        "t", 64, {{"x", 0, false, kNoId}, {"next", 8, true, 0}});
+    const PtrId a = b.ptr("a", t, mem.heapAlloc(64));
+    b.forLoop(0, 10);
+    const RefId scalar_only = b.ptrRef(a, 0);
+    b.end();
+    b.whileLoop(a, 4);
+    b.ptrUpdateField(a, 8);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_FALSE(table.get(scalar_only).pointer());
+}
+
+TEST_F(PointerAnalysisTest, SpatialHeapPointerArrayGetsPointerHint)
+{
+    // Figure 4 / §4.5: buf[i] marked spatial over a heap array of
+    // pointers also gets the pointer hint, so GRP prefetches the
+    // pointed-to rows.
+    ProgramBuilder b(mem);
+    ArrayOpts opts;
+    opts.heap = true;
+    opts.elemIsPointer = true;
+    const ArrayId buf = b.array("buf", 8, {64}, opts);
+    const PtrId row = b.ptr("row");
+    const VarId i = b.forLoop(0, 64);
+    const RefId load =
+        b.ptrLoadFromArray(row, buf, Subscript::affine(Affine::var(i)));
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(load).spatial());
+    EXPECT_TRUE(table.get(load).pointer());
+}
+
+TEST_F(PointerAnalysisTest, StaticArrayOfPointersGetsNoPointerHint)
+{
+    // Not a heap array: the §4.5 rule does not apply.
+    ProgramBuilder b(mem);
+    ArrayOpts opts;
+    opts.elemIsPointer = true; // But not heap.
+    const ArrayId buf = b.array("buf", 8, {64}, opts);
+    const PtrId row = b.ptr("row");
+    const VarId i = b.forLoop(0, 64);
+    const RefId load =
+        b.ptrLoadFromArray(row, buf, Subscript::affine(Affine::var(i)));
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(load).spatial());
+    EXPECT_FALSE(table.get(load).pointer());
+}
+
+TEST_F(PointerAnalysisTest, UntypedPointersAreIgnored)
+{
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, mem.heapAlloc(64));
+    b.forLoop(0, 4);
+    const RefId ref = b.ptrRef(p, 0);
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_FALSE(table.get(ref).pointer());
+}
+
+} // namespace
+} // namespace grp

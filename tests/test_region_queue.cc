@@ -1,0 +1,225 @@
+/** @file Unit tests for the SRP/GRP prefetch queue. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/dram.hh"
+#include "prefetch/region_queue.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class RegionQueueTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    /** Drain every candidate for all channels. */
+    std::vector<Addr>
+    drain(RegionQueue &queue)
+    {
+        std::vector<Addr> out;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (unsigned ch = 0; ch < 4; ++ch) {
+                if (auto cand = queue.dequeue(dram, ch)) {
+                    out.push_back(cand->blockAddr);
+                    progress = true;
+                }
+            }
+        }
+        return out;
+    }
+
+    DramSystem dram{DramConfig{}};
+};
+
+TEST_F(RegionQueueTest, FullRegionExcludesMissBlock)
+{
+    RegionQueue queue(32, true, false);
+    const Addr miss = 0x10000 + 5 * kBlockBytes;
+    EXPECT_EQ(queue.noteSpatialMiss(miss, 64, 0, 1), 64u);
+    auto blocks = drain(queue);
+    EXPECT_EQ(blocks.size(), 63u); // All but the miss block.
+    std::set<Addr> unique(blocks.begin(), blocks.end());
+    EXPECT_EQ(unique.size(), 63u);
+    EXPECT_FALSE(unique.count(blockAlign(miss)));
+    for (Addr addr : blocks)
+        EXPECT_EQ(regionAlign(addr), regionAlign(miss));
+}
+
+TEST_F(RegionQueueTest, PresenceTestFiltersWindow)
+{
+    RegionQueue queue(32, true, false);
+    // Mark even blocks of the region present.
+    queue.setPresenceTest([](Addr addr) {
+        return (blockNumber(addr) % 2) == 0;
+    });
+    queue.noteSpatialMiss(0x40000 + kBlockBytes, 64, 0, 0);
+    auto blocks = drain(queue);
+    // 32 odd blocks minus the miss block (odd).
+    EXPECT_EQ(blocks.size(), 31u);
+    for (Addr addr : blocks)
+        EXPECT_EQ(blockNumber(addr) % 2, 1u);
+}
+
+TEST_F(RegionQueueTest, ScanStartsAfterMissAndWraps)
+{
+    RegionQueue queue(32, true, false);
+    const Addr region = 0x20000;
+    queue.noteSpatialMiss(region + 60 * kBlockBytes, 64, 0, 0);
+    // First candidate on channel of block 61 should be block 61
+    // (the next after the miss), not block 0.
+    const Addr block61 = region + 61 * kBlockBytes;
+    auto cand = queue.dequeue(dram, dram.channelOf(block61));
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(cand->blockAddr, block61);
+}
+
+TEST_F(RegionQueueTest, SecondMissUpdatesEntry)
+{
+    RegionQueue queue(32, true, false);
+    const Addr region = 0x30000;
+    EXPECT_EQ(queue.noteSpatialMiss(region, 64, 0, 0), 64u);
+    EXPECT_EQ(queue.size(), 1u);
+    // Second miss to the same region: no new allocation...
+    EXPECT_EQ(queue.noteSpatialMiss(region + 7 * kBlockBytes, 64, 0,
+                                    0),
+              0u);
+    EXPECT_EQ(queue.size(), 1u);
+    // ...and the new miss block is no longer a candidate.
+    auto blocks = drain(queue);
+    EXPECT_EQ(blocks.size(), 62u);
+    for (Addr addr : blocks)
+        EXPECT_NE(addr, region + 7 * kBlockBytes);
+}
+
+TEST_F(RegionQueueTest, LifoPrefersNewestRegion)
+{
+    RegionQueue queue(32, true, false);
+    queue.noteSpatialMiss(0x100000, 64, 0, 0);
+    queue.noteSpatialMiss(0x200000, 64, 0, 0);
+    for (unsigned ch = 0; ch < 4; ++ch) {
+        auto cand = queue.dequeue(dram, ch);
+        ASSERT_TRUE(cand.has_value());
+        EXPECT_EQ(regionAlign(cand->blockAddr), 0x200000u);
+    }
+}
+
+TEST_F(RegionQueueTest, FifoPrefersOldestRegion)
+{
+    RegionQueue queue(32, /*lifo=*/false, false);
+    queue.noteSpatialMiss(0x100000, 64, 0, 0);
+    queue.noteSpatialMiss(0x200000, 64, 0, 0);
+    auto cand = queue.dequeue(dram, 1);
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(regionAlign(cand->blockAddr), 0x100000u);
+}
+
+TEST_F(RegionQueueTest, CapacityDropsOldEntries)
+{
+    RegionQueue queue(2, true, false);
+    queue.noteSpatialMiss(0x100000, 64, 0, 0);
+    queue.noteSpatialMiss(0x200000, 64, 0, 0);
+    queue.noteSpatialMiss(0x300000, 64, 0, 0);
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.droppedCandidates(), 63u);
+    auto blocks = drain(queue);
+    for (Addr addr : blocks)
+        EXPECT_NE(regionAlign(addr), 0x100000u);
+}
+
+TEST_F(RegionQueueTest, VariableWindowIsAlignedAndSmall)
+{
+    RegionQueue queue(32, true, false);
+    // Window of 4 blocks around a miss at block index 6: the aligned
+    // window is blocks [4, 8).
+    const Addr region = 0x50000;
+    EXPECT_EQ(queue.noteSpatialMiss(region + 6 * kBlockBytes, 4, 0,
+                                    0),
+              4u);
+    auto blocks = drain(queue);
+    EXPECT_EQ(blocks.size(), 3u);
+    for (Addr addr : blocks) {
+        EXPECT_GE(addr, region + 4 * kBlockBytes);
+        EXPECT_LT(addr, region + 8 * kBlockBytes);
+        EXPECT_NE(addr, region + 6 * kBlockBytes);
+    }
+}
+
+TEST_F(RegionQueueTest, PointerTargetsFetchTwoBlocks)
+{
+    RegionQueue queue(32, true, false);
+    const Addr target = 0x60000 + 24; // Mid-block pointer.
+    queue.addPointerTarget(target, 2, 3, 9);
+    auto c1 = queue.dequeue(dram, dram.channelOf(blockAlign(target)));
+    ASSERT_TRUE(c1.has_value());
+    EXPECT_EQ(c1->blockAddr, blockAlign(target));
+    EXPECT_EQ(c1->ptrDepth, 3u);
+    EXPECT_EQ(c1->refId, 9u);
+    auto c2 = queue.dequeue(
+        dram, dram.channelOf(blockAlign(target) + kBlockBytes));
+    ASSERT_TRUE(c2.has_value());
+    EXPECT_EQ(c2->blockAddr, blockAlign(target) + kBlockBytes);
+}
+
+TEST_F(RegionQueueTest, PointerTargetMergeDeepensChase)
+{
+    RegionQueue queue(32, true, false);
+    queue.addPointerTarget(0x70000, 2, 1, 0);
+    queue.addPointerTarget(0x70000, 2, 5, 0);
+    EXPECT_EQ(queue.size(), 1u);
+    auto cand = queue.dequeue(dram, dram.channelOf(0x70000));
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(cand->ptrDepth, 5u);
+}
+
+TEST_F(RegionQueueTest, BankAwarePrefersOpenRows)
+{
+    RegionQueue queue(32, true, /*bank_aware=*/true);
+    DramSystem live(DramConfig{});
+    // Open the row containing region B on channel 0.
+    const Addr region_b = 0x800000;
+    live.serve(region_b, 0);
+    // Region A (closed row) is newer -> would win without
+    // bank-awareness.
+    queue.noteSpatialMiss(region_b, 64, 0, 0);
+    queue.noteSpatialMiss(0x400000, 64, 0, 0);
+    auto cand = queue.dequeue(live, 0);
+    ASSERT_TRUE(cand.has_value());
+    EXPECT_EQ(regionAlign(cand->blockAddr),
+              regionAlign(region_b));
+}
+
+TEST_F(RegionQueueTest, ChannelsAreRespected)
+{
+    RegionQueue queue(32, true, false);
+    queue.noteSpatialMiss(0x90000, 64, 0, 0);
+    DramSystem dram_local{DramConfig{}};
+    for (unsigned ch = 0; ch < 4; ++ch) {
+        for (int i = 0; i < 20; ++i) {
+            auto cand = queue.dequeue(dram_local, ch);
+            if (!cand)
+                break;
+            EXPECT_EQ(dram_local.channelOf(cand->blockAddr), ch);
+        }
+    }
+}
+
+TEST_F(RegionQueueTest, EmptyDequeueReturnsNothing)
+{
+    RegionQueue queue(32, true, true);
+    EXPECT_FALSE(queue.dequeue(dram, 0).has_value());
+    queue.noteSpatialMiss(0xa0000, 64, 0, 0);
+    queue.clear();
+    EXPECT_FALSE(queue.dequeue(dram, 0).has_value());
+    EXPECT_TRUE(queue.empty());
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,176 @@
+/** @file Unit tests for variable-size region analysis (§4.4). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/builder.hh"
+#include "compiler/hint_generator.hh"
+#include "compiler/region_size.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class RegionSizeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    HintTable
+    analyse(Program &prog)
+    {
+        HintTable table;
+        HintGenerator generator(CompilerPolicy::Default, 1 << 20);
+        generator.run(prog, table);
+        return table;
+    }
+
+    FunctionalMemory mem;
+};
+
+TEST(EncodeCoeff, PowersAndRounding)
+{
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(1), 0);
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(2), 1);
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(8), 3);
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(-8), 3);
+    // 2^x closest: 7 -> 8 (x=3), 5 -> 4 (x=2); ties round down.
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(7), 3);
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(6), 2);
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(5), 2);
+    // Capped below the reserved value 7.
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(1 << 10), 6);
+    EXPECT_EQ(RegionSizeAnalysis::encodeCoeff(0), kFixedRegionCoeff);
+}
+
+TEST_F(RegionSizeTest, ShortInnerLoopGetsSizeHint)
+{
+    // The mesa/sphinx shape: short known-bound run through a pointer.
+    ProgramBuilder b(mem);
+    const PtrId p = b.ptr("p", kNoId, mem.heapAlloc(4096, 64));
+    b.forLoop(0, 1000);
+    b.ptrUpdateConst(p, 4096); // Induction pointer (spatial base).
+    const VarId j = b.forLoop(0, 12);
+    const RefId ref =
+        b.ptrArrayRef(p, 8, Subscript::affine(Affine::var(j)));
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+
+    ASSERT_TRUE(table.get(ref).spatial());
+    EXPECT_TRUE(table.get(ref).sizeValid());
+    EXPECT_EQ(table.get(ref).sizeCoeff, 3); // 8-byte stride.
+    EXPECT_EQ(table.get(ref).loopBound, 12u);
+    // 12 << 3 = 96 bytes -> 2 blocks.
+    EXPECT_EQ(table.get(ref).regionBlocks(64), 2u);
+}
+
+TEST_F(RegionSizeTest, UnknownBoundStaysFixed)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {1 << 16});
+    const VarId i = b.forLoop(0, 64, 1, /*bound_known=*/false);
+    const RefId ref =
+        b.arrayRef(a, {Subscript::affine(Affine::var(i))});
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(ref).spatial());
+    EXPECT_FALSE(table.get(ref).sizeValid());
+    EXPECT_EQ(table.get(ref).regionBlocks(64), 64u);
+}
+
+TEST_F(RegionSizeTest, SequentialContinuationSuppressesHint)
+{
+    // The applu shape: a[16*r + j] — the outer loop continues the
+    // run, so clamping the region to the inner bound would lose
+    // useful prefetches.
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {1 << 16});
+    const VarId r = b.forLoop(0, 1024);
+    const VarId j = b.forLoop(0, 16);
+    Affine expr = Affine::var(r, 16);
+    expr.terms.push_back({j, 1});
+    const RefId ref = b.arrayRef(a, {Subscript::affine(expr)});
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(ref).spatial());
+    EXPECT_FALSE(table.get(ref).sizeValid());
+}
+
+TEST_F(RegionSizeTest, MultiDimContinuationSuppressesHint)
+{
+    // rsd(v,i,...) with 5 variables: the i loop continues the v run
+    // through the dimension stride.
+    ProgramBuilder b(mem);
+    ArrayOpts fortran;
+    fortran.columnMajor = true;
+    const ArrayId a = b.array("a", 8, {5, 64, 64}, fortran);
+    const VarId k = b.forLoop(0, 64);
+    const VarId i = b.forLoop(0, 64);
+    const VarId v = b.forLoop(0, 5);
+    const RefId ref =
+        b.arrayRef(a, {Subscript::affine(Affine::var(v)),
+                       Subscript::affine(Affine::var(i)),
+                       Subscript::affine(Affine::var(k))});
+    b.end();
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(ref).spatial());
+    EXPECT_FALSE(table.get(ref).sizeValid());
+}
+
+TEST_F(RegionSizeTest, NonContinuingOuterLoopKeepsHint)
+{
+    // a[4096*r + j]: the outer loop jumps far past the inner span,
+    // so the inner bound is the true spatial extent.
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {1 << 20});
+    const VarId r = b.forLoop(0, 64);
+    const VarId j = b.forLoop(0, 16);
+    Affine expr = Affine::var(r, 4096);
+    expr.terms.push_back({j, 1});
+    const RefId ref = b.arrayRef(a, {Subscript::affine(expr)});
+    b.end();
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(ref).spatial());
+    EXPECT_TRUE(table.get(ref).sizeValid());
+    EXPECT_EQ(table.get(ref).loopBound, 16u);
+}
+
+TEST_F(RegionSizeTest, NonSpatialReferencesGetNoSizeHint)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {1 << 16});
+    b.forLoop(0, 16);
+    const RefId ref = b.arrayRef(a, {Subscript::random(1 << 16)});
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_FALSE(table.get(ref).sizeValid());
+}
+
+TEST_F(RegionSizeTest, LongBoundClampsToFullRegion)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {1 << 20});
+    const VarId i = b.forLoop(0, 1 << 20);
+    const RefId ref =
+        b.arrayRef(a, {Subscript::affine(Affine::var(i))});
+    b.end();
+    Program prog = b.build();
+    HintTable table = analyse(prog);
+    EXPECT_TRUE(table.get(ref).sizeValid());
+    EXPECT_EQ(table.get(ref).regionBlocks(64), 64u);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,88 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace grp
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeStaysInRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10'000; ++i) {
+        const uint64_t value = rng.range(100, 200);
+        EXPECT_GE(value, 100u);
+        EXPECT_LT(value, 200u);
+    }
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(99);
+    double sum = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+        const double real = rng.real();
+        EXPECT_GE(real, 0.0);
+        EXPECT_LT(real, 1.0);
+        sum += real;
+    }
+    EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(5);
+    int hits = 0;
+    for (int i = 0; i < 10'000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10'000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ReseedRestoresSequence)
+{
+    Rng rng(21);
+    const uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(21);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, CoversLowValues)
+{
+    // All residues of a small modulus appear.
+    Rng rng(3);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool hit : seen)
+        EXPECT_TRUE(hit);
+}
+
+} // namespace
+} // namespace grp

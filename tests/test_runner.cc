@@ -1,0 +1,116 @@
+/** @file Unit tests for the experiment runner plumbing. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/runner.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class RunnerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        unsetenv("GRP_INSTRUCTIONS");
+    }
+
+    void TearDown() override { unsetenv("GRP_INSTRUCTIONS"); }
+};
+
+TEST_F(RunnerTest, InstructionBudgetDefaults)
+{
+    EXPECT_EQ(instructionBudget(123), 123u);
+}
+
+TEST_F(RunnerTest, InstructionBudgetReadsEnvironment)
+{
+    setenv("GRP_INSTRUCTIONS", "777000", 1);
+    EXPECT_EQ(instructionBudget(123), 777'000u);
+}
+
+TEST_F(RunnerTest, BadEnvironmentFallsBack)
+{
+    setenv("GRP_INSTRUCTIONS", "nonsense", 1);
+    EXPECT_EQ(instructionBudget(123), 123u);
+    setenv("GRP_INSTRUCTIONS", "-5", 1);
+    EXPECT_EQ(instructionBudget(123), 123u);
+    setenv("GRP_INSTRUCTIONS", "", 1);
+    EXPECT_EQ(instructionBudget(123), 123u);
+}
+
+TEST_F(RunnerTest, WarmupDefaultsToAQuarter)
+{
+    SimConfig config;
+    RunOptions opts;
+    opts.maxInstructions = 40'000; // Warmup defaults to 10'000.
+    const RunResult result = runWorkload("crafty", config, opts);
+    // The measured segment is maxInstructions long (within the
+    // retire-width tolerance), not max + warmup.
+    EXPECT_LT(result.instructions, 41'000u);
+    EXPECT_GT(result.instructions, 39'000u);
+}
+
+TEST_F(RunnerTest, ZeroWarmupMeasuresEverything)
+{
+    SimConfig config;
+    RunOptions opts;
+    opts.maxInstructions = 20'000;
+    opts.warmupInstructions = 0;
+    const RunResult result = runWorkload("crafty", config, opts);
+    EXPECT_GE(result.instructions + 4, 20'000u);
+}
+
+TEST_F(RunnerTest, MissRateUsesDemandAccesses)
+{
+    RunResult result;
+    result.l2DemandAccesses = 200;
+    result.l2MissesTotal = 50;
+    EXPECT_DOUBLE_EQ(result.missRatePct(), 25.0);
+    RunResult empty;
+    EXPECT_DOUBLE_EQ(empty.missRatePct(), 0.0);
+}
+
+TEST_F(RunnerTest, AccuracyClampsAndGuards)
+{
+    RunResult result;
+    EXPECT_DOUBLE_EQ(result.accuracy(), 0.0);
+    result.prefetchFills = 10;
+    result.usefulPrefetches = 5;
+    EXPECT_DOUBLE_EQ(result.accuracy(), 0.5);
+    result.usefulPrefetches = 15; // Warmup boundary artefact.
+    EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+}
+
+TEST_F(RunnerTest, SeedChangesIrregularRuns)
+{
+    SimConfig config;
+    RunOptions a, b;
+    a.maxInstructions = b.maxInstructions = 20'000;
+    a.seed = 1;
+    b.seed = 2;
+    const RunResult ra = runWorkload("twolf", config, a);
+    const RunResult rb = runWorkload("twolf", config, b);
+    EXPECT_NE(ra.cycles, rb.cycles);
+}
+
+TEST_F(RunnerTest, ResultCarriesSchemeAndPerfection)
+{
+    SimConfig config;
+    config.scheme = PrefetchScheme::Srp;
+    RunOptions opts;
+    opts.maxInstructions = 10'000;
+    const RunResult result = runWorkload("gzip", config, opts);
+    EXPECT_EQ(result.scheme, PrefetchScheme::Srp);
+    EXPECT_EQ(result.perfection, Perfection::None);
+    EXPECT_EQ(result.workload, "gzip");
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,101 @@
+/** @file Unit tests for the fundamental address arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace grp
+{
+namespace
+{
+
+TEST(Types, BlockAlignClearsLowBits)
+{
+    EXPECT_EQ(blockAlign(0x0), 0x0u);
+    EXPECT_EQ(blockAlign(0x3f), 0x0u);
+    EXPECT_EQ(blockAlign(0x40), 0x40u);
+    EXPECT_EQ(blockAlign(0x1234'5678), 0x1234'5640u);
+}
+
+TEST(Types, RegionAlignClearsTwelveBits)
+{
+    EXPECT_EQ(regionAlign(0xfff), 0x0u);
+    EXPECT_EQ(regionAlign(0x1000), 0x1000u);
+    EXPECT_EQ(regionAlign(0x1fff), 0x1000u);
+}
+
+TEST(Types, BlockInRegionCoversAllSlots)
+{
+    EXPECT_EQ(blockInRegion(0x0), 0u);
+    EXPECT_EQ(blockInRegion(0x40), 1u);
+    EXPECT_EQ(blockInRegion(0xfc0), 63u);
+    EXPECT_EQ(blockInRegion(0x1000), 0u);
+}
+
+TEST(Types, BlockNumber)
+{
+    EXPECT_EQ(blockNumber(0x0), 0u);
+    EXPECT_EQ(blockNumber(0x7f), 1u);
+    EXPECT_EQ(blockNumber(0x1000), 64u);
+}
+
+TEST(Types, RegionHoldsSixtyFourBlocks)
+{
+    EXPECT_EQ(kBlocksPerRegion, 64u);
+    EXPECT_EQ(kRegionBytes / kBlockBytes, kBlocksPerRegion);
+    EXPECT_EQ(1u << kBlockShift, kBlockBytes);
+    EXPECT_EQ(1u << kRegionShift, kRegionBytes);
+}
+
+TEST(Types, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(1ull << 33), 33u);
+}
+
+TEST(Types, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(63), 64u);
+    EXPECT_EQ(nextPowerOfTwo(65), 128u);
+}
+
+/** Property: alignment is idempotent and monotone over a sweep. */
+class AlignmentProperty : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(AlignmentProperty, Idempotent)
+{
+    const Addr addr = GetParam();
+    EXPECT_EQ(blockAlign(blockAlign(addr)), blockAlign(addr));
+    EXPECT_EQ(regionAlign(regionAlign(addr)), regionAlign(addr));
+    EXPECT_LE(blockAlign(addr), addr);
+    EXPECT_LE(regionAlign(addr), blockAlign(addr));
+    EXPECT_EQ(regionAlign(addr) + blockInRegion(addr) * kBlockBytes,
+              blockAlign(addr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlignmentProperty,
+                         ::testing::Values(0ull, 1ull, 63ull, 64ull,
+                                           4095ull, 4096ull,
+                                           0xdeadbeefull,
+                                           0xffff'ffff'ffc0ull));
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,9 @@
+#include <gtest/gtest.h>
+#include "sim/event_queue.hh"
+TEST(Smoke, EventQueue) {
+    grp::EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&fired] { ++fired; });
+    q.advanceTo(10);
+    EXPECT_EQ(fired, 1);
+}

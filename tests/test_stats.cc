@@ -1,0 +1,91 @@
+/** @file Unit tests for counters, distributions and group dumps. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace grp
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    ++counter;
+    counter += 41;
+    EXPECT_EQ(counter.value(), 42u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Distribution, SamplesAndMoments)
+{
+    Distribution dist;
+    dist.sample(2);
+    dist.sample(2);
+    dist.sample(6);
+    EXPECT_EQ(dist.samples(), 3u);
+    EXPECT_EQ(dist.sum(), 10u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 10.0 / 3.0);
+    EXPECT_EQ(dist.count(2), 2u);
+    EXPECT_EQ(dist.count(6), 1u);
+    EXPECT_EQ(dist.count(5), 0u);
+    EXPECT_EQ(dist.count(100), 0u);
+    EXPECT_DOUBLE_EQ(dist.fraction(2), 2.0 / 3.0);
+    EXPECT_EQ(dist.maxValue(), 6u);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution dist;
+    EXPECT_EQ(dist.samples(), 0u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(dist.fraction(3), 0.0);
+}
+
+TEST(StatGroup, CountersPersistByName)
+{
+    StatGroup group("test");
+    ++group.counter("hits");
+    ++group.counter("hits");
+    ++group.counter("misses");
+    EXPECT_EQ(group.value("hits"), 2u);
+    EXPECT_EQ(group.value("misses"), 1u);
+    EXPECT_EQ(group.value("absent"), 0u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup group("l2");
+    group.counter("hits") += 3;
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("l2.hits 3"), std::string::npos);
+}
+
+TEST(StatGroup, ResetZeroesAll)
+{
+    StatGroup group("g");
+    group.counter("a") += 5;
+    group.distribution("d").sample(2);
+    group.reset();
+    EXPECT_EQ(group.value("a"), 0u);
+    EXPECT_EQ(group.distribution("d").samples(), 0u);
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,128 @@
+/** @file Unit tests for the accuracy-throttled SRP extension. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "prefetch/throttled_srp.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class ThrottledSrpTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        config.scheme = PrefetchScheme::SrpThrottled;
+    }
+
+    /** Pull up to @p max candidates across all channels. */
+    unsigned
+    pull(ThrottledSrpEngine &engine, unsigned max)
+    {
+        unsigned issued = 0;
+        while (issued < max) {
+            bool any = false;
+            for (unsigned ch = 0; ch < 4 && issued < max; ++ch) {
+                if (engine.dequeuePrefetch(dram, ch)) {
+                    ++issued;
+                    any = true;
+                }
+            }
+            if (!any)
+                break;
+        }
+        return issued;
+    }
+
+    SimConfig config;
+    DramSystem dram{DramConfig{}};
+};
+
+TEST_F(ThrottledSrpTest, BehavesLikeSrpWhileAccurate)
+{
+    ThrottledSrpEngine engine(config, 0.2, 16);
+    engine.onL2DemandMiss(0x100000, 0, {});
+    EXPECT_FALSE(engine.throttled());
+    EXPECT_EQ(pull(engine, 63), 63u);
+}
+
+TEST_F(ThrottledSrpTest, ThrottlesWhenNothingIsUseful)
+{
+    ThrottledSrpEngine engine(config, 0.2, 16);
+    // Issue several windows of prefetches with zero usefulness.
+    for (unsigned region = 0; !engine.throttled() && region < 32;
+         ++region) {
+        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
+                              {});
+        pull(engine, 63);
+    }
+    EXPECT_TRUE(engine.throttled());
+    EXPECT_GT(engine.stats().value("throttleEvents"), 0u);
+    // While throttled, nothing issues.
+    engine.onL2DemandMiss(0x900000, 0, {});
+    EXPECT_EQ(pull(engine, 8), 0u);
+    EXPECT_GT(engine.stats().value("missesWhileThrottled"), 0u);
+}
+
+TEST_F(ThrottledSrpTest, UsefulFeedbackPreventsThrottle)
+{
+    ThrottledSrpEngine engine(config, 0.2, 16);
+    for (unsigned region = 0; region < 32; ++region) {
+        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
+                              {});
+        const unsigned issued = pull(engine, 63);
+        // Report a third of them useful: above the 20% floor.
+        for (unsigned i = 0; i < issued / 3; ++i)
+            engine.onPrefetchUseful(0);
+    }
+    EXPECT_FALSE(engine.throttled());
+}
+
+TEST_F(ThrottledSrpTest, ResumesAfterEnoughMisses)
+{
+    ThrottledSrpEngine engine(config, 0.9, 4);
+    // A 90% floor with no feedback throttles after one window.
+    for (unsigned region = 0; !engine.throttled() && region < 16;
+         ++region) {
+        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
+                              {});
+        pull(engine, 63);
+    }
+    ASSERT_TRUE(engine.throttled());
+    for (unsigned miss = 0; miss < 4; ++miss)
+        engine.onL2DemandMiss(0xa00000 + miss * kRegionBytes, 0, {});
+    EXPECT_FALSE(engine.throttled());
+    EXPECT_EQ(engine.stats().value("resumes"), 1u);
+    // The resuming miss allocates a region again.
+    engine.onL2DemandMiss(0xf00000, 0, {});
+    EXPECT_GT(pull(engine, 8), 0u);
+}
+
+TEST_F(ThrottledSrpTest, BadFloorIsFatal)
+{
+    EXPECT_THROW(ThrottledSrpEngine(config, 1.5, 4),
+                 std::runtime_error);
+}
+
+TEST_F(ThrottledSrpTest, ResetUnthrottles)
+{
+    ThrottledSrpEngine engine(config, 0.9, 1024);
+    for (unsigned region = 0; !engine.throttled() && region < 16;
+         ++region) {
+        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
+                              {});
+        pull(engine, 63);
+    }
+    ASSERT_TRUE(engine.throttled());
+    engine.reset();
+    EXPECT_FALSE(engine.throttled());
+    EXPECT_EQ(engine.stats().value("throttleEvents"), 0u);
+}
+
+} // namespace
+} // namespace grp

@@ -1,0 +1,144 @@
+/** @file Unit tests for the IR tree-walk helpers and suite
+ *  groupings. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compiler/builder.hh"
+#include "compiler/walk.hh"
+#include "harness/suite.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+class WalkTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    FunctionalMemory mem;
+};
+
+TEST_F(WalkTest, ForEachStmtSeesNestDepth)
+{
+    ProgramBuilder b(mem);
+    const ArrayId a = b.array("a", 8, {64});
+    b.compute(1); // Depth 0.
+    b.forLoop(0, 4);
+    b.compute(1); // Depth 1.
+    b.forLoop(0, 4);
+    b.arrayRef(a, {Subscript::affine(Affine::of(0))}); // Depth 2.
+    b.end();
+    b.end();
+    Program prog = b.build();
+
+    std::vector<size_t> depths;
+    forEachStmt(prog, [&](const Stmt &, const LoopNest &nest) {
+        depths.push_back(nest.size());
+    });
+    EXPECT_EQ(depths, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST_F(WalkTest, ForEachLoopVisitsOuterFirst)
+{
+    ProgramBuilder b(mem);
+    b.forLoop(0, 2);
+    b.forLoop(0, 3);
+    b.end();
+    b.end();
+    b.forLoop(0, 5);
+    b.end();
+    Program prog = b.build();
+
+    std::vector<int64_t> uppers;
+    forEachLoop(prog, [&](const Loop &loop, const LoopNest &nest) {
+        uppers.push_back(loop.upper);
+        if (loop.upper == 3)
+            EXPECT_EQ(nest.size(), 1u);
+        else
+            EXPECT_TRUE(nest.empty());
+    });
+    EXPECT_EQ(uppers, (std::vector<int64_t>{2, 3, 5}));
+}
+
+TEST_F(WalkTest, SpatialDimFollowsLayout)
+{
+    ArrayDecl row_major;
+    row_major.extents = {4, 8, 16};
+    row_major.columnMajor = false;
+    EXPECT_EQ(spatialDim(row_major), 2u);
+
+    ArrayDecl col_major = row_major;
+    col_major.columnMajor = true;
+    EXPECT_EQ(spatialDim(col_major), 0u);
+}
+
+TEST_F(WalkTest, AffineHelpers)
+{
+    Affine expr = Affine::var(3, 5, 7);
+    EXPECT_EQ(expr.constant, 7);
+    EXPECT_EQ(expr.coeffOf(3), 5);
+    EXPECT_EQ(expr.coeffOf(4), 0);
+    EXPECT_TRUE(expr.dependsOn(3));
+    EXPECT_FALSE(expr.dependsOn(4));
+    EXPECT_EQ(Affine::of(9).constant, 9);
+    EXPECT_TRUE(Affine::of(9).terms.empty());
+}
+
+class SuiteTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_F(SuiteTest, PerfSuiteExcludesCrafty)
+{
+    const auto names = perfSuite();
+    EXPECT_EQ(names.size(), 17u);
+    for (const auto &name : names)
+        EXPECT_NE(name, "crafty");
+}
+
+TEST_F(SuiteTest, IntAndFpPartition)
+{
+    const auto ints = intSuite();
+    const auto fps = fpSuite();
+    EXPECT_EQ(ints.size(), 8u); // gzip vpr mcf parser gap bzip2
+                                // twolf sphinx
+    EXPECT_EQ(fps.size(), 9u);  // wupwise swim mgrid applu mesa art
+                                // equake ammp apsi
+    for (const auto &name : ints) {
+        for (const auto &fp : fps)
+            EXPECT_NE(name, fp);
+    }
+}
+
+TEST_F(SuiteTest, MetricHelpers)
+{
+    RunResult fast, slow, perfect;
+    fast.ipc = 2.0;
+    slow.ipc = 1.0;
+    perfect.ipc = 4.0;
+    EXPECT_DOUBLE_EQ(speedup(fast, slow), 2.0);
+    EXPECT_DOUBLE_EQ(gapFromPerfect(fast, perfect), 50.0);
+    fast.trafficBytes = 300;
+    slow.trafficBytes = 100;
+    EXPECT_DOUBLE_EQ(trafficRatio(fast, slow), 3.0);
+}
+
+TEST_F(SuiteTest, CoverageAgainstBase)
+{
+    RunResult base, covered;
+    base.l2MissesToMemory = 100;
+    covered.l2MissesToMemory = 25;
+    EXPECT_DOUBLE_EQ(covered.coveragePct(base), 75.0);
+    RunResult worse;
+    worse.l2MissesToMemory = 120;
+    EXPECT_DOUBLE_EQ(worse.coveragePct(base), -20.0);
+}
+
+} // namespace
+} // namespace grp
