@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_throttle.dir/ext_throttle.cc.o"
+  "CMakeFiles/ext_throttle.dir/ext_throttle.cc.o.d"
+  "ext_throttle"
+  "ext_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_perfect_caches.dir/fig01_perfect_caches.cc.o"
+  "CMakeFiles/fig01_perfect_caches.dir/fig01_perfect_caches.cc.o.d"
+  "fig01_perfect_caches"
+  "fig01_perfect_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_perfect_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

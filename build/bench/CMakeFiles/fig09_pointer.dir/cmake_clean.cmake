@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pointer.dir/fig09_pointer.cc.o"
+  "CMakeFiles/fig09_pointer.dir/fig09_pointer.cc.o.d"
+  "fig09_pointer"
+  "fig09_pointer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pointer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

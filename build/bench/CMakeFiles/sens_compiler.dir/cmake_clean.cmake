@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_compiler.dir/sens_compiler.cc.o"
+  "CMakeFiles/sens_compiler.dir/sens_compiler.cc.o.d"
+  "sens_compiler"
+  "sens_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

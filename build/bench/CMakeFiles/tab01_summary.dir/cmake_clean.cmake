@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_summary.dir/tab01_summary.cc.o"
+  "CMakeFiles/tab01_summary.dir/tab01_summary.cc.o.d"
+  "tab01_summary"
+  "tab01_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

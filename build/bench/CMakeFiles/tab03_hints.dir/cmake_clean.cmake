@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_hints.dir/tab03_hints.cc.o"
+  "CMakeFiles/tab03_hints.dir/tab03_hints.cc.o.d"
+  "tab03_hints"
+  "tab03_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

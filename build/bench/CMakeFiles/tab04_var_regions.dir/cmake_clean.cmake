@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_var_regions.dir/tab04_var_regions.cc.o"
+  "CMakeFiles/tab04_var_regions.dir/tab04_var_regions.cc.o.d"
+  "tab04_var_regions"
+  "tab04_var_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_var_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_accuracy.dir/tab05_accuracy.cc.o"
+  "CMakeFiles/tab05_accuracy.dir/tab05_accuracy.cc.o.d"
+  "tab05_accuracy"
+  "tab05_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

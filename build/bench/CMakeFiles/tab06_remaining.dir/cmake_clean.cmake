@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_remaining.dir/tab06_remaining.cc.o"
+  "CMakeFiles/tab06_remaining.dir/tab06_remaining.cc.o.d"
+  "tab06_remaining"
+  "tab06_remaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_remaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

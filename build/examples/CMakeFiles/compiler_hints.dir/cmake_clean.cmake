@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_hints.dir/compiler_hints.cpp.o"
+  "CMakeFiles/compiler_hints.dir/compiler_hints.cpp.o.d"
+  "compiler_hints"
+  "compiler_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grpsim.dir/grpsim.cpp.o"
+  "CMakeFiles/grpsim.dir/grpsim.cpp.o.d"
+  "grpsim"
+  "grpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_array.dir/indirect_array.cpp.o"
+  "CMakeFiles/indirect_array.dir/indirect_array.cpp.o.d"
+  "indirect_array"
+  "indirect_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/builder.cc" "src/CMakeFiles/grp_compiler.dir/compiler/builder.cc.o" "gcc" "src/CMakeFiles/grp_compiler.dir/compiler/builder.cc.o.d"
+  "/root/repo/src/compiler/hint_generator.cc" "src/CMakeFiles/grp_compiler.dir/compiler/hint_generator.cc.o" "gcc" "src/CMakeFiles/grp_compiler.dir/compiler/hint_generator.cc.o.d"
+  "/root/repo/src/compiler/indirect_analysis.cc" "src/CMakeFiles/grp_compiler.dir/compiler/indirect_analysis.cc.o" "gcc" "src/CMakeFiles/grp_compiler.dir/compiler/indirect_analysis.cc.o.d"
+  "/root/repo/src/compiler/induction.cc" "src/CMakeFiles/grp_compiler.dir/compiler/induction.cc.o" "gcc" "src/CMakeFiles/grp_compiler.dir/compiler/induction.cc.o.d"
+  "/root/repo/src/compiler/locality.cc" "src/CMakeFiles/grp_compiler.dir/compiler/locality.cc.o" "gcc" "src/CMakeFiles/grp_compiler.dir/compiler/locality.cc.o.d"
+  "/root/repo/src/compiler/pointer_analysis.cc" "src/CMakeFiles/grp_compiler.dir/compiler/pointer_analysis.cc.o" "gcc" "src/CMakeFiles/grp_compiler.dir/compiler/pointer_analysis.cc.o.d"
+  "/root/repo/src/compiler/region_size.cc" "src/CMakeFiles/grp_compiler.dir/compiler/region_size.cc.o" "gcc" "src/CMakeFiles/grp_compiler.dir/compiler/region_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

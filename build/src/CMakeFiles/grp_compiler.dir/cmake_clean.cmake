@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_compiler.dir/compiler/builder.cc.o"
+  "CMakeFiles/grp_compiler.dir/compiler/builder.cc.o.d"
+  "CMakeFiles/grp_compiler.dir/compiler/hint_generator.cc.o"
+  "CMakeFiles/grp_compiler.dir/compiler/hint_generator.cc.o.d"
+  "CMakeFiles/grp_compiler.dir/compiler/indirect_analysis.cc.o"
+  "CMakeFiles/grp_compiler.dir/compiler/indirect_analysis.cc.o.d"
+  "CMakeFiles/grp_compiler.dir/compiler/induction.cc.o"
+  "CMakeFiles/grp_compiler.dir/compiler/induction.cc.o.d"
+  "CMakeFiles/grp_compiler.dir/compiler/locality.cc.o"
+  "CMakeFiles/grp_compiler.dir/compiler/locality.cc.o.d"
+  "CMakeFiles/grp_compiler.dir/compiler/pointer_analysis.cc.o"
+  "CMakeFiles/grp_compiler.dir/compiler/pointer_analysis.cc.o.d"
+  "CMakeFiles/grp_compiler.dir/compiler/region_size.cc.o"
+  "CMakeFiles/grp_compiler.dir/compiler/region_size.cc.o.d"
+  "libgrp_compiler.a"
+  "libgrp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine_factory.cc" "src/CMakeFiles/grp_core.dir/core/engine_factory.cc.o" "gcc" "src/CMakeFiles/grp_core.dir/core/engine_factory.cc.o.d"
+  "/root/repo/src/core/grp_engine.cc" "src/CMakeFiles/grp_core.dir/core/grp_engine.cc.o" "gcc" "src/CMakeFiles/grp_core.dir/core/grp_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

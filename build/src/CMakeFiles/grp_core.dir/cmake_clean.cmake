@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_core.dir/core/engine_factory.cc.o"
+  "CMakeFiles/grp_core.dir/core/engine_factory.cc.o.d"
+  "CMakeFiles/grp_core.dir/core/grp_engine.cc.o"
+  "CMakeFiles/grp_core.dir/core/grp_engine.cc.o.d"
+  "libgrp_core.a"
+  "libgrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_cpu.dir/cpu/cpu.cc.o"
+  "CMakeFiles/grp_cpu.dir/cpu/cpu.cc.o.d"
+  "libgrp_cpu.a"
+  "libgrp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/grp_harness.dir/harness/runner.cc.o.d"
+  "CMakeFiles/grp_harness.dir/harness/suite.cc.o"
+  "CMakeFiles/grp_harness.dir/harness/suite.cc.o.d"
+  "libgrp_harness.a"
+  "libgrp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/grp_mem.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/grp_mem.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/grp_mem.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/grp_mem.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/functional_memory.cc" "src/CMakeFiles/grp_mem.dir/mem/functional_memory.cc.o" "gcc" "src/CMakeFiles/grp_mem.dir/mem/functional_memory.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/grp_mem.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/grp_mem.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/CMakeFiles/grp_mem.dir/mem/mshr.cc.o" "gcc" "src/CMakeFiles/grp_mem.dir/mem/mshr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/grp_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/grp_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/grp_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/grp_mem.dir/mem/functional_memory.cc.o"
+  "CMakeFiles/grp_mem.dir/mem/functional_memory.cc.o.d"
+  "CMakeFiles/grp_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/grp_mem.dir/mem/memory_system.cc.o.d"
+  "CMakeFiles/grp_mem.dir/mem/mshr.cc.o"
+  "CMakeFiles/grp_mem.dir/mem/mshr.cc.o.d"
+  "libgrp_mem.a"
+  "libgrp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_prefetch.dir/prefetch/hw_engine.cc.o"
+  "CMakeFiles/grp_prefetch.dir/prefetch/hw_engine.cc.o.d"
+  "CMakeFiles/grp_prefetch.dir/prefetch/region_queue.cc.o"
+  "CMakeFiles/grp_prefetch.dir/prefetch/region_queue.cc.o.d"
+  "CMakeFiles/grp_prefetch.dir/prefetch/stride.cc.o"
+  "CMakeFiles/grp_prefetch.dir/prefetch/stride.cc.o.d"
+  "CMakeFiles/grp_prefetch.dir/prefetch/throttled_srp.cc.o"
+  "CMakeFiles/grp_prefetch.dir/prefetch/throttled_srp.cc.o.d"
+  "libgrp_prefetch.a"
+  "libgrp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_sim.dir/sim/config.cc.o"
+  "CMakeFiles/grp_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/grp_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/grp_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/grp_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/grp_sim.dir/sim/stats.cc.o.d"
+  "libgrp_sim.a"
+  "libgrp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

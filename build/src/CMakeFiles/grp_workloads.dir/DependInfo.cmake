@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/heap_builders.cc" "src/CMakeFiles/grp_workloads.dir/workloads/heap_builders.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/heap_builders.cc.o.d"
+  "/root/repo/src/workloads/interpreter.cc" "src/CMakeFiles/grp_workloads.dir/workloads/interpreter.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/interpreter.cc.o.d"
+  "/root/repo/src/workloads/kernels_fp1.cc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_fp1.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_fp1.cc.o.d"
+  "/root/repo/src/workloads/kernels_fp2.cc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_fp2.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_fp2.cc.o.d"
+  "/root/repo/src/workloads/kernels_int1.cc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_int1.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_int1.cc.o.d"
+  "/root/repo/src/workloads/kernels_int2.cc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_int2.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_int2.cc.o.d"
+  "/root/repo/src/workloads/kernels_sphinx.cc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_sphinx.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/kernels_sphinx.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/grp_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/grp_workloads.dir/workloads/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/grp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/grp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grp_workloads.dir/workloads/heap_builders.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/heap_builders.cc.o.d"
+  "CMakeFiles/grp_workloads.dir/workloads/interpreter.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/interpreter.cc.o.d"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_fp1.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_fp1.cc.o.d"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_fp2.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_fp2.cc.o.d"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_int1.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_int1.cc.o.d"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_int2.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_int2.cc.o.d"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_sphinx.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/kernels_sphinx.cc.o.d"
+  "CMakeFiles/grp_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/grp_workloads.dir/workloads/registry.cc.o.d"
+  "libgrp_workloads.a"
+  "libgrp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_factory.dir/test_engine_factory.cc.o"
+  "CMakeFiles/test_engine_factory.dir/test_engine_factory.cc.o.d"
+  "test_engine_factory"
+  "test_engine_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

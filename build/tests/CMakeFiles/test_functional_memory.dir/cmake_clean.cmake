@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_memory.dir/test_functional_memory.cc.o"
+  "CMakeFiles/test_functional_memory.dir/test_functional_memory.cc.o.d"
+  "test_functional_memory"
+  "test_functional_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

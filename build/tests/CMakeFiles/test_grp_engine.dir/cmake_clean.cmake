@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grp_engine.dir/test_grp_engine.cc.o"
+  "CMakeFiles/test_grp_engine.dir/test_grp_engine.cc.o.d"
+  "test_grp_engine"
+  "test_grp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

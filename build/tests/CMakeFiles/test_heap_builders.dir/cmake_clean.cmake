@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap_builders.dir/test_heap_builders.cc.o"
+  "CMakeFiles/test_heap_builders.dir/test_heap_builders.cc.o.d"
+  "test_heap_builders"
+  "test_heap_builders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_engine.dir/test_hw_engine.cc.o"
+  "CMakeFiles/test_hw_engine.dir/test_hw_engine.cc.o.d"
+  "test_hw_engine"
+  "test_hw_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indirect_analysis.dir/test_indirect_analysis.cc.o"
+  "CMakeFiles/test_indirect_analysis.dir/test_indirect_analysis.cc.o.d"
+  "test_indirect_analysis"
+  "test_indirect_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indirect_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_induction.dir/test_induction.cc.o"
+  "CMakeFiles/test_induction.dir/test_induction.cc.o.d"
+  "test_induction"
+  "test_induction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_induction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointer_analysis.dir/test_pointer_analysis.cc.o"
+  "CMakeFiles/test_pointer_analysis.dir/test_pointer_analysis.cc.o.d"
+  "test_pointer_analysis"
+  "test_pointer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

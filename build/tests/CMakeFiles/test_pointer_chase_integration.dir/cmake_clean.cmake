@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointer_chase_integration.dir/test_pointer_chase_integration.cc.o"
+  "CMakeFiles/test_pointer_chase_integration.dir/test_pointer_chase_integration.cc.o.d"
+  "test_pointer_chase_integration"
+  "test_pointer_chase_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointer_chase_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

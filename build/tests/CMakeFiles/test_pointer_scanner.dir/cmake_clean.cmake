@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointer_scanner.dir/test_pointer_scanner.cc.o"
+  "CMakeFiles/test_pointer_scanner.dir/test_pointer_scanner.cc.o.d"
+  "test_pointer_scanner"
+  "test_pointer_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointer_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_queue.dir/test_region_queue.cc.o"
+  "CMakeFiles/test_region_queue.dir/test_region_queue.cc.o.d"
+  "test_region_queue"
+  "test_region_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

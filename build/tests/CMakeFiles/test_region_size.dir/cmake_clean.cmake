@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_size.dir/test_region_size.cc.o"
+  "CMakeFiles/test_region_size.dir/test_region_size.cc.o.d"
+  "test_region_size"
+  "test_region_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

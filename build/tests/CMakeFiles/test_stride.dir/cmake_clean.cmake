@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stride.dir/test_stride.cc.o"
+  "CMakeFiles/test_stride.dir/test_stride.cc.o.d"
+  "test_stride"
+  "test_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

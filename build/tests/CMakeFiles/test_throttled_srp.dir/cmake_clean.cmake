@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throttled_srp.dir/test_throttled_srp.cc.o"
+  "CMakeFiles/test_throttled_srp.dir/test_throttled_srp.cc.o.d"
+  "test_throttled_srp"
+  "test_throttled_srp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throttled_srp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walk.dir/test_walk.cc.o"
+  "CMakeFiles/test_walk.dir/test_walk.cc.o.d"
+  "test_walk"
+  "test_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
