@@ -6,9 +6,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "harness/suite.hh"
+#include "obs/json_writer.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -25,6 +27,13 @@ main()
                 "prefetching\n");
     std::printf("%-9s %8s %8s %8s %8s\n", "bench", "base", "stride",
                 "srp", "grp");
+    std::ofstream json_file(benchOutPath("fig12_traffic"));
+    obs::JsonWriter json(json_file);
+    json.beginObject();
+    json.kv("schema", "grp-fig12-v1");
+    json.kv("instructions", opts.maxInstructions);
+    json.key("benchmarks");
+    json.beginObject();
     std::vector<double> stride_ratios, srp_ratios, grp_ratios;
     for (const std::string &name : perfSuite()) {
         const RunResult base =
@@ -38,10 +47,25 @@ main()
         stride_ratios.push_back(trafficRatio(stride, base));
         srp_ratios.push_back(trafficRatio(srp, base));
         grp_ratios.push_back(trafficRatio(grp, base));
+        json.key(name);
+        json.beginObject();
+        json.kv("baseTrafficBytes", base.trafficBytes);
+        json.kv("stride", stride_ratios.back());
+        json.kv("srp", srp_ratios.back());
+        json.kv("grp", grp_ratios.back());
+        json.endObject();
         std::printf("%-9s %8.2f %8.2f %8.2f %8.2f\n", name.c_str(),
                     1.0, stride_ratios.back(), srp_ratios.back(),
                     grp_ratios.back());
     }
+    json.endObject();
+    json.key("geomean");
+    json.beginObject();
+    json.kv("stride", geometricMean(stride_ratios));
+    json.kv("srp", geometricMean(srp_ratios));
+    json.kv("grp", geometricMean(grp_ratios));
+    json.endObject();
+    json.endObject();
     std::printf("geomean    %8.2f %8.2f %8.2f %8.2f   (paper: 1.00 "
                 "1.10 2.80 1.23)\n",
                 1.0, geometricMean(stride_ratios),

@@ -10,9 +10,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "harness/suite.hh"
+#include "obs/json_writer.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
@@ -58,6 +60,15 @@ main()
                 "speedup", "traffic", "gap%", "paper-sp", "paper-tr",
                 "paper-gp");
 
+    std::ofstream json_file(benchOutPath("tab01_summary"));
+    obs::JsonWriter json(json_file);
+    json.beginObject();
+    json.kv("schema", "grp-tab01-v1");
+    json.kv("benchmarks", static_cast<uint64_t>(suite.size()));
+    json.kv("instructions", opts.maxInstructions);
+    json.key("schemes");
+    json.beginObject();
+
     for (const Row &row : rows) {
         std::vector<double> speedups, traffics, perfect_ratios;
         for (size_t i = 0; i < suite.size(); ++i) {
@@ -71,10 +82,22 @@ main()
         }
         const double mean_gap =
             100.0 * (1.0 - geometricMean(perfect_ratios));
+        json.key(toString(row.scheme));
+        json.beginObject();
+        json.kv("label", row.label);
+        json.kv("speedup", geometricMean(speedups));
+        json.kv("trafficRatio", geometricMean(traffics));
+        json.kv("gapFromPerfectPct", mean_gap);
+        json.kv("paperSpeedup", row.paperSpeedup);
+        json.kv("paperTraffic", row.paperTraffic);
+        json.kv("paperGap", row.paperGap);
+        json.endObject();
         std::printf("%-20s | %8.3f %8.2f %8.2f | %8.3f %8.2f %8.2f\n",
                     row.label, geometricMean(speedups),
                     geometricMean(traffics), mean_gap,
                     row.paperSpeedup, row.paperTraffic, row.paperGap);
     }
+    json.endObject();
+    json.endObject();
     return 0;
 }

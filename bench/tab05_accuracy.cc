@@ -12,9 +12,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "harness/suite.hh"
+#include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
 using namespace grp;
@@ -32,6 +34,14 @@ main()
                 "traffic KB base/stride/srp/grp\n",
                 "bench", "miss%", "baseKB", "st-cov", "st-acc",
                 "sr-cov", "sr-acc", "gr-cov", "gr-acc");
+
+    std::ofstream json_file(benchOutPath("tab05_accuracy"));
+    obs::JsonWriter json(json_file);
+    json.beginObject();
+    json.kv("schema", "grp-tab05-v1");
+    json.kv("instructions", opts.maxInstructions);
+    json.key("benchmarks");
+    json.beginObject();
 
     double sum_cov[3] = {0, 0, 0}, sum_acc[3] = {0, 0, 0};
     unsigned count = 0;
@@ -55,6 +65,25 @@ main()
         }
         ++count;
 
+        json.key(name);
+        json.beginObject();
+        json.kv("missRatePct", base.missRatePct());
+        json.kv("baseTrafficBytes", base.trafficBytes);
+        const char *labels[3] = {"stride", "srp", "grp"};
+        for (int i = 0; i < 3; ++i) {
+            json.key(labels[i]);
+            json.beginObject();
+            json.kv("coveragePct", cov[i]);
+            json.kv("accuracyPct", acc[i]);
+            json.kv("trafficBytes", runs[i]->trafficBytes);
+            json.kv("prefetchFills", runs[i]->prefetchFills);
+            json.kv("usefulPrefetches", runs[i]->usefulPrefetches);
+            json.kv("warmupUsefulPrefetches",
+                    runs[i]->warmupUsefulPrefetches);
+            json.endObject();
+        }
+        json.endObject();
+
         std::printf("%-9s | %6.1f %8.0f | %6.1f %6.1f | %6.1f %6.1f "
                     "| %6.1f %6.1f | %.0f/%.0f/%.0f/%.0f\n",
                     name.c_str(), base.missRatePct(),
@@ -65,6 +94,20 @@ main()
                     srp.trafficBytes / 1024.0,
                     grp.trafficBytes / 1024.0);
     }
+    json.endObject();
+    json.key("average");
+    json.beginObject();
+    const char *labels[3] = {"stride", "srp", "grp"};
+    for (int i = 0; i < 3; ++i) {
+        json.key(labels[i]);
+        json.beginObject();
+        json.kv("coveragePct", sum_cov[i] / count);
+        json.kv("accuracyPct", sum_acc[i] / count);
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+
     std::printf("average   |        coverage/accuracy: stride "
                 "%.1f/%.1f  srp %.1f/%.1f  grp %.1f/%.1f\n",
                 sum_cov[0] / count, sum_acc[0] / count,

@@ -5,27 +5,24 @@
  *   grpsim --workload mcf --scheme grp-var --instructions 1000000
  *          [--policy default|conservative|aggressive]
  *          [--seed N] [--warmup N] [--dump-stats] [--list]
+ *          [--stats-json PATH] [--stats-csv PATH]
+ *          [--trace PATH] [--trace-level N]
+ *          [--timeseries PATH] [--timeseries-bucket N]
  *
- * Runs one (workload, scheme) pair and prints the headline metrics;
- * with --dump-stats it also dumps every statistics group of the
- * memory system, the caches, the DRAM and the prefetch engine.
+ * Runs one (workload, scheme) pair through the harness and prints
+ * the headline metrics. The observability flags export the full
+ * statistics registry as JSON/CSV, record the prefetch lifecycle
+ * trace (JSONL) and sample queue/channel/MSHR time series; every
+ * flag accepts both "--flag value" and "--flag=value".
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include "compiler/hint_generator.hh"
-#include "core/engine_factory.hh"
-#include "cpu/cpu.hh"
-#include "mem/memory_system.hh"
-#include "sim/event_queue.hh"
+#include "harness/runner.hh"
 #include "sim/logging.hh"
-#include "workloads/interpreter.hh"
 #include "workloads/workload.hh"
-
-#include <iostream>
 
 using namespace grp;
 
@@ -68,6 +65,9 @@ usage()
         "usage: grpsim [--workload NAME] [--scheme SCHEME]\n"
         "              [--instructions N] [--warmup N] [--seed N]\n"
         "              [--policy POLICY] [--dump-stats] [--list]\n"
+        "              [--stats-json PATH] [--stats-csv PATH]\n"
+        "              [--trace PATH] [--trace-level N]\n"
+        "              [--timeseries PATH] [--timeseries-bucket N]\n"
         "schemes: none stride srp grp-fix grp-var ptr-hw ptr-hw-rec "
         "srp+ptr srp-throttled\n"
         "policies: conservative default aggressive\n");
@@ -77,24 +77,34 @@ usage()
 
 int
 main(int argc, char **argv)
-{
-    setQuiet(true);
+try {
     std::string workload_name = "equake";
     SimConfig config;
     config.scheme = PrefetchScheme::GrpVar;
-    uint64_t instructions = 1'000'000;
-    uint64_t warmup = ~0ull;
-    uint64_t seed = 42;
-    bool dump_stats = false;
+    RunOptions options;
+    options.obs.traceLevel = 2;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline = false;
+        if (const size_t eq = arg.find('='); eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_inline = true;
+        }
         auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= argc) {
                 usage();
                 fatal("%s needs a value", arg.c_str());
             }
             return argv[++i];
+        };
+        auto number = [&]() {
+            return std::strtoull(value().c_str(), nullptr, 0);
         };
         if (arg == "--workload") {
             workload_name = value();
@@ -103,13 +113,25 @@ main(int argc, char **argv)
         } else if (arg == "--policy") {
             config.policy = parsePolicy(value());
         } else if (arg == "--instructions") {
-            instructions = std::strtoull(value().c_str(), nullptr, 0);
+            options.maxInstructions = number();
         } else if (arg == "--warmup") {
-            warmup = std::strtoull(value().c_str(), nullptr, 0);
+            options.warmupInstructions = number();
         } else if (arg == "--seed") {
-            seed = std::strtoull(value().c_str(), nullptr, 0);
+            options.seed = number();
         } else if (arg == "--dump-stats") {
-            dump_stats = true;
+            options.obs.dumpStats = true;
+        } else if (arg == "--stats-json") {
+            options.obs.statsJsonPath = value();
+        } else if (arg == "--stats-csv") {
+            options.obs.statsCsvPath = value();
+        } else if (arg == "--trace") {
+            options.obs.tracePath = value();
+        } else if (arg == "--trace-level") {
+            options.obs.traceLevel = static_cast<int>(number());
+        } else if (arg == "--timeseries") {
+            options.obs.timeseriesPath = value();
+        } else if (arg == "--timeseries-bucket") {
+            options.obs.timeseriesBucket = number();
         } else if (arg == "--list") {
             for (const auto &name : workloadNames())
                 std::printf("%s\n", name.c_str());
@@ -120,85 +142,49 @@ main(int argc, char **argv)
         }
     }
 
-    auto workload = makeWorkload(workload_name);
-    const WorkloadInfo info = workload->info();
-    if (info.recursiveDepthOverride != 0)
-        config.region.recursiveDepth = info.recursiveDepthOverride;
-    config.validate();
+    const RunResult result = runWorkload(workload_name, config, options);
+    const uint64_t warmup =
+        options.warmupInstructions == ~0ull
+            ? options.maxInstructions / 4
+            : options.warmupInstructions;
 
-    FunctionalMemory fmem;
-    Program prog = workload->build(fmem, seed);
-    HintTable table;
-    HintGenerator generator(config.policy, config.l2.sizeBytes);
-    const HintStats hints = generator.run(prog, table);
-
-    EventQueue events;
-    MemorySystem mem(config, events);
-    auto engine = makePrefetchEngine(config, fmem, mem);
-    Interpreter interp(prog, fmem, seed);
-    Cpu cpu(config, mem, events, interp,
-            config.usesHints() ? &table : nullptr);
-
-    if (warmup == ~0ull)
-        warmup = instructions / 4;
-    Tick cycle = 0;
-    uint64_t warm_instr = 0, warm_cycles = 0;
-    bool measuring = warmup == 0;
-    while (!cpu.done() &&
-           cpu.retiredInstructions() < instructions + warmup) {
-        events.advanceTo(cycle);
-        cpu.tick();
-        mem.tick();
-        ++cycle;
-        if (!measuring && cpu.retiredInstructions() >= warmup) {
-            mem.resetStats();
-            if (engine.get())
-                engine->stats().reset();
-            warm_instr = cpu.retiredInstructions();
-            warm_cycles = cycle;
-            measuring = true;
-        }
-    }
-
-    const uint64_t instr = cpu.retiredInstructions() - warm_instr;
-    const uint64_t cycles = cpu.cycles() - warm_cycles;
     std::printf("workload      %s (%s)\n", workload_name.c_str(),
-                info.missCause.c_str());
+                result.info.missCause.c_str());
     std::printf("scheme        %s, policy %s, seed %llu\n",
                 toString(config.scheme), toString(config.policy),
-                (unsigned long long)seed);
+                (unsigned long long)options.seed);
     std::printf("hints         %u refs: %u spatial, %u pointer, %u "
                 "recursive, %u indirect\n",
-                hints.memInsts, hints.spatial, hints.pointer,
-                hints.recursive, hints.indirect);
+                result.hints.memInsts, result.hints.spatial,
+                result.hints.pointer, result.hints.recursive,
+                result.hints.indirect);
     std::printf("instructions  %llu (after %llu warmup)\n",
-                (unsigned long long)instr,
+                (unsigned long long)result.instructions,
                 (unsigned long long)warmup);
-    std::printf("cycles        %llu\n", (unsigned long long)cycles);
-    std::printf("IPC           %.4f\n",
-                cycles ? double(instr) / double(cycles) : 0.0);
+    std::printf("cycles        %llu\n",
+                (unsigned long long)result.cycles);
+    std::printf("IPC           %.4f\n", result.ipc);
     std::printf("traffic       %llu bytes (%llu fills + %llu "
                 "prefetches + %llu writebacks)\n",
-                (unsigned long long)mem.trafficBytes(),
-                (unsigned long long)mem.stats().value("demandFills"),
-                (unsigned long long)mem.stats().value("prefetchFills"),
-                (unsigned long long)mem.stats().value("writebacks"));
+                (unsigned long long)result.trafficBytes,
+                (unsigned long long)result.stats.value(
+                    "mem.demandFills"),
+                (unsigned long long)result.prefetchFills,
+                (unsigned long long)result.stats.value(
+                    "mem.writebacks"));
     std::printf("L2 misses     %llu to memory, %llu total demand\n",
-                (unsigned long long)mem.l2DemandMisses(),
-                (unsigned long long)mem.stats().value(
-                    "l2DemandMissesTotal"));
-
-    if (dump_stats) {
-        std::printf("\n-- statistics dump --\n");
-        mem.stats().dump(std::cout);
-        mem.l1d().stats().dump(std::cout);
-        mem.l2().stats().dump(std::cout);
-        mem.dram().stats().dump(std::cout);
-        mem.l1Mshrs().stats().dump(std::cout);
-        mem.l2Mshrs().stats().dump(std::cout);
-        if (engine.get())
-            engine->stats().dump(std::cout);
-        cpu.stats().dump(std::cout);
+                (unsigned long long)result.l2MissesToMemory,
+                (unsigned long long)result.l2MissesTotal);
+    if (result.prefetchFills) {
+        std::printf("accuracy      %.4f (%llu useful / %llu fills, "
+                    "+%llu warmup carryover)\n",
+                    result.accuracy(),
+                    (unsigned long long)result.usefulPrefetches,
+                    (unsigned long long)result.prefetchFills,
+                    (unsigned long long)result.warmupUsefulPrefetches);
     }
     return 0;
+} catch (const std::exception &) {
+    // fatal() already printed the message with its location.
+    return 1;
 }

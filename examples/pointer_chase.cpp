@@ -12,12 +12,15 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "compiler/builder.hh"
 #include "compiler/hint_generator.hh"
 #include "core/engine_factory.hh"
 #include "cpu/cpu.hh"
 #include "mem/memory_system.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "workloads/heap_builders.hh"
@@ -78,6 +81,7 @@ run(ListKernel &kernel, PrefetchScheme scheme)
     Interpreter interp(prog, kernel.mem, 42);
     Cpu cpu(config, mem, events, interp,
             config.usesHints() ? &table : nullptr);
+    obs::Tracer::global().setClock(&events);
     Tick cycle = 0;
     while (!cpu.done() && cpu.retiredInstructions() < 300'000) {
         events.advanceTo(cycle);
@@ -85,15 +89,33 @@ run(ListKernel &kernel, PrefetchScheme scheme)
         mem.tick();
         ++cycle;
     }
+    obs::Tracer::global().setClock(nullptr);
     return cpu.ipc();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    // Optional prefetch lifecycle tracing across all the runs below:
+    //   pointer_chase [--trace=PATH] [--trace-level=N]
+    std::string trace_path;
+    int trace_level = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0)
+            trace_path = arg.substr(8);
+        else if (arg.rfind("--trace-level=", 0) == 0)
+            trace_level = std::atoi(arg.c_str() + 14);
+    }
+    if (!trace_path.empty()) {
+        if (obs::Tracer::global().open(trace_path))
+            obs::Tracer::global().setLevel(trace_level);
+        else
+            warn("cannot open trace file %s", trace_path.c_str());
+    }
     std::printf("Linked-list walk: speedup over no prefetching as "
                 "the node layout scrambles\n\n");
     std::printf("%-9s %8s %8s %8s %8s\n", "shuffle", "ptr",
@@ -112,5 +134,6 @@ main()
                 "observation); scrambled layouts\nneed the pointer "
                 "scanner, and GRP's recursive hint gets it without "
                 "table state.\n");
+    obs::Tracer::global().close();
     return 0;
 }

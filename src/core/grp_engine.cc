@@ -34,11 +34,14 @@ GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
         ++stats_.counter("missesUnhinted");
         return;
     }
+    GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(addr),
+              obs::HintClass::Spatial);
     const unsigned window =
         variableRegions() ? hints.regionBlocks(kBlocksPerRegion)
                           : kBlocksPerRegion;
     const unsigned allocated =
-        queue_.noteSpatialMiss(addr, window, 0, ref);
+        queue_.noteSpatialMiss(addr, window, 0, ref,
+                               obs::HintClass::Spatial);
     if (allocated) {
         ++stats_.counter("regionsAllocated");
         regionSizes_.sample(allocated);
@@ -56,11 +59,19 @@ GrpEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
     const unsigned found = scanner_.scan(block_addr, pointers);
     stats_.counter("linesScanned") += 1;
     stats_.counter("pointersFound") += found;
+    // Chases deeper than one level came from a recursive-pointer
+    // hint; attribute their candidates separately (Table 5).
+    const obs::HintClass hint = ptr_depth > 1
+                                    ? obs::HintClass::Recursive
+                                    : obs::HintClass::Pointer;
+    if (found > 0)
+        GRP_TRACE(2, obs::TraceEvent::HintTrigger, block_addr, hint,
+                  -1, found);
     for (unsigned i = 0; i < found; ++i) {
         queue_.addPointerTarget(pointers[i],
                                 config_.region.blocksPerPointer,
                                 static_cast<uint8_t>(ptr_depth - 1),
-                                kInvalidRefId);
+                                kInvalidRefId, hint);
     }
 }
 
@@ -74,13 +85,16 @@ GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
     // generate prefetches too — exactly the over-fetch the paper's
     // design accepts for its simplicity.
     ++stats_.counter("indirectOps");
+    GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(index_addr),
+              obs::HintClass::Indirect);
     const Addr block = blockAlign(index_addr);
     const unsigned fanout = config_.region.indirectFanout;
     for (unsigned i = 0; i < kBlockBytes / 4 && i < fanout; ++i) {
         const uint32_t index = mem_.read32(block + 4ull * i);
         const Addr target =
             base + static_cast<uint64_t>(index) * elem_size;
-        queue_.addPointerTarget(target, 1, 0, ref);
+        queue_.addPointerTarget(target, 1, 0, ref,
+                                obs::HintClass::Indirect);
         ++stats_.counter("indirectTargets");
     }
 }

@@ -55,6 +55,8 @@ class GrpEngine : public PrefetchEngine
 
     StatGroup &stats() override { return stats_; }
 
+    size_t queueDepth() const override { return queue_.size(); }
+
     /** Distribution of allocated region sizes in blocks (Table 4). */
     const Distribution &regionSizes() const { return regionSizes_; }
 
@@ -73,6 +75,7 @@ class GrpEngine : public PrefetchEngine
     RegionQueue queue_;
     PointerScanner scanner_;
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
     Distribution regionSizes_;
 };
 

@@ -90,6 +90,7 @@ class Cpu
     Tick lastRetireTick_ = 0;
 
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

@@ -1,17 +1,61 @@
 #include "harness/runner.hh"
 
 #include <cstdlib>
+#include <iostream>
+#include <optional>
 
 #include "core/engine_factory.hh"
 #include "core/grp_engine.hh"
 #include "cpu/cpu.hh"
 #include "mem/memory_system.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "workloads/interpreter.hh"
 
 namespace grp
 {
+
+namespace
+{
+
+/** Opens the global tracer for one run and guarantees it is closed
+ *  (and unhooked from the run's clock) when the run ends. */
+class ScopedTrace
+{
+  public:
+    ScopedTrace(const ObsOptions &obs, const EventQueue &events,
+                bool warming)
+    {
+        if (obs.tracePath.empty())
+            return;
+        obs::Tracer &tracer = obs::Tracer::global();
+        if (!tracer.open(obs.tracePath)) // open() warns on failure
+            return;
+        active_ = true;
+        tracer.setLevel(obs.traceLevel);
+        tracer.setClock(&events);
+        tracer.setWarmup(warming);
+    }
+
+    ~ScopedTrace()
+    {
+        if (!active_)
+            return;
+        obs::Tracer &tracer = obs::Tracer::global();
+        tracer.setClock(nullptr);
+        tracer.close();
+    }
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    bool active_ = false;
+};
+
+} // namespace
 
 uint64_t
 instructionBudget(uint64_t fallback)
@@ -53,6 +97,12 @@ runWorkload(const std::string &workload_name, SimConfig config,
             ? options.maxInstructions / 4
             : options.warmupInstructions;
 
+    ScopedTrace trace(options.obs, events, warmup > 0);
+    std::optional<obs::TimeSeries> series;
+    if (!options.obs.timeseriesPath.empty())
+        series.emplace(options.obs.timeseriesBucket);
+    const uint64_t bucket = options.obs.timeseriesBucket;
+
     Tick cycle = 0;
     uint64_t warm_instructions = 0;
     uint64_t warm_cycles = 0;
@@ -63,12 +113,29 @@ runWorkload(const std::string &workload_name, SimConfig config,
         events.advanceTo(cycle);
         cpu.tick();
         mem.tick();
+        if (series && cycle % bucket == 0) {
+            series->record("prefetchQueueDepth", cycle,
+                           engine ? static_cast<double>(
+                                        engine->queueDepth())
+                                  : 0.0);
+            series->record("busyChannels", cycle,
+                           mem.dram().busyChannels(cycle));
+            series->record("l2MshrInFlight", cycle,
+                           mem.l2Mshrs().inFlight());
+            series->record("demandQueueDepth", cycle,
+                           static_cast<double>(
+                               mem.demandQueueDepth()));
+            series->record("writebackQueueDepth", cycle,
+                           static_cast<double>(
+                               mem.writebackQueueDepth()));
+        }
         ++cycle;
         if (!measuring && cpu.retiredInstructions() >= warmup) {
             // End of warmup: discard cold-start statistics.
             mem.resetStats();
             if (engine.get())
                 engine->stats().reset();
+            obs::Tracer::global().setWarmup(false);
             warm_instructions = cpu.retiredInstructions();
             warm_cycles = cycle;
             measuring = true;
@@ -91,10 +158,14 @@ runWorkload(const std::string &workload_name, SimConfig config,
     result.l2MissesTotal = mem.stats().value("l2DemandMissesTotal");
     result.l2MissesToMemory = mem.l2DemandMisses();
     result.prefetchFills = mem.stats().value("prefetchFills");
-    // Late prefetches (demand merged while in flight) are promoted
-    // on fill and therefore already counted in the L2's prefetchHits.
-    result.usefulPrefetches = mem.l2().stats().value("prefetchHits");
+    // Measured-window first-uses only; warmup-era fills consumed
+    // after the boundary are attributed separately so accuracy()
+    // compares fills and uses over the same window.
+    result.usefulPrefetches = mem.stats().value("usefulPrefetches");
+    result.warmupUsefulPrefetches =
+        mem.stats().value("usefulPrefetchWarmupCarryover");
     result.hints = hint_stats;
+    result.stats = obs::StatRegistry::global().snapshot();
 
     if (auto *grp_engine = dynamic_cast<GrpEngine *>(engine.get())) {
         const Distribution &sizes = grp_engine->regionSizes();
@@ -105,6 +176,16 @@ runWorkload(const std::string &workload_name, SimConfig config,
                 result.regionSizes[blocks] = count;
         }
     }
+
+    const ObsOptions &obs = options.obs;
+    if (!obs.statsJsonPath.empty())
+        obs::StatRegistry::global().exportJsonFile(obs.statsJsonPath);
+    if (!obs.statsCsvPath.empty())
+        obs::StatRegistry::global().exportCsvFile(obs.statsCsvPath);
+    if (series)
+        series->exportJsonFile(obs.timeseriesPath);
+    if (obs.dumpStats)
+        obs::StatRegistry::global().dumpText(std::cout);
     return result;
 }
 

@@ -13,7 +13,9 @@
 #include <string>
 
 #include "compiler/hint_generator.hh"
+#include "obs/stat_registry.hh"
 #include "sim/config.hh"
+#include "sim/logging.hh"
 #include "workloads/workload.hh"
 
 namespace grp
@@ -36,10 +38,20 @@ struct RunResult
     uint64_t l2MissesToMemory = 0; ///< Misses that paid DRAM latency.
     uint64_t prefetchFills = 0;    ///< Prefetch-class DRAM transfers.
     uint64_t usefulPrefetches = 0; ///< Prefetched blocks later used.
+    /** First-uses of blocks prefetched before the warmup boundary;
+     *  excluded from usefulPrefetches and thus from accuracy(). */
+    uint64_t warmupUsefulPrefetches = 0;
 
-    /** Useful / issued (0 when nothing was issued). Clamped at 1:
-     *  blocks prefetched before the warmup boundary but consumed
-     *  after it can otherwise push short windows past 100%. */
+    /** Every counter and distribution summary the simulation
+     *  registered, keyed "group.stat". */
+    obs::StatSnapshot stats;
+
+    /**
+     * Useful / issued (0 when nothing was issued). Warmup-era fills
+     * are attributed separately (warmupUsefulPrefetches), so the
+     * ratio is structurally <= 1; anything above 1 indicates an
+     * accounting bug and is warned about, then clamped.
+     */
     double
     accuracy() const
     {
@@ -47,7 +59,13 @@ struct RunResult
             return 0.0;
         const double ratio = static_cast<double>(usefulPrefetches) /
                              static_cast<double>(prefetchFills);
-        return ratio > 1.0 ? 1.0 : ratio;
+        if (ratio > 1.0) {
+            warn("accuracy %f > 1 (useful %llu, fills %llu); clamping",
+                 ratio, (unsigned long long)usefulPrefetches,
+                 (unsigned long long)prefetchFills);
+            return 1.0;
+        }
+        return ratio;
     }
 
     /** L2 miss rate over demand accesses, percent. */
@@ -78,6 +96,18 @@ struct RunResult
     WorkloadInfo info;
 };
 
+/** Observability outputs for a run; empty paths disable each one. */
+struct ObsOptions
+{
+    std::string statsJsonPath;   ///< Registry JSON export.
+    std::string statsCsvPath;    ///< Registry CSV export.
+    std::string tracePath;       ///< Prefetch lifecycle JSONL.
+    int traceLevel = 1;          ///< Levels <= this are emitted.
+    std::string timeseriesPath;  ///< Queue/channel/MSHR trajectories.
+    uint64_t timeseriesBucket = 4096; ///< Cycles between samples.
+    bool dumpStats = false;      ///< Text dump to stdout at the end.
+};
+
 /** Options for a run. */
 struct RunOptions
 {
@@ -87,6 +117,7 @@ struct RunOptions
      *  maxInstructions / 4 when left at ~0. */
     uint64_t warmupInstructions = ~0ull;
     uint64_t seed = 42;
+    ObsOptions obs;
 };
 
 /**

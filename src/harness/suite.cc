@@ -1,5 +1,10 @@
 #include "harness/suite.hh"
 
+#include <cstdlib>
+#include <filesystem>
+
+#include "sim/logging.hh"
+
 namespace grp
 {
 
@@ -77,6 +82,19 @@ gapFromPerfect(const RunResult &run, const RunResult &perfect)
     if (perfect.ipc <= 0.0)
         return 0.0;
     return 100.0 * (1.0 - run.ipc / perfect.ipc);
+}
+
+std::string
+benchOutPath(const std::string &name)
+{
+    const char *env = std::getenv("GRP_BENCH_OUT");
+    std::filesystem::path dir = env && *env ? env : ".";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        warn("cannot create %s: %s", dir.string().c_str(),
+             ec.message().c_str());
+    return (dir / (name + ".json")).string();
 }
 
 } // namespace grp

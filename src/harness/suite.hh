@@ -44,6 +44,12 @@ double trafficRatio(const RunResult &run, const RunResult &base);
  *  100 * (1 - ipc / perfect_ipc). */
 double gapFromPerfect(const RunResult &run, const RunResult &perfect);
 
+/**
+ * Where a bench binary should write its JSON artefact: $GRP_BENCH_OUT
+ * (created if missing) or the current directory, plus "<name>.json".
+ */
+std::string benchOutPath(const std::string &name);
+
 } // namespace grp
 
 #endif // GRP_HARNESS_SUITE_HH

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/stat_registry.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -116,6 +117,7 @@ class Cache
     uint64_t nextStamp_ = 1;
     std::vector<Line> lines_; ///< numSets_ * assoc_, set-major.
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

@@ -50,6 +50,15 @@ DramSystem::channelIdle(unsigned channel, Tick now) const
     return channels_[channel].busyUntil <= now;
 }
 
+unsigned
+DramSystem::busyChannels(Tick now) const
+{
+    unsigned busy = 0;
+    for (const Channel &channel : channels_)
+        busy += channel.busyUntil > now ? 1 : 0;
+    return busy;
+}
+
 bool
 DramSystem::rowOpen(Addr addr) const
 {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/stat_registry.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -40,6 +41,9 @@ class DramSystem
     /** True when @p addr's row is open in its bank (bank-aware
      *  prefetch scheduling queries this). */
     bool rowOpen(Addr addr) const;
+
+    /** Channels still occupied at @p now (time-series sampling). */
+    unsigned busyChannels(Tick now) const;
 
     /**
      * Issue the access for @p addr's block at @p now on its (idle)
@@ -81,6 +85,7 @@ class DramSystem
     std::vector<Channel> channels_;
     uint64_t transfers_ = 0;
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

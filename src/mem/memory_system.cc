@@ -1,5 +1,7 @@
 #include "mem/memory_system.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace grp
@@ -139,8 +141,8 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
 
     if (l2_hit) {
         ++stats_.counter("l2DemandHits");
-        if (l2_->access(block, false).firstUseOfPrefetch && engine_)
-            engine_->onPrefetchUseful(block);
+        if (l2_->access(block, false).firstUseOfPrefetch)
+            notePrefetchUseful(block);
         Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
                                         events_.curTick());
         l1Mshrs_->addTarget(mshr, target);
@@ -154,9 +156,14 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     if (engine_ && engine_->streamHit(block)) {
         ++stats_.counter("streamHits");
         insertIntoL2(block, true, false);
+        livePrefetches_[block] =
+            PrefetchFillInfo{events_.curTick(), obs::HintClass::Stride,
+                             false};
+        GRP_TRACE(1, obs::TraceEvent::Fill, block,
+                  obs::HintClass::Stride);
         // Promote; counts a useful prefetch.
         if (l2_->access(block, false).firstUseOfPrefetch)
-            engine_->onPrefetchUseful(block);
+            notePrefetchUseful(block);
         Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
                                         events_.curTick());
         l1Mshrs_->addTarget(mshr, target);
@@ -246,9 +253,53 @@ MemorySystem::finishL1Fill(Addr block_addr)
 }
 
 void
+MemorySystem::notePrefetchUseful(Addr block_addr)
+{
+    if (engine_)
+        engine_->onPrefetchUseful(block_addr);
+
+    auto it = livePrefetches_.find(block_addr);
+    if (it == livePrefetches_.end()) {
+        // No fill record (state carried across a reset()): attribute
+        // conservatively as carryover so measured accuracy stays a
+        // fills-vs-uses ratio over the same window.
+        ++stats_.counter("usefulPrefetchWarmupCarryover");
+        GRP_TRACE(1, obs::TraceEvent::FirstUse, block_addr,
+                  obs::HintClass::None, -1, -1, true);
+        return;
+    }
+
+    const PrefetchFillInfo info = it->second;
+    livePrefetches_.erase(it);
+    const uint64_t distance = std::min<uint64_t>(
+        events_.curTick() - info.fillTick, kDistanceCap);
+    if (info.warm) {
+        ++stats_.counter("usefulPrefetchWarmupCarryover");
+    } else {
+        ++stats_.counter("usefulPrefetches");
+        stats_.distribution("prefetchToUseDistance").sample(distance);
+    }
+    GRP_TRACE(1, obs::TraceEvent::FirstUse, block_addr, info.hint, -1,
+              static_cast<int64_t>(distance), info.warm);
+}
+
+void
 MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty)
 {
     auto evicted = l2_->insert(block_addr, as_prefetch, dirty);
+    if (evicted && evicted->wasUnusedPrefetch) {
+        ++stats_.counter("prefetchEvictedUnused");
+        auto it = livePrefetches_.find(evicted->blockAddr);
+        const obs::HintClass hint = it != livePrefetches_.end()
+                                        ? it->second.hint
+                                        : obs::HintClass::None;
+        const bool warm =
+            it != livePrefetches_.end() && it->second.warm;
+        if (it != livePrefetches_.end())
+            livePrefetches_.erase(it);
+        GRP_TRACE(1, obs::TraceEvent::EvictedUnused, evicted->blockAddr,
+                  hint, -1, -1, warm);
+    }
     if (evicted && evicted->dirty) {
         MemRequest wb;
         wb.blockAddr = evicted->blockAddr;
@@ -331,12 +382,17 @@ MemorySystem::onDramFill(MemRequest req)
     const bool was_prefetch_req = req.cls == ReqClass::Prefetch;
 
     insertIntoL2(req.blockAddr, was_prefetch_req, false);
+    if (was_prefetch_req) {
+        const bool warm = mshr->allocated < boundaryTick_;
+        livePrefetches_[req.blockAddr] = PrefetchFillInfo{
+            events_.curTick(), req.hintClass, warm};
+        GRP_TRACE(1, obs::TraceEvent::Fill, req.blockAddr,
+                  req.hintClass, -1, -1, warm);
+    }
     if (demand_class && was_prefetch_req) {
         // Late prefetch: the waiting demand touches it immediately.
-        if (l2_->access(req.blockAddr, false).firstUseOfPrefetch &&
-            engine_) {
-            engine_->onPrefetchUseful(req.blockAddr);
-        }
+        if (l2_->access(req.blockAddr, false).firstUseOfPrefetch)
+            notePrefetchUseful(req.blockAddr);
     }
 
     l2Mshrs_->deallocate(*mshr);
@@ -361,17 +417,23 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
     // arrived after the prefetch had already been issued to DRAM.
     if (l2Mshrs_->demandInFlight() > 0) {
         ++stats_.counter("prefetchDemandThrottled");
+        GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
+                  static_cast<int>(channel), 0);
         return false;
     }
     for (const auto &queue : demandQueues_) {
         if (!queue.empty()) {
             ++stats_.counter("prefetchDemandThrottled");
+            GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
+                      static_cast<int>(channel), 1);
             return false;
         }
     }
     if (l2Mshrs_->capacity() - l2Mshrs_->inFlight() <=
         kDemandReservedMshrs) {
         ++stats_.counter("prefetchMshrThrottled");
+        GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
+                  static_cast<int>(channel), 2);
         return false;
     }
 
@@ -384,6 +446,8 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
                  "engine offered a candidate for the wrong channel");
         if (l2_->contains(block) || l2Mshrs_->find(block)) {
             ++stats_.counter("prefetchFiltered");
+            GRP_TRACE(2, obs::TraceEvent::Filtered, block,
+                      candidate->hintClass, static_cast<int>(channel));
             continue;
         }
         l2Mshrs_->allocate(block, true, LoadHints{},
@@ -393,9 +457,12 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
         req.cls = ReqClass::Prefetch;
         req.refId = candidate->refId;
         req.ptrDepth = candidate->ptrDepth;
+        req.hintClass = candidate->hintClass;
         req.enqueued = events_.curTick();
         startDramAccess(channel, req);
         ++stats_.counter("prefetchesIssued");
+        GRP_TRACE(1, obs::TraceEvent::Issue, block, candidate->hintClass,
+                  static_cast<int>(channel), candidate->ptrDepth);
         return true;
     }
     return false;
@@ -428,6 +495,24 @@ MemorySystem::l2DemandMisses() const
            stats_.value("latePrefetchUpgrades");
 }
 
+size_t
+MemorySystem::demandQueueDepth() const
+{
+    size_t depth = 0;
+    for (const auto &queue : demandQueues_)
+        depth += queue.size();
+    return depth;
+}
+
+size_t
+MemorySystem::writebackQueueDepth() const
+{
+    size_t depth = 0;
+    for (const auto &queue : writebackQueues_)
+        depth += queue.size();
+    return depth;
+}
+
 void
 MemorySystem::resetStats()
 {
@@ -437,6 +522,11 @@ MemorySystem::resetStats()
     l2Mshrs_->stats().reset();
     dram_->stats().reset();
     stats_.reset();
+    // Prefetches filled before this boundary must not count toward
+    // measured-window accuracy when they are finally referenced.
+    boundaryTick_ = events_.curTick();
+    for (auto &entry : livePrefetches_)
+        entry.second.warm = true;
 }
 
 void
@@ -451,6 +541,8 @@ MemorySystem::reset()
         queue.clear();
     for (auto &queue : writebackQueues_)
         queue.clear();
+    livePrefetches_.clear();
+    boundaryTick_ = 0;
     stats_.reset();
 }
 

@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hh"
@@ -26,6 +27,8 @@
 #include "mem/mshr.hh"
 #include "mem/prefetch_iface.hh"
 #include "mem/request.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -94,6 +97,11 @@ class MemorySystem
      *  numerator is computed against a no-prefetch run). */
     uint64_t l2DemandMisses() const;
 
+    /** Demand requests waiting for a channel (time-series hook). */
+    size_t demandQueueDepth() const;
+    /** Writebacks waiting for a channel (time-series hook). */
+    size_t writebackQueueDepth() const;
+
     void reset();
 
     /** Zero all statistics without touching cache/MSHR/DRAM state
@@ -109,6 +117,9 @@ class MemorySystem
 
     bool handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
                       uint64_t token, bool is_write);
+    /** First CPU reference to a prefetched block: attribute it to its
+     *  hint class and warmup era, sample the fill-to-use distance. */
+    void notePrefetchUseful(Addr block_addr);
     void respondAfter(Tick delay, Addr block_addr);
     void finishL1Fill(Addr block_addr);
     void insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty);
@@ -137,8 +148,27 @@ class MemorySystem
     /** Candidate re-draws per channel per cycle when the engine
      *  offers already-present blocks. */
     static constexpr unsigned kPrefetchDrawLimit = 8;
+    /** Fill-to-use distances are clamped before sampling so the
+     *  distribution's bucket vector stays bounded. */
+    static constexpr uint64_t kDistanceCap = 65535;
+
+    /** A prefetch-filled block not yet referenced by the CPU. */
+    struct PrefetchFillInfo
+    {
+        Tick fillTick = 0;
+        obs::HintClass hint = obs::HintClass::None;
+        /** Issued before the measurement boundary; its eventual use
+         *  is warmup carryover, not measured-window accuracy. */
+        bool warm = false;
+    };
+
+    /** Live (unreferenced) prefetch fills keyed by block address. */
+    std::unordered_map<Addr, PrefetchFillInfo> livePrefetches_;
+    /** Tick of the last resetStats() (warmup/measurement boundary). */
+    Tick boundaryTick_ = 0;
 
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

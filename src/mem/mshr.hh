@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mem/request.hh"
+#include "obs/stat_registry.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -87,6 +88,7 @@ class MshrFile
     unsigned freeCount_;
     unsigned demandCount_ = 0;
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

@@ -97,6 +97,9 @@ class PrefetchEngine
     /** Engine statistics group. */
     virtual StatGroup &stats() = 0;
 
+    /** Pending candidate entries (time-series sampling hook). */
+    virtual size_t queueDepth() const { return 0; }
+
     /** Drop all pending state. */
     virtual void reset() {}
 };

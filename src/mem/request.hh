@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "core/hints.hh"
+#include "obs/trace.hh"
 #include "sim/types.hh"
 
 namespace grp
@@ -32,6 +33,9 @@ struct MemRequest
     LoadHints hints;
     /** Remaining pointer-chase levels once this block returns. */
     uint8_t ptrDepth = 0;
+    /** Hint class that produced a prefetch request (lifecycle
+     *  attribution; None for demand/writeback traffic). */
+    obs::HintClass hintClass = obs::HintClass::None;
     /** Tick at which the request entered the prioritizer. */
     Tick enqueued = 0;
 };
@@ -44,6 +48,8 @@ struct PrefetchCandidate
     RefId refId = kInvalidRefId;
     /** Pointer-chase levels remaining when the block returns. */
     uint8_t ptrDepth = 0;
+    /** Hint class that produced the candidate (attribution). */
+    obs::HintClass hintClass = obs::HintClass::None;
 };
 
 } // namespace grp

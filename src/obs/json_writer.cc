@@ -1,0 +1,194 @@
+#include "obs/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    panic_if(wroteRoot_ && stack_.empty(),
+             "JSON document already complete");
+    if (!stack_.empty()) {
+        panic_if(stack_.back().isObject,
+                 "JSON object values need a key() first");
+        if (!stack_.back().empty)
+            os_ << ',';
+        stack_.back().empty = false;
+        newlineIndent();
+    }
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    panic_if(stack_.empty() || !stack_.back().isObject,
+             "key() outside an object");
+    panic_if(pendingKey_, "two keys in a row");
+    if (!stack_.back().empty)
+        os_ << ',';
+    stack_.back().empty = false;
+    newlineIndent();
+    os_ << '"' << jsonEscape(name) << (pretty_ ? "\": " : "\":");
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    os_ << '{';
+    stack_.push_back({true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panic_if(stack_.empty() || !stack_.back().isObject,
+             "endObject() without a matching beginObject()");
+    const bool was_empty = stack_.back().empty;
+    stack_.pop_back();
+    if (!was_empty)
+        newlineIndent();
+    os_ << '}';
+    if (stack_.empty()) {
+        wroteRoot_ = true;
+        if (pretty_)
+            os_ << '\n';
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    os_ << '[';
+    stack_.push_back({false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panic_if(stack_.empty() || stack_.back().isObject,
+             "endArray() without a matching beginArray()");
+    const bool was_empty = stack_.back().empty;
+    stack_.pop_back();
+    if (!was_empty)
+        newlineIndent();
+    os_ << ']';
+    if (stack_.empty()) {
+        wroteRoot_ = true;
+        if (pretty_)
+            os_ << '\n';
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    prepareValue();
+    os_ << '"' << jsonEscape(text) << '"';
+    if (stack_.empty())
+        wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t number)
+{
+    prepareValue();
+    os_ << number;
+    if (stack_.empty())
+        wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t number)
+{
+    prepareValue();
+    os_ << number;
+    if (stack_.empty())
+        wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    prepareValue();
+    // JSON has no NaN/Inf; degrade to null rather than emit garbage.
+    if (std::isfinite(number)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", number);
+        os_ << buf;
+    } else {
+        os_ << "null";
+    }
+    if (stack_.empty())
+        wroteRoot_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    prepareValue();
+    os_ << (flag ? "true" : "false");
+    if (stack_.empty())
+        wroteRoot_ = true;
+    return *this;
+}
+
+} // namespace obs
+} // namespace grp

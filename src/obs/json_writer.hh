@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * Emits syntactically valid, pretty-printed JSON to any ostream
+ * without building an in-memory document. The stat registry, the
+ * time-series sampler and the bench binaries all use it, so every
+ * machine-readable artefact the simulator produces shares one
+ * serialisation path.
+ */
+
+#ifndef GRP_OBS_JSON_WRITER_HH
+#define GRP_OBS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grp
+{
+namespace obs
+{
+
+/** Escape @p text for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** Streaming JSON emitter with automatic comma/indent management. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : os_(os), pretty_(pretty)
+    {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or begin*(). */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text) { return value(std::string_view(text)); }
+    JsonWriter &value(uint64_t number);
+    JsonWriter &value(int64_t number);
+    JsonWriter &value(double number);
+    JsonWriter &value(bool flag);
+    JsonWriter &value(int number) { return value(static_cast<int64_t>(number)); }
+    JsonWriter &value(unsigned number) { return value(static_cast<uint64_t>(number)); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** All containers closed (useful as a sanity assertion). */
+    bool complete() const { return stack_.empty() && wroteRoot_; }
+
+  private:
+    struct Frame
+    {
+        bool isObject;
+        bool empty = true;
+    };
+
+    /** Emit separators/newlines before a value or key. */
+    void prepareValue();
+    void newlineIndent();
+
+    std::ostream &os_;
+    bool pretty_;
+    std::vector<Frame> stack_;
+    bool pendingKey_ = false;
+    bool wroteRoot_ = false;
+};
+
+} // namespace obs
+} // namespace grp
+
+#endif // GRP_OBS_JSON_WRITER_HH

@@ -1,0 +1,229 @@
+#include "obs/stat_registry.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json_writer.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+uint64_t
+StatSnapshot::value(const std::string &dotted_name) const
+{
+    auto it = counters.find(dotted_name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+StatSnapshot::hasCounter(const std::string &dotted_name) const
+{
+    return counters.find(dotted_name) != counters.end();
+}
+
+DistSummary
+summarise(const Distribution &dist)
+{
+    DistSummary out;
+    out.samples = dist.samples();
+    out.sum = dist.sum();
+    out.mean = dist.mean();
+    out.maxValue = dist.maxValue();
+    out.p50 = dist.percentile(50.0);
+    out.p90 = dist.percentile(90.0);
+    out.p99 = dist.percentile(99.0);
+    return out;
+}
+
+StatRegistry &
+StatRegistry::global()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+void
+StatRegistry::add(StatGroup *group)
+{
+    panic_if(!group, "registering a null stat group");
+    groups_.push_back(group);
+}
+
+void
+StatRegistry::remove(StatGroup *group)
+{
+    auto it = std::find(groups_.begin(), groups_.end(), group);
+    if (it != groups_.end())
+        groups_.erase(it);
+}
+
+const StatGroup *
+StatRegistry::find(const std::string &name) const
+{
+    for (auto it = groups_.rbegin(); it != groups_.rend(); ++it) {
+        if ((*it)->name() == name)
+            return *it;
+    }
+    return nullptr;
+}
+
+uint64_t
+StatRegistry::value(const std::string &dotted_name) const
+{
+    const size_t dot = dotted_name.find('.');
+    if (dot == std::string::npos)
+        return 0;
+    const StatGroup *group = find(dotted_name.substr(0, dot));
+    return group ? group->value(dotted_name.substr(dot + 1)) : 0;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    // Registration order; later same-name groups overwrite earlier
+    // ones, matching the newest-wins rule of value()/find().
+    for (const StatGroup *group : groups_) {
+        for (const auto &[stat, counter] : group->counters())
+            snap.counters[group->name() + '.' + stat] = counter.value();
+        for (const auto &[stat, dist] : group->distributions()) {
+            snap.distributions[group->name() + '.' + stat] =
+                summarise(dist);
+        }
+    }
+    return snap;
+}
+
+std::vector<std::string>
+StatRegistry::exportNames() const
+{
+    // Newest registration keeps the bare name; older duplicates get
+    // "#2", "#3", ... (counted from the back).
+    std::vector<std::string> names(groups_.size());
+    std::map<std::string, unsigned> seen;
+    for (size_t i = groups_.size(); i-- > 0;) {
+        const std::string &base = groups_[i]->name();
+        const unsigned n = ++seen[base];
+        names[i] = n == 1 ? base : base + '#' + std::to_string(n);
+    }
+    return names;
+}
+
+namespace
+{
+
+void
+writeGroupJson(JsonWriter &w, const StatGroup &group)
+{
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[stat, counter] : group.counters())
+        w.kv(stat, counter.value());
+    w.endObject();
+    if (!group.distributions().empty()) {
+        w.key("distributions").beginObject();
+        for (const auto &[stat, dist] : group.distributions()) {
+            const DistSummary s = summarise(dist);
+            w.key(stat).beginObject();
+            w.kv("samples", s.samples);
+            w.kv("sum", s.sum);
+            w.kv("mean", s.mean);
+            w.kv("max", s.maxValue);
+            w.kv("p50", s.p50);
+            w.kv("p90", s.p90);
+            w.kv("p99", s.p99);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+void
+StatRegistry::exportJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "grp-stats-v1");
+    w.key("groups").beginObject();
+    const std::vector<std::string> names = exportNames();
+    for (size_t i = 0; i < groups_.size(); ++i) {
+        w.key(names[i]);
+        writeGroupJson(w, *groups_[i]);
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+StatRegistry::exportCsv(std::ostream &os) const
+{
+    os << "group,stat,value\n";
+    const std::vector<std::string> names = exportNames();
+    for (size_t i = 0; i < groups_.size(); ++i) {
+        const StatGroup &group = *groups_[i];
+        for (const auto &[stat, counter] : group.counters()) {
+            os << names[i] << ',' << stat << ',' << counter.value()
+               << '\n';
+        }
+        for (const auto &[stat, dist] : group.distributions()) {
+            const DistSummary s = summarise(dist);
+            os << names[i] << ',' << stat << ".samples," << s.samples
+               << '\n';
+            os << names[i] << ',' << stat << ".sum," << s.sum << '\n';
+            os << names[i] << ',' << stat << ".mean," << s.mean
+               << '\n';
+            os << names[i] << ',' << stat << ".max," << s.maxValue
+               << '\n';
+            os << names[i] << ',' << stat << ".p50," << s.p50 << '\n';
+            os << names[i] << ',' << stat << ".p90," << s.p90 << '\n';
+            os << names[i] << ',' << stat << ".p99," << s.p99 << '\n';
+        }
+    }
+}
+
+bool
+StatRegistry::exportJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open stats JSON file '%s'", path.c_str());
+        return false;
+    }
+    exportJson(os);
+    return static_cast<bool>(os);
+}
+
+bool
+StatRegistry::exportCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open stats CSV file '%s'", path.c_str());
+        return false;
+    }
+    exportCsv(os);
+    return static_cast<bool>(os);
+}
+
+void
+StatRegistry::dumpText(std::ostream &os) const
+{
+    for (const StatGroup *group : groups_)
+        group->dump(os);
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (StatGroup *group : groups_)
+        group->reset();
+}
+
+} // namespace obs
+} // namespace grp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * A process-wide registry of every live StatGroup.
+ *
+ * Components (caches, MSHR files, DRAM, the memory system, the CPU,
+ * the prefetch queue and every prefetch engine) register their stat
+ * group on construction via a ScopedStatRegistration member and
+ * deregister on destruction, so at any point the registry describes
+ * exactly the live simulation. The registry renders every group as
+ * text (the historical dump format), JSON or CSV, and can snapshot
+ * all values into a plain-data StatSnapshot that outlives the
+ * components — the harness populates RunResult from such a snapshot.
+ *
+ * Duplicate group names are legal (tests build several caches at
+ * once); lookups resolve to the most recently registered group, and
+ * the exporters suffix older duplicates with "#2", "#3", ... so no
+ * registered group is ever silently dropped.
+ */
+
+#ifndef GRP_OBS_STAT_REGISTRY_HH
+#define GRP_OBS_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+/** Summary of one Distribution at snapshot time. */
+struct DistSummary
+{
+    uint64_t samples = 0;
+    uint64_t sum = 0;
+    double mean = 0.0;
+    uint64_t maxValue = 0;
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+};
+
+/** A value-type copy of every registered stat ("group.stat" keys). */
+struct StatSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, DistSummary> distributions;
+
+    /** Counter value by dotted name; 0 when absent. */
+    uint64_t value(const std::string &dotted_name) const;
+    bool hasCounter(const std::string &dotted_name) const;
+};
+
+/** Registry of live StatGroups with machine-readable exporters. */
+class StatRegistry
+{
+  public:
+    /** The process-wide registry every component registers into. */
+    static StatRegistry &global();
+
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    void add(StatGroup *group);
+    void remove(StatGroup *group);
+
+    size_t size() const { return groups_.size(); }
+
+    /** Registered groups in registration order. */
+    const std::vector<StatGroup *> &groups() const { return groups_; }
+
+    /** Most recently registered group named @p name, or nullptr. */
+    const StatGroup *find(const std::string &name) const;
+
+    /** Counter lookup by "group.stat"; 0 when absent. Duplicate
+     *  group names resolve to the newest registration. */
+    uint64_t value(const std::string &dotted_name) const;
+
+    /** Copy every stat into a snapshot (newest-wins on name
+     *  collisions, matching value()). */
+    StatSnapshot snapshot() const;
+
+    /** Emit every group (older duplicates suffixed "#N") as one JSON
+     *  document: {"schema": ..., "groups": {name: {counters,
+     *  distributions}}}. */
+    void exportJson(std::ostream &os) const;
+
+    /** Emit "group,stat,value" CSV rows (distributions expand to
+     *  .samples/.sum/.mean/.max/.p50/.p90/.p99 rows). */
+    void exportCsv(std::ostream &os) const;
+
+    /** Write exportJson()/exportCsv() output to @p path; returns
+     *  false (with a warn) when the file cannot be opened. */
+    bool exportJsonFile(const std::string &path) const;
+    bool exportCsvFile(const std::string &path) const;
+
+    /** Text dump of every group in the classic "group.stat value"
+     *  format, in registration order. */
+    void dumpText(std::ostream &os) const;
+
+    /** Reset every registered group. */
+    void resetAll();
+
+  private:
+    /** Group names with older duplicates suffixed, parallel to
+     *  groups_. */
+    std::vector<std::string> exportNames() const;
+
+    std::vector<StatGroup *> groups_;
+};
+
+/** Registers a StatGroup for the lifetime of the holding component. */
+class ScopedStatRegistration
+{
+  public:
+    explicit ScopedStatRegistration(StatGroup &group)
+        : ScopedStatRegistration(group, StatRegistry::global())
+    {}
+
+    ScopedStatRegistration(StatGroup &group, StatRegistry &registry)
+        : registry_(&registry), group_(&group)
+    {
+        registry_->add(group_);
+    }
+
+    ~ScopedStatRegistration() { registry_->remove(group_); }
+
+    ScopedStatRegistration(const ScopedStatRegistration &) = delete;
+    ScopedStatRegistration &
+    operator=(const ScopedStatRegistration &) = delete;
+
+  private:
+    StatRegistry *registry_;
+    StatGroup *group_;
+};
+
+/** Summarise one distribution (quantiles included). */
+DistSummary summarise(const Distribution &dist);
+
+} // namespace obs
+} // namespace grp
+
+#endif // GRP_OBS_STAT_REGISTRY_HH

@@ -1,0 +1,124 @@
+#include "obs/trace.hh"
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+const char *
+toString(HintClass hint)
+{
+    switch (hint) {
+      case HintClass::None:      return "none";
+      case HintClass::Spatial:   return "spatial";
+      case HintClass::Pointer:   return "pointer";
+      case HintClass::Recursive: return "recursive";
+      case HintClass::Indirect:  return "indirect";
+      case HintClass::Stride:    return "stride";
+    }
+    return "?";
+}
+
+const char *
+toString(TraceEvent event)
+{
+    switch (event) {
+      case TraceEvent::HintTrigger:   return "hintTrigger";
+      case TraceEvent::Enqueue:       return "enqueue";
+      case TraceEvent::Drop:          return "drop";
+      case TraceEvent::Issue:         return "issue";
+      case TraceEvent::Stall:         return "stall";
+      case TraceEvent::Filtered:      return "filtered";
+      case TraceEvent::Fill:          return "fill";
+      case TraceEvent::FirstUse:      return "firstUse";
+      case TraceEvent::EvictedUnused: return "evictedUnused";
+    }
+    return "?";
+}
+
+int
+traceLevelOf(TraceEvent event)
+{
+    switch (event) {
+      case TraceEvent::Issue:
+      case TraceEvent::Fill:
+      case TraceEvent::FirstUse:
+      case TraceEvent::EvictedUnused:
+        return 1;
+      case TraceEvent::HintTrigger:
+      case TraceEvent::Enqueue:
+      case TraceEvent::Drop:
+      case TraceEvent::Filtered:
+        return 2;
+      case TraceEvent::Stall:
+        return 3;
+    }
+    return 3;
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::~Tracer()
+{
+    close();
+}
+
+bool
+Tracer::open(const std::string &path)
+{
+    close();
+    out_ = std::fopen(path.c_str(), "w");
+    if (!out_) {
+        warn("cannot open trace file '%s'", path.c_str());
+        return false;
+    }
+    records_ = 0;
+    return true;
+}
+
+void
+Tracer::close()
+{
+    if (out_) {
+        std::fclose(out_);
+        out_ = nullptr;
+    }
+    level_ = 0;
+    warmup_ = false;
+}
+
+void
+Tracer::record(const TraceRecord &rec)
+{
+    if (!out_)
+        return;
+    const Tick tick = clock_ ? clock_->curTick() : 0;
+    std::fprintf(out_, "{\"t\":%llu,\"ev\":\"%s\"",
+                 (unsigned long long)tick, toString(rec.event));
+    if (rec.addr)
+        std::fprintf(out_, ",\"addr\":%llu",
+                     (unsigned long long)rec.addr);
+    if (rec.hint != HintClass::None)
+        std::fprintf(out_, ",\"hint\":\"%s\"", toString(rec.hint));
+    if (rec.channel >= 0)
+        std::fprintf(out_, ",\"ch\":%d", rec.channel);
+    if (rec.extra >= 0)
+        std::fprintf(out_, ",\"x\":%lld", (long long)rec.extra);
+    if (warmup_)
+        std::fprintf(out_, ",\"warm\":true");
+    if (rec.carryover)
+        std::fprintf(out_, ",\"carry\":true");
+    std::fputs("}\n", out_);
+    ++records_;
+}
+
+} // namespace obs
+} // namespace grp

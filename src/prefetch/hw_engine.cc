@@ -64,11 +64,14 @@ HwPrefetchEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
     const unsigned found = scanner_.scan(block_addr, pointers);
     stats_.counter("linesScanned") += 1;
     stats_.counter("pointersFound") += found;
+    const obs::HintClass hint = ptr_depth > 1
+                                    ? obs::HintClass::Recursive
+                                    : obs::HintClass::Pointer;
     for (unsigned i = 0; i < found; ++i) {
         queue_.addPointerTarget(pointers[i],
                                 config_.region.blocksPerPointer,
                                 static_cast<uint8_t>(ptr_depth - 1),
-                                kInvalidRefId);
+                                kInvalidRefId, hint);
     }
 }
 

@@ -41,6 +41,8 @@ class HwPrefetchEngine : public PrefetchEngine
     StatGroup &stats() override { return stats_; }
     RegionQueue &queue() { return queue_; }
 
+    size_t queueDepth() const override { return queue_.size(); }
+
     void reset() override;
 
   private:
@@ -51,6 +53,7 @@ class HwPrefetchEngine : public PrefetchEngine
     RegionQueue queue_;
     PointerScanner scanner_;
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

@@ -46,16 +46,28 @@ RegionQueue::buildWindowVector(uint64_t base_block, unsigned blocks,
 void
 RegionQueue::pushFront(RegionEntry entry)
 {
+    GRP_TRACE(2, obs::TraceEvent::Enqueue,
+              entry.baseBlock << kBlockShift, entry.hintClass, -1,
+              std::popcount(entry.bitvec));
     entries_.push_front(entry);
     while (entries_.size() > capacity_) {
-        dropped_ += std::popcount(entries_.back().bitvec);
+        const RegionEntry &victim = entries_.back();
+        const int victim_blocks = std::popcount(victim.bitvec);
+        dropped_ += victim_blocks;
+        ++stats_.counter("entriesDropped");
+        stats_.counter("candidatesDropped") +=
+            static_cast<uint64_t>(victim_blocks);
+        GRP_TRACE(2, obs::TraceEvent::Drop,
+                  victim.baseBlock << kBlockShift, victim.hintClass, -1,
+                  victim_blocks);
         entries_.pop_back();
     }
 }
 
 unsigned
 RegionQueue::noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
-                             uint8_t ptr_depth, RefId ref)
+                             uint8_t ptr_depth, RefId ref,
+                             obs::HintClass hint)
 {
     panic_if(window_blocks == 0 || window_blocks > kBlocksPerRegion ||
              !isPowerOfTwo(window_blocks),
@@ -95,14 +107,18 @@ RegionQueue::noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
                                         window_blocks);
     entry.ptrDepth = ptr_depth;
     entry.refId = ref;
-    if (entry.bitvec != 0)
+    entry.hintClass = hint;
+    if (entry.bitvec != 0) {
+        ++stats_.counter("regionsQueued");
         pushFront(entry);
+    }
     return window_blocks;
 }
 
 void
 RegionQueue::addPointerTarget(Addr target, unsigned blocks,
-                              uint8_t ptr_depth, RefId ref)
+                              uint8_t ptr_depth, RefId ref,
+                              obs::HintClass hint)
 {
     panic_if(blocks == 0 || blocks > kBlocksPerRegion,
              "bad pointer window size");
@@ -123,8 +139,11 @@ RegionQueue::addPointerTarget(Addr target, unsigned blocks,
     entry.index = 0;
     entry.ptrDepth = ptr_depth;
     entry.refId = ref;
-    if (entry.bitvec != 0)
+    entry.hintClass = hint;
+    if (entry.bitvec != 0) {
+        ++stats_.counter("pointerTargetsQueued");
         pushFront(entry);
+    }
 }
 
 std::optional<PrefetchCandidate>
@@ -160,6 +179,8 @@ RegionQueue::dequeue(const DramSystem &dram, unsigned channel)
         candidate.blockAddr = (entry.baseBlock + pos) << kBlockShift;
         candidate.ptrDepth = entry.ptrDepth;
         candidate.refId = entry.refId;
+        candidate.hintClass = entry.hintClass;
+        ++stats_.counter("candidatesDequeued");
         entry.bitvec &= ~(1ull << pos);
         if (entry.bitvec == 0) {
             for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -194,6 +215,7 @@ RegionQueue::clear()
 {
     entries_.clear();
     dropped_ = 0;
+    stats_.reset();
 }
 
 } // namespace grp

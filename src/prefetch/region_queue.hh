@@ -24,6 +24,9 @@
 
 #include "mem/dram.hh"
 #include "mem/request.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace grp
@@ -38,6 +41,8 @@ struct RegionEntry
     unsigned index = 0;     ///< Scan start position within the window.
     uint8_t ptrDepth = 0;   ///< Pointer-chase depth of resulting fills.
     RefId refId = kInvalidRefId;
+    /** Hint class attributed to candidates from this window. */
+    obs::HintClass hintClass = obs::HintClass::None;
 };
 
 /** Fixed-capacity prefetch candidate queue. */
@@ -66,14 +71,18 @@ class RegionQueue
      *         an existing entry.
      */
     unsigned noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
-                             uint8_t ptr_depth, RefId ref);
+                             uint8_t ptr_depth, RefId ref,
+                             obs::HintClass hint =
+                                 obs::HintClass::Spatial);
 
     /**
      * Queue a pointer-target window of @p blocks blocks starting at
      * @p target's block (paper: 2 blocks per pointer).
      */
     void addPointerTarget(Addr target, unsigned blocks,
-                          uint8_t ptr_depth, RefId ref);
+                          uint8_t ptr_depth, RefId ref,
+                          obs::HintClass hint =
+                              obs::HintClass::Pointer);
 
     /** Take the next candidate for @p channel, if any. */
     std::optional<PrefetchCandidate>
@@ -85,6 +94,9 @@ class RegionQueue
 
     /** Total candidate blocks dropped when old entries fell off. */
     uint64_t droppedCandidates() const { return dropped_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
 
     void clear();
 
@@ -100,6 +112,8 @@ class RegionQueue
     bool bankAware_;
     PresenceTest present_;
     uint64_t dropped_ = 0;
+    StatGroup stats_{"regionQueue"};
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

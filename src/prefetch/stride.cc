@@ -198,6 +198,7 @@ StridePrefetcher::dequeuePrefetch(const DramSystem &dram,
         candidate.blockAddr = stream.nextAddr;
         candidate.refId = stream.ref;
         candidate.ptrDepth = 0;
+        candidate.hintClass = obs::HintClass::Stride;
         const Addr next = static_cast<Addr>(
             static_cast<int64_t>(stream.nextAddr) +
             stream.strideBlocks * int64_t(kBlockBytes));

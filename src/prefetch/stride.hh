@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mem/prefetch_iface.hh"
+#include "obs/stat_registry.hh"
 #include "sim/config.hh"
 
 namespace grp
@@ -37,6 +38,8 @@ class StridePrefetcher : public PrefetchEngine
     dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
 
     StatGroup &stats() override { return stats_; }
+
+    size_t queueDepth() const override { return liveStreams(); }
 
     void reset() override;
 
@@ -78,6 +81,7 @@ class StridePrefetcher : public PrefetchEngine
     uint64_t nextStamp_ = 1;
     unsigned rrCursor_ = 0;
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

@@ -51,6 +51,8 @@ class ThrottledSrpEngine : public PrefetchEngine
     StatGroup &stats() override { return stats_; }
     bool throttled() const { return throttled_; }
 
+    size_t queueDepth() const override { return queue_.size(); }
+
     void reset() override;
 
   private:
@@ -65,6 +67,7 @@ class ThrottledSrpEngine : public PrefetchEngine
     unsigned missesWhileThrottled_ = 0;
 
     StatGroup stats_;
+    obs::ScopedStatRegistration statReg_{stats_};
 };
 
 } // namespace grp

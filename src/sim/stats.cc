@@ -5,6 +5,28 @@
 namespace grp
 {
 
+uint64_t
+Distribution::percentile(double p) const
+{
+    if (!samples_)
+        return 0;
+    if (p >= 100.0)
+        return maxValue();
+    // Rank of the percentile sample, at least 1 (p <= 0 gives the
+    // smallest recorded value).
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t cumulative = 0;
+    for (size_t value = 0; value < buckets_.size(); ++value) {
+        cumulative += buckets_[value];
+        if (cumulative >= rank)
+            return value;
+    }
+    return maxValue();
+}
+
 void
 StatGroup::dump(std::ostream &os) const
 {

@@ -70,6 +70,13 @@ class Distribution
     size_t maxValue() const { return buckets_.empty() ? 0
                                                       : buckets_.size() - 1; }
 
+    /**
+     * The @p p-th percentile of the recorded samples (p in [0, 100]):
+     * the smallest recorded value v such that at least p percent of
+     * all samples are <= v. Returns 0 when no samples were recorded.
+     */
+    uint64_t percentile(double p) const;
+
     void
     reset()
     {
@@ -116,6 +123,18 @@ class StatGroup
     }
 
     const std::string &name() const { return name_; }
+
+    /** All counters, keyed by stat name (exporters iterate these). */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    /** All distributions, keyed by stat name. */
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distributions_;
+    }
 
     /** Print all stats to @p os as "group.stat value" lines. */
     void dump(std::ostream &os) const;

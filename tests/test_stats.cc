@@ -46,6 +46,51 @@ TEST(Distribution, EmptyIsSafe)
     EXPECT_EQ(dist.samples(), 0u);
     EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
     EXPECT_DOUBLE_EQ(dist.fraction(3), 0.0);
+    EXPECT_EQ(dist.percentile(50.0), 0u);
+}
+
+TEST(Distribution, PercentileSingleValue)
+{
+    Distribution dist;
+    dist.sample(7);
+    EXPECT_EQ(dist.percentile(0.0), 7u);
+    EXPECT_EQ(dist.percentile(50.0), 7u);
+    EXPECT_EQ(dist.percentile(100.0), 7u);
+}
+
+TEST(Distribution, PercentileUniformRange)
+{
+    Distribution dist;
+    for (uint64_t v = 1; v <= 100; ++v)
+        dist.sample(v);
+    EXPECT_EQ(dist.percentile(50.0), 50u);
+    EXPECT_EQ(dist.percentile(90.0), 90u);
+    EXPECT_EQ(dist.percentile(99.0), 99u);
+    EXPECT_EQ(dist.percentile(100.0), 100u);
+    EXPECT_EQ(dist.percentile(1.0), 1u);
+}
+
+TEST(Distribution, PercentileClampsOutOfRangeP)
+{
+    Distribution dist;
+    dist.sample(3);
+    dist.sample(9);
+    EXPECT_EQ(dist.percentile(-5.0), 3u);
+    EXPECT_EQ(dist.percentile(250.0), 9u);
+}
+
+TEST(Distribution, PercentileSkewed)
+{
+    // 99 samples of 1 and one of 1000: p50/p90 stay at 1, p99+ sees
+    // the tail only at the very top.
+    Distribution dist;
+    for (int i = 0; i < 99; ++i)
+        dist.sample(1);
+    dist.sample(1000);
+    EXPECT_EQ(dist.percentile(50.0), 1u);
+    EXPECT_EQ(dist.percentile(90.0), 1u);
+    EXPECT_EQ(dist.percentile(99.0), 1u);
+    EXPECT_EQ(dist.percentile(100.0), 1000u);
 }
 
 TEST(StatGroup, CountersPersistByName)

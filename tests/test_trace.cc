@@ -1,0 +1,258 @@
+/** @file End-to-end tests for the prefetch lifecycle tracer: the
+ *  JSONL schema, lifecycle ordering, warmup attribution consistency
+ *  with RunResult, and level filtering. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "obs/json_reader.hh"
+#include "obs/trace.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+/** One parsed trace line, with the optional fields defaulted. */
+struct ParsedRecord
+{
+    uint64_t tick = 0;
+    std::string event;
+    uint64_t addr = 0;
+    std::string hint = "none";
+    int64_t extra = -1;
+    bool warm = false;
+    bool carry = false;
+};
+
+std::vector<ParsedRecord>
+readTrace(const std::string &path)
+{
+    std::vector<ParsedRecord> records;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string error;
+        auto doc = obs::parseJson(line, &error);
+        EXPECT_TRUE(doc) << error << " in: " << line;
+        if (!doc)
+            continue;
+        ParsedRecord rec;
+        const obs::JsonValue *t = doc->find("t");
+        const obs::JsonValue *ev = doc->find("ev");
+        EXPECT_TRUE(t && ev) << line;
+        if (!t || !ev)
+            continue;
+        rec.tick = static_cast<uint64_t>(t->asNumber());
+        rec.event = ev->asString();
+        if (const obs::JsonValue *addr = doc->find("addr"))
+            rec.addr = static_cast<uint64_t>(addr->asNumber());
+        if (const obs::JsonValue *hint = doc->find("hint"))
+            rec.hint = hint->asString();
+        if (const obs::JsonValue *x = doc->find("x"))
+            rec.extra = static_cast<int64_t>(x->asNumber());
+        if (const obs::JsonValue *warm = doc->find("warm"))
+            rec.warm = warm->asBool();
+        if (const obs::JsonValue *carry = doc->find("carry"))
+            rec.carry = carry->asBool();
+        records.push_back(rec);
+    }
+    return records;
+}
+
+/** A record from the measured window with no warmup attribution. */
+bool
+measured(const ParsedRecord &rec)
+{
+    return !rec.warm && !rec.carry;
+}
+
+RunResult
+runTraced(const std::string &workload, PrefetchScheme scheme,
+          const std::string &trace_path, int trace_level,
+          uint64_t instructions = 60'000)
+{
+    setQuiet(true);
+    SimConfig config;
+    config.scheme = scheme;
+    RunOptions opts;
+    opts.maxInstructions = instructions;
+    opts.obs.tracePath = trace_path;
+    opts.obs.traceLevel = trace_level;
+    return runWorkload(workload, config, opts);
+}
+
+std::string
+tracePath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+TEST(Trace, LifecycleOrderingPerBlock)
+{
+    const std::string path = tracePath("grp_trace_order.jsonl");
+    runTraced("mcf", PrefetchScheme::GrpVar, path, 2);
+    const std::vector<ParsedRecord> records = readTrace(path);
+    ASSERT_FALSE(records.empty());
+
+    // Ticks never go backwards: the trace is an event-ordered log.
+    for (size_t i = 1; i < records.size(); ++i)
+        EXPECT_GE(records[i].tick, records[i - 1].tick);
+
+    // Per block: first issue <= first fill <= first use.
+    std::map<uint64_t, uint64_t> first_issue, first_fill, first_use;
+    for (const ParsedRecord &rec : records) {
+        if (!rec.addr)
+            continue;
+        auto note = [&](std::map<uint64_t, uint64_t> &m) {
+            m.emplace(rec.addr, rec.tick);
+        };
+        if (rec.event == "issue")
+            note(first_issue);
+        else if (rec.event == "fill")
+            note(first_fill);
+        else if (rec.event == "firstUse")
+            note(first_use);
+    }
+    ASSERT_FALSE(first_fill.empty());
+    size_t chained = 0;
+    for (const auto &[addr, fill_tick] : first_fill) {
+        auto issue = first_issue.find(addr);
+        // Stream-buffer fills have no issue record; DRAM fills do.
+        if (issue != first_issue.end())
+            EXPECT_LE(issue->second, fill_tick) << std::hex << addr;
+        auto use = first_use.find(addr);
+        if (use != first_use.end() && use->second >= fill_tick)
+            ++chained;
+    }
+    // At least some blocks complete the full fill -> first-use arc.
+    EXPECT_GT(chained, 0u);
+}
+
+TEST(Trace, MeasuredEventsMatchRunResult)
+{
+    const std::string path = tracePath("grp_trace_counts.jsonl");
+    const RunResult result =
+        runTraced("mcf", PrefetchScheme::GrpVar, path, 2);
+    const std::vector<ParsedRecord> records = readTrace(path);
+
+    uint64_t measured_use = 0, carry_use = 0, measured_fills = 0;
+    std::map<std::string, uint64_t> use_by_hint, fills_by_hint;
+    for (const ParsedRecord &rec : records) {
+        if (rec.event == "firstUse") {
+            if (measured(rec)) {
+                ++measured_use;
+                ++use_by_hint[rec.hint];
+            } else {
+                ++carry_use;
+            }
+        } else if (rec.event == "fill" && measured(rec)) {
+            ++measured_fills;
+            ++fills_by_hint[rec.hint];
+        }
+    }
+
+    // Measured first-uses reproduce the run's useful-prefetch count;
+    // warmup-era uses are attributed separately.
+    EXPECT_EQ(measured_use, result.usefulPrefetches);
+    EXPECT_GE(carry_use, result.warmupUsefulPrefetches);
+
+    // Every measured fill increments the prefetchFills counter (the
+    // counter additionally includes boundary-straddling fills).
+    EXPECT_LE(measured_fills, result.prefetchFills);
+    EXPECT_GT(measured_fills, 0u);
+
+    // Per-hint-class accuracy is recomputable: each class uses at
+    // most what it filled, and the classes partition the totals.
+    uint64_t use_sum = 0, fill_sum = 0;
+    for (const auto &[hint, fills] : fills_by_hint) {
+        EXPECT_LE(use_by_hint[hint], fills) << hint;
+        fill_sum += fills;
+    }
+    for (const auto &[hint, uses] : use_by_hint)
+        use_sum += uses;
+    EXPECT_EQ(use_sum, measured_use);
+    EXPECT_EQ(fill_sum, measured_fills);
+    if (measured_fills) {
+        const double trace_accuracy =
+            static_cast<double>(measured_use) /
+            static_cast<double>(measured_fills);
+        // The trace denominator excludes boundary-straddling fills,
+        // so it can only read at or above the RunResult ratio.
+        EXPECT_GE(trace_accuracy + 1e-12, result.accuracy());
+        EXPECT_LE(trace_accuracy, 1.0);
+    }
+}
+
+TEST(Trace, EvictedUnusedMatchesCounter)
+{
+    const std::string path = tracePath("grp_trace_evict.jsonl");
+    const RunResult result =
+        runTraced("art", PrefetchScheme::Srp, path, 1, 150'000);
+    const std::vector<ParsedRecord> records = readTrace(path);
+
+    // Aggressive SRP on a streaming workload must waste some fills.
+    uint64_t evicted_measured_window = 0;
+    for (const ParsedRecord &rec : records) {
+        if (rec.event == "evictedUnused" && !rec.warm)
+            ++evicted_measured_window;
+    }
+    EXPECT_GT(evicted_measured_window, 0u);
+    EXPECT_EQ(evicted_measured_window,
+              result.stats.value("mem.prefetchEvictedUnused"));
+}
+
+TEST(Trace, LevelOneFiltersQueueAndStallEvents)
+{
+    const std::string path = tracePath("grp_trace_lvl1.jsonl");
+    runTraced("mcf", PrefetchScheme::GrpVar, path, 1);
+    const std::vector<ParsedRecord> records = readTrace(path);
+    ASSERT_FALSE(records.empty());
+    for (const ParsedRecord &rec : records) {
+        EXPECT_NE(rec.event, "hintTrigger");
+        EXPECT_NE(rec.event, "enqueue");
+        EXPECT_NE(rec.event, "drop");
+        EXPECT_NE(rec.event, "filtered");
+        EXPECT_NE(rec.event, "stall");
+    }
+}
+
+TEST(Trace, LevelTwoAddsQueueEvents)
+{
+    const std::string path = tracePath("grp_trace_lvl2.jsonl");
+    runTraced("mcf", PrefetchScheme::GrpVar, path, 2);
+    const std::vector<ParsedRecord> records = readTrace(path);
+    bool saw_queue_event = false;
+    for (const ParsedRecord &rec : records) {
+        if (rec.event == "hintTrigger" || rec.event == "enqueue")
+            saw_queue_event = true;
+        EXPECT_NE(rec.event, "stall"); // Level 3 only.
+    }
+    EXPECT_TRUE(saw_queue_event);
+}
+
+TEST(Trace, DisabledWhenNoPathGiven)
+{
+    setQuiet(true);
+    SimConfig config;
+    config.scheme = PrefetchScheme::GrpVar;
+    RunOptions opts;
+    opts.maxInstructions = 20'000;
+    const uint64_t before = obs::Tracer::global().recordsWritten();
+    runWorkload("mcf", config, opts);
+    EXPECT_EQ(obs::Tracer::global().recordsWritten(), before);
+    EXPECT_FALSE(obs::Tracer::global().enabled(1));
+}
+
+} // namespace
+} // namespace grp
