@@ -8,16 +8,21 @@
  *          [--stats-json PATH] [--stats-csv PATH]
  *          [--trace PATH] [--trace-level N]
  *          [--timeseries PATH] [--timeseries-bucket N]
+ *          [--site-profile PATH] [--site-report N]
  *
  * Runs one (workload, scheme) pair through the harness and prints
  * the headline metrics. The observability flags export the full
  * statistics registry as JSON/CSV, record the prefetch lifecycle
- * trace (JSONL) and sample queue/channel/MSHR time series; every
- * flag accepts both "--flag value" and "--flag=value".
+ * trace (JSONL), sample queue/channel/MSHR time series and profile
+ * per-hint-site behaviour; every flag accepts both "--flag value"
+ * and "--flag=value". Output paths are validated up front: a path
+ * whose parent directory does not exist is rejected before the
+ * simulation spends any time.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "harness/runner.hh"
@@ -58,6 +63,21 @@ parsePolicy(const std::string &name)
     fatal("unknown policy '%s'", name.c_str());
 }
 
+/** Reject an output path whose parent directory does not exist —
+ *  otherwise a long simulation runs to completion and then silently
+ *  (Tracer) or fatally (exports) fails to write its one artifact. */
+std::string
+outputPath(const std::string &flag, const std::string &path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty() && !std::filesystem::is_directory(parent)) {
+        fatal("%s '%s': parent directory '%s' does not exist",
+              flag.c_str(), path.c_str(), parent.string().c_str());
+    }
+    return path;
+}
+
 void
 usage()
 {
@@ -68,6 +88,7 @@ usage()
         "              [--stats-json PATH] [--stats-csv PATH]\n"
         "              [--trace PATH] [--trace-level N]\n"
         "              [--timeseries PATH] [--timeseries-bucket N]\n"
+        "              [--site-profile PATH] [--site-report N]\n"
         "schemes: none stride srp grp-fix grp-var ptr-hw ptr-hw-rec "
         "srp+ptr srp-throttled\n"
         "policies: conservative default aggressive\n");
@@ -121,17 +142,21 @@ try {
         } else if (arg == "--dump-stats") {
             options.obs.dumpStats = true;
         } else if (arg == "--stats-json") {
-            options.obs.statsJsonPath = value();
+            options.obs.statsJsonPath = outputPath(arg, value());
         } else if (arg == "--stats-csv") {
-            options.obs.statsCsvPath = value();
+            options.obs.statsCsvPath = outputPath(arg, value());
         } else if (arg == "--trace") {
-            options.obs.tracePath = value();
+            options.obs.tracePath = outputPath(arg, value());
         } else if (arg == "--trace-level") {
             options.obs.traceLevel = static_cast<int>(number());
         } else if (arg == "--timeseries") {
-            options.obs.timeseriesPath = value();
+            options.obs.timeseriesPath = outputPath(arg, value());
         } else if (arg == "--timeseries-bucket") {
             options.obs.timeseriesBucket = number();
+        } else if (arg == "--site-profile") {
+            options.obs.siteProfilePath = outputPath(arg, value());
+        } else if (arg == "--site-report") {
+            options.obs.siteReportTop = static_cast<int>(number());
         } else if (arg == "--list") {
             for (const auto &name : workloadNames())
                 std::printf("%s\n", name.c_str());

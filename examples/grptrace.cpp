@@ -1,0 +1,241 @@
+/**
+ * @file
+ * grptrace — offline analyzer for prefetch lifecycle traces.
+ *
+ *   grptrace TRACE.jsonl [--chrome OUT.trace.json]
+ *            [--timeseries TS.json] [--top N] [--quiet]
+ *
+ * Re-reads a JSONL trace written by `grpsim --trace`, validates the
+ * lifecycle invariants (every fill was issued, every first-use had a
+ * fill, no event touches a block that is not live, issues stay
+ * inside enqueued windows), recomputes per-hint-class and per-site
+ * accuracy/coverage/timeliness from the raw events — an independent
+ * cross-check of the simulator's own counters — and optionally
+ * converts the trace (plus a time-series dump) to Chrome trace_event
+ * JSON for chrome://tracing or ui.perfetto.dev.
+ *
+ * Exit status: 0 for a consistent trace, 1 for parse errors,
+ * invariant violations, or unusable inputs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/chrome_trace.hh"
+#include "obs/json_reader.hh"
+#include "obs/trace_reader.hh"
+#include "sim/logging.hh"
+
+using namespace grp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: grptrace TRACE.jsonl [--chrome OUT.trace.json]\n"
+        "                [--timeseries TS.json] [--top N] [--quiet]\n"
+        "  --chrome PATH      convert to Chrome trace_event JSON\n"
+        "  --timeseries PATH  merge a grp-timeseries-v1 dump into the\n"
+        "                     Chrome export as counter tracks\n"
+        "  --top N            rows in the per-site table (default 10)\n"
+        "  --quiet            only report violations\n");
+}
+
+void
+printFunnelRow(const char *label, const obs::FunnelStats &f)
+{
+    std::printf("%-12s %8llu %8llu %7llu %7llu %8llu %8llu %7llu "
+                "%7llu %6.1f %8llu\n",
+                label, (unsigned long long)f.triggers,
+                (unsigned long long)f.enqueued,
+                (unsigned long long)f.dropped,
+                (unsigned long long)f.filtered,
+                (unsigned long long)f.issued,
+                (unsigned long long)f.fills,
+                (unsigned long long)f.useful,
+                (unsigned long long)f.evictedUnused,
+                100.0 * f.accuracy(),
+                (unsigned long long)f.fillToUse.percentile(90.0));
+}
+
+void
+printFunnelHeader(const char *key)
+{
+    std::printf("%-12s %8s %8s %7s %7s %8s %8s %7s %7s %6s %8s\n",
+                key, "triggers", "enq", "drop", "filt", "issued",
+                "fills", "useful", "evict", "acc%", "p90lat");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    std::string trace_path;
+    std::string chrome_path;
+    std::string timeseries_path;
+    size_t top = 10;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (const size_t eq = arg.find('='); eq != std::string::npos) {
+            inline_value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_inline = true;
+        }
+        auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
+            if (i + 1 >= argc) {
+                usage();
+                fatal("%s needs a value", arg.c_str());
+            }
+            return argv[++i];
+        };
+        if (arg == "--chrome") {
+            chrome_path = value();
+        } else if (arg == "--timeseries") {
+            timeseries_path = value();
+        } else if (arg == "--top") {
+            top = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 1;
+        } else if (trace_path.empty()) {
+            trace_path = arg;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (trace_path.empty()) {
+        usage();
+        return 1;
+    }
+
+    const obs::TraceParseResult parsed =
+        obs::readTraceFile(trace_path);
+    for (const std::string &error : parsed.errors)
+        std::fprintf(stderr, "grptrace: %s: %s\n", trace_path.c_str(),
+                     error.c_str());
+    if (parsed.openFailed)
+        return 1;
+
+    const obs::TraceAnalysis analysis =
+        obs::analyzeTrace(parsed.lines);
+
+    for (const obs::InvariantViolation &v : analysis.violations)
+        std::fprintf(stderr, "grptrace: invariant: record %zu: %s\n",
+                     v.line, v.message.c_str());
+
+    if (!quiet) {
+        std::printf("%s: %llu records (%llu warmup-era), "
+                    "%zu parse errors, %zu violations\n",
+                    trace_path.c_str(),
+                    (unsigned long long)analysis.records,
+                    (unsigned long long)analysis.warmupRecords,
+                    parsed.errors.size(), analysis.violations.size());
+        std::printf("end of trace: %llu blocks resident unused, "
+                    "%llu issues in flight%s\n",
+                    (unsigned long long)analysis.liveAtEnd,
+                    (unsigned long long)analysis.inFlightAtEnd,
+                    analysis.coverageChecked
+                        ? ""
+                        : " (no enqueue events: issue coverage "
+                          "not checked)");
+
+        std::printf("\nper hint class (measured window):\n");
+        printFunnelHeader("class");
+        for (const auto &[hint, funnel] : analysis.byClass)
+            printFunnelRow(hint == obs::HintClass::None
+                               ? "unattributed"
+                               : obs::toString(hint),
+                           funnel);
+
+        std::printf("\nper site (top %zu by evicted-unused fills):\n",
+                    top);
+        printFunnelHeader("site");
+        std::vector<const std::pair<const int64_t,
+                                    obs::FunnelStats> *> ranked;
+        for (const auto &entry : analysis.bySite)
+            ranked.push_back(&entry);
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const auto *a, const auto *b) {
+                             if (a->second.evictedUnused !=
+                                 b->second.evictedUnused)
+                                 return a->second.evictedUnused >
+                                        b->second.evictedUnused;
+                             return a->second.accuracy() <
+                                    b->second.accuracy();
+                         });
+        size_t shown = 0;
+        for (const auto *entry : ranked) {
+            if (shown++ >= top)
+                break;
+            char label[32];
+            std::snprintf(label, sizeof label, "%lld",
+                          (long long)entry->first);
+            printFunnelRow(label, entry->second);
+        }
+    }
+
+    if (!chrome_path.empty()) {
+        std::unique_ptr<obs::JsonValue> timeseries;
+        if (!timeseries_path.empty()) {
+            std::ifstream ts(timeseries_path);
+            if (!ts)
+                fatal("cannot open time series '%s'",
+                      timeseries_path.c_str());
+            std::ostringstream text;
+            text << ts.rdbuf();
+            std::string error;
+            timeseries = obs::parseJson(text.str(), &error);
+            if (!timeseries)
+                fatal("bad time series '%s': %s",
+                      timeseries_path.c_str(), error.c_str());
+        }
+        if (!obs::writeChromeTraceFile(chrome_path, parsed.lines,
+                                       timeseries.get()))
+            fatal("cannot write '%s'", chrome_path.c_str());
+
+        // Self-check: the export must itself be one valid JSON
+        // document with a traceEvents array.
+        std::ifstream back(chrome_path);
+        std::ostringstream text;
+        text << back.rdbuf();
+        std::string error;
+        auto doc = obs::parseJson(text.str(), &error);
+        if (!doc || !doc->isObject() || !doc->find("traceEvents") ||
+            !doc->find("traceEvents")->isArray()) {
+            fatal("chrome export failed self-validation: %s",
+                  error.empty() ? "missing traceEvents" : error.c_str());
+        }
+        if (!quiet)
+            std::printf("\nchrome trace: %s (%zu events)\n",
+                        chrome_path.c_str(),
+                        doc->find("traceEvents")->asArray().size());
+    }
+
+    return parsed.errors.empty() && analysis.violations.empty() ? 0 : 1;
+} catch (const std::exception &) {
+    // fatal() already printed the message with its location.
+    return 1;
+}

@@ -1,5 +1,6 @@
 #include "core/grp_engine.hh"
 
+#include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -35,7 +36,8 @@ GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
         return;
     }
     GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(addr),
-              obs::HintClass::Spatial);
+              obs::HintClass::Spatial, -1, -1, false, ref);
+    GRP_PROFILE(noteTrigger(ref, obs::HintClass::Spatial));
     const unsigned window =
         variableRegions() ? hints.regionBlocks(kBlocksPerRegion)
                           : kBlocksPerRegion;
@@ -64,9 +66,11 @@ GrpEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
     const obs::HintClass hint = ptr_depth > 1
                                     ? obs::HintClass::Recursive
                                     : obs::HintClass::Pointer;
-    if (found > 0)
+    if (found > 0) {
         GRP_TRACE(2, obs::TraceEvent::HintTrigger, block_addr, hint,
                   -1, found);
+        GRP_PROFILE(noteTrigger(kInvalidRefId, hint));
+    }
     for (unsigned i = 0; i < found; ++i) {
         queue_.addPointerTarget(pointers[i],
                                 config_.region.blocksPerPointer,
@@ -86,7 +90,8 @@ GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
     // design accepts for its simplicity.
     ++stats_.counter("indirectOps");
     GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(index_addr),
-              obs::HintClass::Indirect);
+              obs::HintClass::Indirect, -1, -1, false, ref);
+    GRP_PROFILE(noteTrigger(ref, obs::HintClass::Indirect));
     const Addr block = blockAlign(index_addr);
     const unsigned fanout = config_.region.indirectFanout;
     for (unsigned i = 0; i < kBlockBytes / 4 && i < fanout; ++i) {

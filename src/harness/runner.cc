@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <cassert>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -8,6 +9,7 @@
 #include "core/grp_engine.hh"
 #include "cpu/cpu.hh"
 #include "mem/memory_system.hh"
+#include "obs/site_profile.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "sim/event_queue.hh"
@@ -55,6 +57,42 @@ class ScopedTrace
     bool active_ = false;
 };
 
+/** Enables the global site profiler for one run, registers its
+ *  aggregate StatGroup so registry exports carry the totals, and
+ *  disables + wipes it when the run ends. */
+class ScopedSiteProfile
+{
+  public:
+    explicit ScopedSiteProfile(const ObsOptions &obs)
+        : active_(!obs.siteProfilePath.empty() || obs.siteReportTop > 0)
+    {
+        if (!active_)
+            return;
+        obs::SiteProfiler &prof = obs::SiteProfiler::global();
+        prof.clear();
+        prof.setEnabled(true);
+        reg_.emplace(prof.stats());
+    }
+
+    ~ScopedSiteProfile()
+    {
+        if (!active_)
+            return;
+        obs::SiteProfiler &prof = obs::SiteProfiler::global();
+        prof.setEnabled(false);
+        prof.clear();
+    }
+
+    ScopedSiteProfile(const ScopedSiteProfile &) = delete;
+    ScopedSiteProfile &operator=(const ScopedSiteProfile &) = delete;
+
+    bool active() const { return active_; }
+
+  private:
+    bool active_ = false;
+    std::optional<obs::ScopedStatRegistration> reg_;
+};
+
 } // namespace
 
 uint64_t
@@ -98,6 +136,7 @@ runWorkload(const std::string &workload_name, SimConfig config,
             : options.warmupInstructions;
 
     ScopedTrace trace(options.obs, events, warmup > 0);
+    ScopedSiteProfile site_profile(options.obs);
     std::optional<obs::TimeSeries> series;
     if (!options.obs.timeseriesPath.empty())
         series.emplace(options.obs.timeseriesBucket);
@@ -136,6 +175,11 @@ runWorkload(const std::string &workload_name, SimConfig config,
             if (engine.get())
                 engine->stats().reset();
             obs::Tracer::global().setWarmup(false);
+            // Restart the site table with the measured window so its
+            // column sums reconcile with the post-reset registry
+            // totals (warmup-era fills still in flight attribute to
+            // the warmup columns via PrefetchFillInfo::warm).
+            obs::SiteProfiler::global().clear();
             warm_instructions = cpu.retiredInstructions();
             warm_cycles = cycle;
             measuring = true;
@@ -164,6 +208,18 @@ runWorkload(const std::string &workload_name, SimConfig config,
     result.usefulPrefetches = mem.stats().value("usefulPrefetches");
     result.warmupUsefulPrefetches =
         mem.stats().value("usefulPrefetchWarmupCarryover");
+    // Structural invariant behind RunResult::accuracy(): warmup
+    // carryover is attributed separately, so measured-window uses
+    // cannot exceed measured-window fills. A violation is an
+    // attribution bug — count it (the stat exports as 0 in healthy
+    // runs) and abort debug builds.
+    if (result.usefulPrefetches > result.prefetchFills) {
+        ++mem.stats().counter("accuracyClampEvents");
+        warn("accuracy invariant violated: useful %llu > fills %llu",
+             (unsigned long long)result.usefulPrefetches,
+             (unsigned long long)result.prefetchFills);
+        assert(!"useful prefetches exceeded prefetch fills");
+    }
     result.hints = hint_stats;
     result.stats = obs::StatRegistry::global().snapshot();
 
@@ -184,6 +240,14 @@ runWorkload(const std::string &workload_name, SimConfig config,
         obs::StatRegistry::global().exportCsvFile(obs.statsCsvPath);
     if (series)
         series->exportJsonFile(obs.timeseriesPath);
+    if (site_profile.active()) {
+        obs::SiteProfiler &prof = obs::SiteProfiler::global();
+        if (!obs.siteProfilePath.empty())
+            prof.exportJsonFile(obs.siteProfilePath);
+        if (obs.siteReportTop > 0)
+            prof.writeReport(std::cout,
+                             static_cast<size_t>(obs.siteReportTop));
+    }
     if (obs.dumpStats)
         obs::StatRegistry::global().dumpText(std::cout);
     return result;

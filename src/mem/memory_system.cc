@@ -19,6 +19,10 @@ MemorySystem::MemorySystem(const SimConfig &config, EventQueue &events)
       stats_("mem")
 {
     config_.validate();
+    // Registered up front so it exports as an explicit zero: a
+    // non-zero value flags the accuracy>1 accounting bug (see
+    // harness/runner.cc), which must be countable, not just logged.
+    stats_.counter("accuracyClampEvents");
     l1d_ = std::make_unique<Cache>(config.l1d, "l1d",
                                    config.region.lruInsertion);
     l2_ = std::make_unique<Cache>(config.l2, "l2",
@@ -156,11 +160,14 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     if (engine_ && engine_->streamHit(block)) {
         ++stats_.counter("streamHits");
         insertIntoL2(block, true, false);
+        // The buffer was armed by the same static reference that now
+        // consumes the block, so the demand's ref is the site.
         livePrefetches_[block] =
             PrefetchFillInfo{events_.curTick(), obs::HintClass::Stride,
-                             false};
+                             false, ref};
         GRP_TRACE(1, obs::TraceEvent::Fill, block,
-                  obs::HintClass::Stride);
+                  obs::HintClass::Stride, -1, -1, false, ref);
+        GRP_PROFILE(noteFill(ref, obs::HintClass::Stride, false));
         // Promote; counts a useful prefetch.
         if (l2_->access(block, false).firstUseOfPrefetch)
             notePrefetchUseful(block);
@@ -266,6 +273,8 @@ MemorySystem::notePrefetchUseful(Addr block_addr)
         ++stats_.counter("usefulPrefetchWarmupCarryover");
         GRP_TRACE(1, obs::TraceEvent::FirstUse, block_addr,
                   obs::HintClass::None, -1, -1, true);
+        GRP_PROFILE(noteUseful(kInvalidRefId, obs::HintClass::None, 0,
+                               true));
         return;
     }
 
@@ -280,7 +289,8 @@ MemorySystem::notePrefetchUseful(Addr block_addr)
         stats_.distribution("prefetchToUseDistance").sample(distance);
     }
     GRP_TRACE(1, obs::TraceEvent::FirstUse, block_addr, info.hint, -1,
-              static_cast<int64_t>(distance), info.warm);
+              static_cast<int64_t>(distance), info.warm, info.ref);
+    GRP_PROFILE(noteUseful(info.ref, info.hint, distance, info.warm));
 }
 
 void
@@ -295,10 +305,14 @@ MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty)
                                         : obs::HintClass::None;
         const bool warm =
             it != livePrefetches_.end() && it->second.warm;
+        const RefId ref = it != livePrefetches_.end()
+                              ? it->second.ref
+                              : kInvalidRefId;
         if (it != livePrefetches_.end())
             livePrefetches_.erase(it);
         GRP_TRACE(1, obs::TraceEvent::EvictedUnused, evicted->blockAddr,
-                  hint, -1, -1, warm);
+                  hint, -1, -1, warm, ref);
+        GRP_PROFILE(noteEvictedUnused(ref, hint, warm));
     }
     if (evicted && evicted->dirty) {
         MemRequest wb;
@@ -385,9 +399,10 @@ MemorySystem::onDramFill(MemRequest req)
     if (was_prefetch_req) {
         const bool warm = mshr->allocated < boundaryTick_;
         livePrefetches_[req.blockAddr] = PrefetchFillInfo{
-            events_.curTick(), req.hintClass, warm};
+            events_.curTick(), req.hintClass, warm, req.refId};
         GRP_TRACE(1, obs::TraceEvent::Fill, req.blockAddr,
-                  req.hintClass, -1, -1, warm);
+                  req.hintClass, -1, -1, warm, req.refId);
+        GRP_PROFILE(noteFill(req.refId, req.hintClass, warm));
     }
     if (demand_class && was_prefetch_req) {
         // Late prefetch: the waiting demand touches it immediately.
@@ -447,7 +462,10 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
         if (l2_->contains(block) || l2Mshrs_->find(block)) {
             ++stats_.counter("prefetchFiltered");
             GRP_TRACE(2, obs::TraceEvent::Filtered, block,
-                      candidate->hintClass, static_cast<int>(channel));
+                      candidate->hintClass, static_cast<int>(channel),
+                      -1, false, candidate->refId);
+            GRP_PROFILE(noteFiltered(candidate->refId,
+                                     candidate->hintClass));
             continue;
         }
         l2Mshrs_->allocate(block, true, LoadHints{},
@@ -462,7 +480,9 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
         startDramAccess(channel, req);
         ++stats_.counter("prefetchesIssued");
         GRP_TRACE(1, obs::TraceEvent::Issue, block, candidate->hintClass,
-                  static_cast<int>(channel), candidate->ptrDepth);
+                  static_cast<int>(channel), candidate->ptrDepth, false,
+                  candidate->refId);
+        GRP_PROFILE(noteIssue(candidate->refId, candidate->hintClass));
         return true;
     }
     return false;

@@ -27,6 +27,7 @@
 #include "mem/mshr.hh"
 #include "mem/prefetch_iface.hh"
 #include "mem/request.hh"
+#include "obs/site_profile.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
 #include "sim/config.hh"
@@ -160,6 +161,9 @@ class MemorySystem
         /** Issued before the measurement boundary; its eventual use
          *  is warmup carryover, not measured-window accuracy. */
         bool warm = false;
+        /** Static reference that earned the prefetch (site
+         *  attribution for the tracer and the site profiler). */
+        RefId ref = kInvalidRefId;
     };
 
     /** Live (unreferenced) prefetch fills keyed by block address. */

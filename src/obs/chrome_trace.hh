@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event export.
+ *
+ * Renders a parsed prefetch lifecycle trace (and optionally a PR-1
+ * time-series dump) as one Chrome trace_event JSON document, the
+ * format chrome://tracing and https://ui.perfetto.dev load directly.
+ * Each prefetch becomes an async span — opened at Issue (or at Fill
+ * for stream-buffer prefetches, which never touch a channel), marked
+ * at Fill, closed at FirstUse or EvictedUnused — on a per-hint-class
+ * track, so queue pressure, fill latency and dead time are visible
+ * on a real timeline instead of only as end-of-run aggregates.
+ * Queue-level events (triggers, enqueues, drops, filters, stalls)
+ * appear as instants; time-series trajectories become counter
+ * tracks. Simulated cycles map 1:1 to trace microseconds.
+ */
+
+#ifndef GRP_OBS_CHROME_TRACE_HH
+#define GRP_OBS_CHROME_TRACE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+class JsonValue;
+
+/**
+ * Write @p lines as a Chrome trace_event JSON object document.
+ *
+ * @param timeseries A parsed grp-timeseries-v1 document whose series
+ *        become counter tracks; nullptr for none.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceLine> &lines,
+                      const JsonValue *timeseries = nullptr);
+
+/** writeChromeTrace to @p path (false when the file cannot be
+ *  opened). */
+bool writeChromeTraceFile(const std::string &path,
+                          const std::vector<TraceLine> &lines,
+                          const JsonValue *timeseries = nullptr);
+
+} // namespace obs
+} // namespace grp
+
+#endif // GRP_OBS_CHROME_TRACE_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Per-hint-site prefetch profiling.
+ *
+ * GRP's compiler/hardware cooperation operates at the granularity of
+ * one annotated load: a static reference (RefId, the simulator's
+ * "PC") whose hints gate an engine. The engine-level StatGroups
+ * aggregate away exactly that axis, so this profiler keeps a table
+ * keyed by (site, hint class) and accumulates the full funnel for
+ * each one — hint triggers, candidates enqueued/dropped, prefetches
+ * issued/filtered, fills, useful first-uses vs. evicted-unused, and
+ * a fill-to-use latency Distribution. The table is the per-site
+ * accuracy/timeliness feedback signal that runtime-guided throttling
+ * (see ROADMAP.md) will consume, and it is what `grpsim
+ * --site-profile` exports.
+ *
+ * Attribution mirrors the StatRegistry counters exactly: noteIssue()
+ * is called where mem.prefetchesIssued increments, noteUseful(warm =
+ * false) where mem.usefulPrefetches increments, and the harness
+ * clears the table at the warmup/measurement boundary alongside
+ * resetStats() — so summing any column over the sites reconciles
+ * with the engine-level totals.
+ *
+ * Overhead control matches the tracer: every emission site goes
+ * through the GRP_PROFILE() macro, a single predictable branch when
+ * profiling is off and compiled out entirely when GRP_TRACE_MAX_LEVEL
+ * is 0.
+ */
+
+#ifndef GRP_OBS_SITE_PROFILE_HH
+#define GRP_OBS_SITE_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+/** One (annotated load, hint class) table key. Unattributed
+ *  candidates (hardware-discovered pointer targets, carryover uses)
+ *  profile under site() == -1. */
+struct SiteKey
+{
+    RefId ref = kInvalidRefId;
+    HintClass hint = HintClass::None;
+
+    /** The exported site id: the RefId, or -1 when unattributed. */
+    int64_t
+    site() const
+    {
+        return ref == kInvalidRefId ? -1 : static_cast<int64_t>(ref);
+    }
+
+    bool
+    operator<(const SiteKey &other) const
+    {
+        if (ref != other.ref)
+            return ref < other.ref;
+        return hint < other.hint;
+    }
+};
+
+/** The accumulated funnel for one site. */
+struct SiteCounters
+{
+    uint64_t triggers = 0;      ///< Hint triggers observed.
+    uint64_t enqueued = 0;      ///< Candidate blocks queued.
+    uint64_t dropped = 0;       ///< Candidate blocks lost to overflow.
+    uint64_t issued = 0;        ///< Prefetches started on a channel.
+    uint64_t filtered = 0;      ///< Candidates already present.
+    uint64_t fills = 0;         ///< Measured-window fills completed.
+    uint64_t useful = 0;        ///< Measured-window first-uses.
+    uint64_t evictedUnused = 0; ///< Fills evicted untouched.
+    uint64_t warmupFills = 0;   ///< Fills of warmup-era requests.
+    uint64_t warmupUseful = 0;  ///< First-uses of warmup-era fills.
+
+    /** Fill-to-first-use latency, measured-window samples only. */
+    Distribution fillToUse;
+
+    /** Useful / issued for this site (0 when nothing was issued). */
+    double
+    accuracy() const
+    {
+        return issued ? static_cast<double>(useful) /
+                            static_cast<double>(issued)
+                      : 0.0;
+    }
+
+    /** Fills that never helped: evicted unused, the ranking signal
+     *  for the worst-offender report. */
+    uint64_t wasted() const { return evictedUnused; }
+};
+
+/** The process-wide per-site profiler (mirrors Tracer's lifecycle:
+ *  the harness enables it for one run and clears it at the
+ *  measurement boundary). */
+class SiteProfiler
+{
+  public:
+    static SiteProfiler &global();
+
+    SiteProfiler() : stats_("siteProfile") {}
+    SiteProfiler(const SiteProfiler &) = delete;
+    SiteProfiler &operator=(const SiteProfiler &) = delete;
+
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Wipe the table and the aggregate stats (does not change
+     *  enabled()); the harness calls this at the warmup boundary so
+     *  the table covers exactly the measured window. */
+    void clear();
+
+    void noteTrigger(RefId ref, HintClass hint);
+    void noteEnqueue(RefId ref, HintClass hint, uint64_t candidates);
+    void noteDrop(RefId ref, HintClass hint, uint64_t candidates);
+    void noteIssue(RefId ref, HintClass hint);
+    void noteFiltered(RefId ref, HintClass hint);
+    void noteFill(RefId ref, HintClass hint, bool warm);
+    void noteUseful(RefId ref, HintClass hint, uint64_t distance,
+                    bool warm);
+    void noteEvictedUnused(RefId ref, HintClass hint, bool warm);
+
+    size_t siteCount() const { return table_.size(); }
+    const std::map<SiteKey, SiteCounters> &sites() const
+    {
+        return table_;
+    }
+
+    /** Counters for one site, or nullptr when never seen. */
+    const SiteCounters *find(RefId ref, HintClass hint) const;
+
+    /** Aggregate StatGroup ("siteProfile.*"); the harness registers
+     *  it into the StatRegistry while profiling is active, so the
+     *  registry JSON carries the profile totals. */
+    StatGroup &stats() { return stats_; }
+
+    /** Sites ranked worst-first: most wasted fills, then fewest
+     *  useful per issued. */
+    std::vector<const std::map<SiteKey, SiteCounters>::value_type *>
+    ranked() const;
+
+    /** One JSON document (schema grp-site-profile-v1): ranked site
+     *  array plus the aggregate totals. */
+    void exportJson(std::ostream &os) const;
+    bool exportJsonFile(const std::string &path) const;
+
+    /** Human-readable worst-offenders table (top @p top_n sites). */
+    void writeReport(std::ostream &os, size_t top_n) const;
+
+  private:
+    SiteCounters &entry(RefId ref, HintClass hint);
+
+    bool enabled_ = false;
+    std::map<SiteKey, SiteCounters> table_;
+    StatGroup stats_;
+};
+
+} // namespace obs
+} // namespace grp
+
+/** Route one SiteProfiler::noteX(...) call through the compile-away
+ *  guard: removed entirely when GRP_TRACE_MAX_LEVEL is 0, a single
+ *  branch when profiling is disabled. */
+#define GRP_PROFILE(...)                                              \
+    do {                                                              \
+        if constexpr (GRP_TRACE_MAX_LEVEL > 0) {                      \
+            ::grp::obs::SiteProfiler &prof_ =                         \
+                ::grp::obs::SiteProfiler::global();                   \
+            if (prof_.enabled())                                      \
+                prof_.__VA_ARGS__;                                    \
+        }                                                             \
+    } while (0)
+
+#endif // GRP_OBS_SITE_PROFILE_HH

@@ -112,6 +112,9 @@ Tracer::record(const TraceRecord &rec)
         std::fprintf(out_, ",\"ch\":%d", rec.channel);
     if (rec.extra >= 0)
         std::fprintf(out_, ",\"x\":%lld", (long long)rec.extra);
+    if (rec.site != kInvalidRefId)
+        std::fprintf(out_, ",\"site\":%llu",
+                     (unsigned long long)rec.site);
     if (warmup_)
         std::fprintf(out_, ",\"warm\":true");
     if (rec.carryover)

@@ -80,9 +80,10 @@ struct TraceRecord
 {
     TraceRecord(TraceEvent event_, Addr addr_ = 0,
                 HintClass hint_ = HintClass::None, int channel_ = -1,
-                int64_t extra_ = -1, bool carryover_ = false)
+                int64_t extra_ = -1, bool carryover_ = false,
+                RefId site_ = kInvalidRefId)
         : event(event_), addr(addr_), hint(hint_), channel(channel_),
-          extra(extra_), carryover(carryover_)
+          extra(extra_), carryover(carryover_), site(site_)
     {}
 
     TraceEvent event;
@@ -96,6 +97,9 @@ struct TraceRecord
      *  request predates the measurement boundary, and first-uses of
      *  such fills). */
     bool carryover;
+    /** Static reference ("PC") the event is attributed to; omitted
+     *  from the line when invalid (hardware-discovered targets). */
+    RefId site;
 };
 
 /** The process-wide JSONL trace sink. */

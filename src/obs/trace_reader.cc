@@ -1,0 +1,310 @@
+#include "obs/trace_reader.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/json_reader.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Region windows are at most kBlocksPerRegion blocks, so an issue
+ *  belongs to an enqueued window iff it lands within one region size
+ *  of the window's base. */
+constexpr uint64_t kWindowSpanBytes = kBlocksPerRegion * kBlockBytes;
+
+} // namespace
+
+std::optional<TraceEvent>
+parseTraceEvent(const std::string &name)
+{
+    const TraceEvent all[] = {
+        TraceEvent::HintTrigger, TraceEvent::Enqueue,
+        TraceEvent::Drop,        TraceEvent::Issue,
+        TraceEvent::Stall,       TraceEvent::Filtered,
+        TraceEvent::Fill,        TraceEvent::FirstUse,
+        TraceEvent::EvictedUnused,
+    };
+    for (TraceEvent event : all) {
+        if (name == toString(event))
+            return event;
+    }
+    return std::nullopt;
+}
+
+std::optional<HintClass>
+parseHintClass(const std::string &name)
+{
+    const HintClass all[] = {
+        HintClass::None,      HintClass::Spatial,
+        HintClass::Pointer,   HintClass::Recursive,
+        HintClass::Indirect,  HintClass::Stride,
+    };
+    for (HintClass hint : all) {
+        if (name == toString(hint))
+            return hint;
+    }
+    return std::nullopt;
+}
+
+TraceParseResult
+readTrace(std::istream &is)
+{
+    TraceParseResult result;
+    std::string line;
+    size_t lineno = 0;
+    auto fail = [&](const std::string &why) {
+        std::ostringstream msg;
+        msg << "line " << lineno << ": " << why;
+        result.errors.push_back(msg.str());
+    };
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string error;
+        auto doc = parseJson(line, &error);
+        if (!doc || !doc->isObject()) {
+            fail(doc ? "not a JSON object" : error);
+            continue;
+        }
+
+        TraceLine rec;
+        const JsonValue *ev = doc->find("ev");
+        if (!ev || !ev->isString()) {
+            fail("missing \"ev\"");
+            continue;
+        }
+        const auto event = parseTraceEvent(ev->asString());
+        if (!event) {
+            fail("unknown event '" + ev->asString() + "'");
+            continue;
+        }
+        rec.event = *event;
+
+        if (const JsonValue *t = doc->find("t"); t && t->isNumber())
+            rec.t = static_cast<Tick>(t->asNumber());
+        if (const JsonValue *a = doc->find("addr"); a && a->isNumber())
+            rec.addr = static_cast<Addr>(a->asNumber());
+        if (const JsonValue *h = doc->find("hint")) {
+            const auto hint =
+                h->isString() ? parseHintClass(h->asString())
+                              : std::nullopt;
+            if (!hint) {
+                fail("unknown hint class");
+                continue;
+            }
+            rec.hint = *hint;
+        }
+        if (const JsonValue *c = doc->find("ch"); c && c->isNumber())
+            rec.channel = static_cast<int>(c->asNumber());
+        if (const JsonValue *x = doc->find("x"); x && x->isNumber())
+            rec.extra = static_cast<int64_t>(x->asNumber());
+        if (const JsonValue *s = doc->find("site"); s && s->isNumber())
+            rec.site = static_cast<int64_t>(s->asNumber());
+        if (const JsonValue *w = doc->find("warm"))
+            rec.warm = w->asBool();
+        if (const JsonValue *c = doc->find("carry"))
+            rec.carry = c->asBool();
+        result.lines.push_back(rec);
+    }
+    return result;
+}
+
+TraceParseResult
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        TraceParseResult result;
+        result.openFailed = true;
+        result.errors.push_back("cannot open '" + path + "'");
+        return result;
+    }
+    return readTrace(is);
+}
+
+TraceAnalysis
+analyzeTrace(const std::vector<TraceLine> &lines)
+{
+    TraceAnalysis out;
+    out.records = lines.size();
+
+    // Lifecycle per block: absent = idle, false = issued (in
+    // flight), true = filled (resident, unused).
+    std::unordered_map<Addr, bool> state;
+    // Base addresses of enqueued windows, for issue coverage.
+    std::set<Addr> windows;
+
+    for (const TraceLine &line : lines) {
+        if (out.coverageChecked == false &&
+            line.event == TraceEvent::Enqueue)
+            out.coverageChecked = true;
+    }
+
+    size_t lineno = 0;
+    auto violate = [&](const std::string &why) {
+        out.violations.push_back({lineno, why});
+    };
+    auto hexaddr = [](Addr addr) {
+        std::ostringstream os;
+        os << "block 0x" << std::hex << addr;
+        return os.str();
+    };
+
+    for (const TraceLine &line : lines) {
+        ++lineno;
+        if (line.warm)
+            ++out.warmupRecords;
+        if (line.event == TraceEvent::Stall)
+            continue; // No hint/site attribution to accumulate.
+
+        FunnelStats &cls = out.byClass[line.hint];
+        FunnelStats &site = out.bySite[line.site];
+        const uint64_t count =
+            line.extra > 0 ? static_cast<uint64_t>(line.extra) : 1;
+
+        // The measured-window columns mirror the simulator's
+        // post-warmup counters, so warmup-era queue/issue records
+        // (warm flag) feed the state machine but not the funnel.
+        switch (line.event) {
+          case TraceEvent::HintTrigger:
+            if (!line.warm) {
+                ++cls.triggers;
+                ++site.triggers;
+            }
+            break;
+          case TraceEvent::Enqueue:
+            if (!line.warm) {
+                cls.enqueued += count;
+                site.enqueued += count;
+            }
+            windows.insert(line.addr);
+            break;
+          case TraceEvent::Drop:
+            if (!line.warm) {
+                cls.dropped += count;
+                site.dropped += count;
+            }
+            break;
+          case TraceEvent::Stall:
+            break;
+          case TraceEvent::Filtered:
+            if (!line.warm) {
+                ++cls.filtered;
+                ++site.filtered;
+            }
+            break;
+          case TraceEvent::Issue: {
+            auto it = state.find(line.addr);
+            if (it != state.end()) {
+                violate(hexaddr(line.addr) + (it->second
+                            ? " issued while already resident"
+                            : " issued while already in flight"));
+            }
+            state[line.addr] = false;
+            if (out.coverageChecked &&
+                line.hint != HintClass::Stride) {
+                // The covering window's base is the largest enqueued
+                // base <= the issue address within one region span.
+                auto window = windows.upper_bound(line.addr);
+                const bool covered =
+                    window != windows.begin() &&
+                    line.addr - *--window < kWindowSpanBytes;
+                if (!covered)
+                    violate(hexaddr(line.addr) +
+                            " issued without a covering enqueue");
+            }
+            if (!line.warm) {
+                ++cls.issued;
+                ++site.issued;
+            }
+            break;
+          }
+          case TraceEvent::Fill: {
+            auto it = state.find(line.addr);
+            if (it == state.end()) {
+                // Stream-buffer hits fill without a channel issue.
+                if (line.hint != HintClass::Stride)
+                    violate(hexaddr(line.addr) +
+                            " filled without an issue");
+            } else if (it->second) {
+                violate(hexaddr(line.addr) + " filled twice");
+            }
+            state[line.addr] = true;
+            // A fill is warmup-era when emitted during warmup or
+            // carry-flagged (its request predates the boundary).
+            if (line.warm || line.carry) {
+                ++cls.warmFills;
+                ++site.warmFills;
+            } else {
+                ++cls.fills;
+                ++site.fills;
+            }
+            break;
+          }
+          case TraceEvent::FirstUse: {
+            auto it = state.find(line.addr);
+            if (it == state.end() || !it->second) {
+                // A carry-flagged use consumes a fill that predates
+                // a stats reset; the fill may predate the trace too.
+                if (!line.carry)
+                    violate(hexaddr(line.addr) +
+                            (it == state.end()
+                                 ? " used without a fill"
+                                 : " used while still in flight"));
+            }
+            if (it != state.end())
+                state.erase(it);
+            if (line.warm || line.carry) {
+                ++cls.warmUseful;
+                ++site.warmUseful;
+            } else {
+                ++cls.useful;
+                ++site.useful;
+                if (line.extra >= 0) {
+                    cls.fillToUse.sample(
+                        static_cast<uint64_t>(line.extra));
+                    site.fillToUse.sample(
+                        static_cast<uint64_t>(line.extra));
+                }
+            }
+            break;
+          }
+          case TraceEvent::EvictedUnused: {
+            auto it = state.find(line.addr);
+            if (it == state.end() || !it->second) {
+                violate(hexaddr(line.addr) +
+                        (it == state.end()
+                             ? " evicted without a fill"
+                             : " evicted while still in flight"));
+            }
+            if (it != state.end())
+                state.erase(it);
+            ++cls.evictedUnused;
+            ++site.evictedUnused;
+            break;
+          }
+        }
+    }
+
+    for (const auto &[addr, filled] : state) {
+        (void)addr;
+        if (filled)
+            ++out.liveAtEnd;
+        else
+            ++out.inFlightAtEnd;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace grp

@@ -1,5 +1,6 @@
 #include "prefetch/hw_engine.hh"
 
+#include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -40,15 +41,19 @@ HwPrefetchEngine::setPresenceTest(RegionQueue::PresenceTest test)
 }
 
 void
-HwPrefetchEngine::onL2DemandMiss(Addr addr, RefId, const LoadHints &)
+HwPrefetchEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &)
 {
     // SRP prefetches the full 4 KB region on every L2 miss, with no
     // selectivity at all — the coverage/traffic trade the paper's
-    // hints improve on.
+    // hints improve on. The triggering reference still attributes the
+    // region for the tracer and site profiler, even though the
+    // hardware itself ignores it.
     if (!usesRegions())
         return;
-    if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0,
-                               kInvalidRefId)) {
+    GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(addr),
+              obs::HintClass::Spatial, -1, -1, false, ref);
+    GRP_PROFILE(noteTrigger(ref, obs::HintClass::Spatial));
+    if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0, ref)) {
         ++stats_.counter("regionsAllocated");
     } else {
         ++stats_.counter("regionsUpdated");
@@ -67,6 +72,11 @@ HwPrefetchEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
     const obs::HintClass hint = ptr_depth > 1
                                     ? obs::HintClass::Recursive
                                     : obs::HintClass::Pointer;
+    if (found > 0) {
+        GRP_TRACE(2, obs::TraceEvent::HintTrigger, block_addr, hint,
+                  -1, found);
+        GRP_PROFILE(noteTrigger(kInvalidRefId, hint));
+    }
     for (unsigned i = 0; i < found; ++i) {
         queue_.addPointerTarget(pointers[i],
                                 config_.region.blocksPerPointer,

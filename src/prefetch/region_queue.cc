@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -46,9 +47,12 @@ RegionQueue::buildWindowVector(uint64_t base_block, unsigned blocks,
 void
 RegionQueue::pushFront(RegionEntry entry)
 {
+    const int entry_blocks = std::popcount(entry.bitvec);
     GRP_TRACE(2, obs::TraceEvent::Enqueue,
               entry.baseBlock << kBlockShift, entry.hintClass, -1,
-              std::popcount(entry.bitvec));
+              entry_blocks, false, entry.refId);
+    GRP_PROFILE(noteEnqueue(entry.refId, entry.hintClass,
+                            static_cast<uint64_t>(entry_blocks)));
     entries_.push_front(entry);
     while (entries_.size() > capacity_) {
         const RegionEntry &victim = entries_.back();
@@ -59,7 +63,9 @@ RegionQueue::pushFront(RegionEntry entry)
             static_cast<uint64_t>(victim_blocks);
         GRP_TRACE(2, obs::TraceEvent::Drop,
                   victim.baseBlock << kBlockShift, victim.hintClass, -1,
-                  victim_blocks);
+                  victim_blocks, false, victim.refId);
+        GRP_PROFILE(noteDrop(victim.refId, victim.hintClass,
+                             static_cast<uint64_t>(victim_blocks)));
         entries_.pop_back();
     }
 }

@@ -1,5 +1,6 @@
 #include "prefetch/throttled_srp.hh"
 
+#include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -26,7 +27,8 @@ ThrottledSrpEngine::setPresenceTest(RegionQueue::PresenceTest test)
 }
 
 void
-ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId, const LoadHints &)
+ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId ref,
+                                   const LoadHints &)
 {
     if (throttled_) {
         // The misses a paused prefetcher fails to cover are exactly
@@ -42,8 +44,10 @@ ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId, const LoadHints &)
             return; // No region allocation while paused.
         }
     }
-    if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0,
-                               kInvalidRefId)) {
+    GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(addr),
+              obs::HintClass::Spatial, -1, -1, false, ref);
+    GRP_PROFILE(noteTrigger(ref, obs::HintClass::Spatial));
+    if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0, ref)) {
         ++stats_.counter("regionsAllocated");
     } else {
         ++stats_.counter("regionsUpdated");

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare bench JSON artefacts against committed baselines.
+
+Usage:
+    tools/bench_compare.py [--baseline bench/baselines] [--out bench/out]
+                           [--list-tolerances]
+
+Walks every *.json in the baseline directory, loads the artefact of
+the same name from the output directory, and diffs them leaf by leaf.
+Structure (missing/extra keys, mismatched types) must match exactly;
+numeric leaves are compared under per-metric tolerances keyed on the
+leaf's key name, so a simulator change that shifts a headline metric
+beyond its tolerance fails the gate while benign noise does not.
+
+The simulator is deterministic for a fixed seed and instruction
+budget, so the tolerances are deliberately tight: they exist to
+absorb intentional-but-small modelling drift, not run-to-run noise.
+Regenerate a baseline on purpose with:
+
+    GRP_INSTRUCTIONS=20000 GRP_BENCH_OUT=bench/baselines \
+        build/bench/<bench_name>
+
+Exit status: 0 when everything matches, 1 with one line per failure
+otherwise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# (kind, tolerance) per leaf key. "rel": |a-b| <= tol * max(|a|,|b|);
+# "abs": |a-b| <= tol; "exact": equality (also the default for
+# non-numeric leaves and schema/config fields).
+TOLERANCES = {
+    # Identity / configuration: must never drift silently.
+    "schema": ("exact", 0),
+    "instructions": ("exact", 0),
+    "label": ("exact", 0),
+    # Paper reference values are constants.
+    "paperSpeedup": ("exact", 0),
+    "paperTraffic": ("exact", 0),
+    "paperGap": ("exact", 0),
+    # Headline ratios.
+    "speedup": ("rel", 0.02),
+    "trafficRatio": ("rel", 0.05),
+    # Percent-valued metrics compare in absolute points.
+    "gapFromPerfectPct": ("abs", 5.0),
+    "accuracyPct": ("abs", 5.0),
+    "coveragePct": ("abs", 5.0),
+    "missRatePct": ("abs", 5.0),
+    # Raw event counts.
+    "trafficBytes": ("rel", 0.10),
+    "baseTrafficBytes": ("rel", 0.10),
+    "prefetchFills": ("rel", 0.10),
+    "usefulPrefetches": ("rel", 0.10),
+    "warmupUsefulPrefetches": ("rel", 0.10),
+    "benchmarks": ("exact", 0),  # Suite size (when a scalar).
+}
+DEFAULT_TOLERANCE = ("rel", 0.05)
+
+
+def leaf_matches(key, base, out):
+    """Return None on a match, else a human-readable reason."""
+    if isinstance(base, bool) or isinstance(out, bool) or \
+            not isinstance(base, (int, float)) or \
+            not isinstance(out, (int, float)):
+        return None if base == out else f"{out!r} != baseline {base!r}"
+    kind, tol = TOLERANCES.get(key, DEFAULT_TOLERANCE)
+    if kind == "exact":
+        return None if base == out else f"{out} != baseline {base}"
+    delta = abs(out - base)
+    if kind == "abs":
+        if delta <= tol:
+            return None
+        return f"{out} vs baseline {base}: |delta| {delta:g} > {tol}"
+    limit = tol * max(abs(base), abs(out))
+    if delta <= limit:
+        return None
+    return (f"{out} vs baseline {base}: |delta| {delta:g} > "
+            f"{tol:g} relative")
+
+
+def diff(path, key, base, out, failures):
+    where = path or "<root>"
+    if type(base) is not type(out) and not (
+            isinstance(base, (int, float)) and
+            isinstance(out, (int, float)) and
+            not isinstance(base, bool) and not isinstance(out, bool)):
+        failures.append(f"{where}: type {type(out).__name__} != "
+                        f"baseline {type(base).__name__}")
+        return
+    if isinstance(base, dict):
+        for k in sorted(base.keys() | out.keys()):
+            child = f"{path}.{k}" if path else k
+            if k not in out:
+                failures.append(f"{child}: missing from output")
+            elif k not in base:
+                failures.append(f"{child}: not in baseline")
+            else:
+                diff(child, k, base[k], out[k], failures)
+        return
+    if isinstance(base, list):
+        if len(base) != len(out):
+            failures.append(f"{where}: length {len(out)} != "
+                            f"baseline {len(base)}")
+            return
+        for i, (b, o) in enumerate(zip(base, out)):
+            diff(f"{path}[{i}]", key, b, o, failures)
+        return
+    reason = leaf_matches(key, base, out)
+    if reason:
+        failures.append(f"{where}: {reason}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff bench JSON artefacts against baselines.")
+    parser.add_argument("--baseline", default="bench/baselines",
+                        type=Path)
+    parser.add_argument("--out", default="bench/out", type=Path)
+    parser.add_argument("--list-tolerances", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_tolerances:
+        for key, (kind, tol) in sorted(TOLERANCES.items()):
+            print(f"{key:28s} {kind:5s} {tol}")
+        print(f"{'<default>':28s} {DEFAULT_TOLERANCE[0]:5s} "
+              f"{DEFAULT_TOLERANCE[1]}")
+        return 0
+
+    baselines = sorted(args.baseline.glob("*.json"))
+    if not baselines:
+        print(f"bench_compare: no baselines under {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for base_path in baselines:
+        out_path = args.out / base_path.name
+        if not out_path.exists():
+            failures.append(f"{base_path.name}: not generated "
+                            f"(expected {out_path})")
+            continue
+        try:
+            base = json.loads(base_path.read_text())
+            out = json.loads(out_path.read_text())
+        except json.JSONDecodeError as err:
+            failures.append(f"{base_path.name}: unparseable: {err}")
+            continue
+        before = len(failures)
+        diff("", "", base, out, failures)
+        status = "ok" if len(failures) == before else "FAIL"
+        print(f"{base_path.name}: {status}")
+
+    for failure in failures:
+        print(f"bench_compare: {failure}", file=sys.stderr)
+    if failures:
+        print(f"bench_compare: {len(failures)} failure(s) across "
+              f"{len(baselines)} artefact(s)", file=sys.stderr)
+        return 1
+    print(f"bench_compare: {len(baselines)} artefact(s) within "
+          f"tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
