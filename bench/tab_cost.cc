@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Counterfactual prefetch cost: shadow-tag pollution and channel
+ * contention for an untuned SRP run on a pointer-chasing workload.
+ *
+ * SRP on mcf is the paper's canonical pollution case (§5: spatial
+ * region prefetching fetches whole 4 KB regions around misses that
+ * mcf's pointer chains never revisit). The shadow tags price that
+ * aggression: every demand L2 access is classified against a
+ * tag-only no-prefetch replica, splitting misses into baseline
+ * (would happen anyway) and pollution (prefetch-caused), and the
+ * DRAM model attributes every channel cycle to demand, prefetch,
+ * writeback or idle. The artefact pins those costs so a scheduler
+ * or throttling change that trades coverage for pollution shows up
+ * in the bench gate.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/suite.hh"
+#include "obs/json_writer.hh"
+#include "sim/logging.hh"
+
+using namespace grp;
+
+int
+main()
+{
+    setQuiet(true);
+    RunOptions opts;
+    opts.maxInstructions = instructionBudget(1'500'000);
+    opts.obs.shadow = true;
+
+    const char *workload = "mcf";
+    const RunResult run = runScheme(workload, PrefetchScheme::Srp,
+                                    opts);
+    const obs::StatSnapshot &s = run.stats;
+
+    const uint64_t both = s.value("mem.pollutionBothHits");
+    const uint64_t baseline = s.value("mem.pollutionBaselineMisses");
+    const uint64_t pollution = s.value("mem.pollutionMisses");
+    const uint64_t coverage = s.value("mem.pollutionCoverageHits");
+    const uint64_t shadow_misses = s.value("mem.pollutionShadowMisses");
+    const uint64_t real_misses = s.value("mem.l2DemandMissesTotal");
+    const int64_t identity_lhs = static_cast<int64_t>(coverage) -
+                                 static_cast<int64_t>(pollution);
+    const int64_t identity_rhs = static_cast<int64_t>(shadow_misses) -
+                                 static_cast<int64_t>(real_misses);
+
+    std::printf("Counterfactual cost: SRP on %s (%llu instrs)\n",
+                workload, (unsigned long long)opts.maxInstructions);
+    std::printf("  demand L2 accesses %llu: both-hit %llu, baseline "
+                "miss %llu, coverage hit %llu, pollution miss %llu\n",
+                (unsigned long long)s.value("mem.l2DemandAccesses"),
+                (unsigned long long)both, (unsigned long long)baseline,
+                (unsigned long long)coverage,
+                (unsigned long long)pollution);
+    std::printf("  identity: coverage - pollution = %lld, shadow - "
+                "real misses = %lld%s\n", (long long)identity_lhs,
+                (long long)identity_rhs,
+                identity_lhs == identity_rhs ? "" : "  **VIOLATED**");
+    std::printf("  attribution: %llu charged, %llu unattributed\n",
+                (unsigned long long)s.value("mem.pollutionAttributed"),
+                (unsigned long long)s.value(
+                    "mem.pollutionUnattributed"));
+    std::printf("  channel cycles: demand %llu, prefetch %llu, "
+                "writeback %llu, idle %llu; demand stalled behind "
+                "prefetch %llu request-cycles\n",
+                (unsigned long long)s.value(
+                    "dram.contentionDemandCycles"),
+                (unsigned long long)s.value(
+                    "dram.contentionPrefetchCycles"),
+                (unsigned long long)s.value(
+                    "dram.contentionWritebackCycles"),
+                (unsigned long long)s.value(
+                    "dram.contentionIdleCycles"),
+                (unsigned long long)s.value(
+                    "dram.contentionDemandStallCycles"));
+
+    std::ofstream json_file(benchOutPath("tab_cost"));
+    obs::JsonWriter json(json_file);
+    json.beginObject();
+    json.kv("schema", "grp-tab-cost-v1");
+    json.kv("workload", workload);
+    json.kv("scheme", toString(PrefetchScheme::Srp));
+    json.kv("instructions", opts.maxInstructions);
+    json.kv("l2DemandAccesses", s.value("mem.l2DemandAccesses"));
+    json.kv("bothHits", both);
+    json.kv("baselineMisses", baseline);
+    json.kv("coverageHits", coverage);
+    json.kv("pollutionMisses", pollution);
+    json.kv("shadowMisses", shadow_misses);
+    json.kv("realMisses", real_misses);
+    json.kv("identityHolds", identity_lhs == identity_rhs);
+    json.kv("attributed", s.value("mem.pollutionAttributed"));
+    json.kv("unattributed", s.value("mem.pollutionUnattributed"));
+    json.kv("victimsRecorded",
+            s.value("mem.pollutionVictimsRecorded"));
+    json.kv("victimDrops", s.value("mem.pollutionVictimDrops"));
+    json.kv("demandCycles", s.value("dram.contentionDemandCycles"));
+    json.kv("prefetchCycles",
+            s.value("dram.contentionPrefetchCycles"));
+    json.kv("writebackCycles",
+            s.value("dram.contentionWritebackCycles"));
+    json.kv("idleCycles", s.value("dram.contentionIdleCycles"));
+    json.kv("demandStallCycles",
+            s.value("dram.contentionDemandStallCycles"));
+    json.endObject();
+
+    // The identity is structural; a violation is a simulator bug and
+    // must fail the bench gate, not just print.
+    return identity_lhs == identity_rhs ? 0 : 1;
+}

@@ -9,13 +9,17 @@
  *          [--trace PATH] [--trace-level N]
  *          [--timeseries PATH] [--timeseries-bucket N]
  *          [--site-profile PATH] [--site-report N]
+ *          [--shadow] [--cost-report]
  *
  * Runs one (workload, scheme) pair through the harness and prints
  * the headline metrics. The observability flags export the full
  * statistics registry as JSON/CSV, record the prefetch lifecycle
  * trace (JSONL), sample queue/channel/MSHR time series and profile
- * per-hint-site behaviour; every flag accepts both "--flag value"
- * and "--flag=value". Output paths are validated up front: a path
+ * per-hint-site behaviour; --shadow runs the counterfactual shadow
+ * tags (pollution/coverage classification, mem.pollution* counters)
+ * and --cost-report additionally prints the cost report (implies
+ * --shadow). Every flag accepts both "--flag value" and
+ * "--flag=value". Output paths are validated up front: a path
  * whose parent directory does not exist is rejected before the
  * simulation spends any time.
  */
@@ -89,6 +93,7 @@ usage()
         "              [--trace PATH] [--trace-level N]\n"
         "              [--timeseries PATH] [--timeseries-bucket N]\n"
         "              [--site-profile PATH] [--site-report N]\n"
+        "              [--shadow] [--cost-report]\n"
         "schemes: none stride srp grp-fix grp-var ptr-hw ptr-hw-rec "
         "srp+ptr srp-throttled\n"
         "policies: conservative default aggressive\n");
@@ -157,6 +162,10 @@ try {
             options.obs.siteProfilePath = outputPath(arg, value());
         } else if (arg == "--site-report") {
             options.obs.siteReportTop = static_cast<int>(number());
+        } else if (arg == "--shadow") {
+            options.obs.shadow = true;
+        } else if (arg == "--cost-report") {
+            options.obs.costReport = true;
         } else if (arg == "--list") {
             for (const auto &name : workloadNames())
                 std::printf("%s\n", name.c_str());

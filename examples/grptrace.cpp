@@ -54,8 +54,10 @@ usage()
 void
 printFunnelRow(const char *label, const obs::FunnelStats &f)
 {
+    const uint64_t p90 =
+        f.fillToUse.samples() ? f.fillToUse.percentile(90.0) : 0;
     std::printf("%-12s %8llu %8llu %7llu %7llu %8llu %8llu %7llu "
-                "%7llu %6.1f %8llu\n",
+                "%7llu %6.1f %8llu %7llu\n",
                 label, (unsigned long long)f.triggers,
                 (unsigned long long)f.enqueued,
                 (unsigned long long)f.dropped,
@@ -64,16 +66,17 @@ printFunnelRow(const char *label, const obs::FunnelStats &f)
                 (unsigned long long)f.fills,
                 (unsigned long long)f.useful,
                 (unsigned long long)f.evictedUnused,
-                100.0 * f.accuracy(),
-                (unsigned long long)f.fillToUse.percentile(90.0));
+                100.0 * f.accuracy(), (unsigned long long)p90,
+                (unsigned long long)f.pollutionMisses);
 }
 
 void
 printFunnelHeader(const char *key)
 {
-    std::printf("%-12s %8s %8s %7s %7s %8s %8s %7s %7s %6s %8s\n",
+    std::printf("%-12s %8s %8s %7s %7s %8s %8s %7s %7s %6s %8s %7s\n",
                 key, "triggers", "enq", "drop", "filt", "issued",
-                "fills", "useful", "evict", "acc%", "p90lat");
+                "fills", "useful", "evict", "acc%", "p90lat",
+                "pollut");
 }
 
 } // namespace

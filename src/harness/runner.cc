@@ -1,9 +1,11 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "core/engine_factory.hh"
 #include "core/grp_engine.hh"
@@ -64,7 +66,8 @@ class ScopedSiteProfile
 {
   public:
     explicit ScopedSiteProfile(const ObsOptions &obs)
-        : active_(!obs.siteProfilePath.empty() || obs.siteReportTop > 0)
+        : active_(!obs.siteProfilePath.empty() ||
+                  obs.siteReportTop > 0 || obs.costReport)
     {
         if (!active_)
             return;
@@ -92,6 +95,80 @@ class ScopedSiteProfile
     bool active_ = false;
     std::optional<obs::ScopedStatRegistration> reg_;
 };
+
+/** The counterfactual cost report: what prefetching destroyed
+ *  (pollution, channel contention) next to what it earned
+ *  (coverage), with per-site attribution when the profiler ran. */
+void
+printCostReport(std::ostream &os, MemorySystem &mem,
+                const SimConfig &config, bool profiler_active)
+{
+    const StatGroup &ms = mem.stats();
+    const uint64_t both = ms.value("pollutionBothHits");
+    const uint64_t baseline = ms.value("pollutionBaselineMisses");
+    const uint64_t pollution = ms.value("pollutionMisses");
+    const uint64_t coverage = ms.value("pollutionCoverageHits");
+    const uint64_t shadow_misses = ms.value("pollutionShadowMisses");
+    const uint64_t real_misses = ms.value("l2DemandMissesTotal");
+
+    os << "counterfactual cost report (shadow tags)\n";
+    os << "  demand L2 accesses " << ms.value("l2DemandAccesses")
+       << ": hit both " << both << ", baseline misses " << baseline
+       << ", coverage hits " << coverage << ", pollution misses "
+       << pollution << "\n";
+    os << "  pollution attribution: " << ms.value("pollutionAttributed")
+       << " charged to a site, " << ms.value("pollutionUnattributed")
+       << " unattributed; victim table recorded "
+       << ms.value("pollutionVictimsRecorded") << ", dropped "
+       << ms.value("pollutionVictimDrops") << " (capacity "
+       << mem.victimTable().capacity() << ")\n";
+    os << "  identity: coverage - pollution = "
+       << (static_cast<int64_t>(coverage) -
+           static_cast<int64_t>(pollution))
+       << ", shadow misses - real misses = "
+       << (static_cast<int64_t>(shadow_misses) -
+           static_cast<int64_t>(real_misses)) << "\n";
+
+    os << "  channel cycles (demand/prefetch/writeback/idle):\n";
+    for (unsigned ch = 0; ch < config.dram.channels; ++ch) {
+        const DramSystem::ChannelCycles c = mem.dram().channelCycles(ch);
+        os << "    ch" << ch << ": " << c.demand << " / " << c.prefetch
+           << " / " << c.writeback << " / " << c.idle << " (total "
+           << c.total() << ")\n";
+    }
+    os << "  demand request-cycles stalled behind prefetch transfers: "
+       << mem.dram().stats().value("contentionDemandStallCycles")
+       << "\n";
+
+    if (!profiler_active)
+        return;
+    const obs::SiteProfiler &prof = obs::SiteProfiler::global();
+    const uint64_t penalty = prof.missPenalty();
+    std::vector<
+        const std::map<obs::SiteKey, obs::SiteCounters>::value_type *>
+        order;
+    for (const auto &item : prof.sites())
+        order.push_back(&item);
+    std::stable_sort(order.begin(), order.end(),
+                     [penalty](const auto *a, const auto *b) {
+                         return a->second.netCycles(penalty) <
+                                b->second.netCycles(penalty);
+                     });
+    os << "  worst sites by net cycles (useful - pollution) * "
+       << penalty << " - contention:\n";
+    size_t shown = 0;
+    for (const auto *item : order) {
+        if (shown++ == 10)
+            break;
+        const obs::SiteKey &key = item->first;
+        const obs::SiteCounters &site = item->second;
+        os << "    site " << key.site() << " (" << toString(key.hint)
+           << "): useful " << site.useful << ", pollution "
+           << site.pollutionCaused << ", contention "
+           << site.contentionCycles << ", net "
+           << site.netCycles(penalty) << "\n";
+    }
+}
 
 } // namespace
 
@@ -124,6 +201,8 @@ runWorkload(const std::string &workload_name, SimConfig config,
 
     EventQueue events;
     MemorySystem mem(config, events);
+    if (options.obs.shadow || options.obs.costReport)
+        mem.enableShadowTags();
     auto engine = makePrefetchEngine(config, fmem, mem);
 
     Interpreter interp(prog, fmem, options.seed);
@@ -137,6 +216,12 @@ runWorkload(const std::string &workload_name, SimConfig config,
 
     ScopedTrace trace(options.obs, events, warmup > 0);
     ScopedSiteProfile site_profile(options.obs);
+    if (site_profile.active()) {
+        // Net-cycles prices one avoided/suffered miss at a full
+        // memory round trip under this run's DRAM timing.
+        obs::SiteProfiler::global().setMissPenalty(
+            config.dram.rowConflictCycles + config.dram.transferCycles);
+    }
     std::optional<obs::TimeSeries> series;
     if (!options.obs.timeseriesPath.empty())
         series.emplace(options.obs.timeseriesBucket);
@@ -248,6 +333,8 @@ runWorkload(const std::string &workload_name, SimConfig config,
             prof.writeReport(std::cout,
                              static_cast<size_t>(obs.siteReportTop));
     }
+    if (obs.costReport)
+        printCostReport(std::cout, mem, config, site_profile.active());
     if (obs.dumpStats)
         obs::StatRegistry::global().dumpText(std::cout);
     return result;

@@ -106,6 +106,15 @@ struct ObsOptions
     /** Print the top-N worst-offender sites to stdout (0 = off). */
     int siteReportTop = 0;
     bool dumpStats = false;      ///< Text dump to stdout at the end.
+    /** Run the counterfactual shadow tags: classify every demand L2
+     *  access as baseline miss / pollution miss / coverage hit and
+     *  attribute pollution to the causing (site, hint class). Pure
+     *  bookkeeping — never changes timing. */
+    bool shadow = false;
+    /** Print the counterfactual cost report (classification totals,
+     *  per-channel cycle breakdown, worst sites by net cycles) to
+     *  stdout; implies shadow and enables the site profiler. */
+    bool costReport = false;
 };
 
 /** Options for a run. */

@@ -20,6 +20,28 @@ DramSystem::DramSystem(const DramConfig &config)
     channels_.resize(config.channels);
     for (Channel &channel : channels_)
         channel.banks.resize(config.banksPerChannel);
+
+    // Registered up front (and cached as references: Counter storage
+    // is stable across reset()) so the per-cycle accounting costs a
+    // pointer increment, and healthy runs export explicit zeros.
+    contentionCounters_ = {
+        &stats_.counter("contentionDemandCycles"),
+        &stats_.counter("contentionPrefetchCycles"),
+        &stats_.counter("contentionWritebackCycles"),
+        &stats_.counter("contentionIdleCycles"),
+    };
+    demandStallCounter_ = &stats_.counter("contentionDemandStallCycles");
+    cycleCounters_.resize(config.channels);
+    for (unsigned ch = 0; ch < config.channels; ++ch) {
+        const std::string prefix = "ch" + std::to_string(ch);
+        cycleCounters_[ch].slots = {
+            &stats_.counter(prefix + "DemandCycles"),
+            &stats_.counter(prefix + "PrefetchCycles"),
+            &stats_.counter(prefix + "WritebackCycles"),
+            &stats_.counter(prefix + "IdleCycles"),
+            &stats_.counter(prefix + "Cycles"),
+        };
+    }
 }
 
 unsigned
@@ -67,7 +89,8 @@ DramSystem::rowOpen(Addr addr) const
 }
 
 Tick
-DramSystem::serve(Addr addr, Tick now)
+DramSystem::serve(Addr addr, Tick now, ReqClass cls, RefId ref,
+                  obs::HintClass hint)
 {
     Channel &channel = channels_[channelOf(addr)];
     panic_if(channel.busyUntil > now,
@@ -93,9 +116,66 @@ DramSystem::serve(Addr addr, Tick now)
     // bandwidth.
     const Tick done = now + access + config_.transferCycles;
     channel.busyUntil = now + config_.transferCycles;
+    channel.occupantCls = cls;
+    channel.occupantRef = ref;
+    channel.occupantHint = hint;
     ++transfers_;
     ++stats_.counter("transfers");
     return done;
+}
+
+void
+DramSystem::noteChannelCycle(unsigned channel, Tick now)
+{
+    const Channel &ch = channels_[channel];
+    ChannelCycleCounters &counters = cycleCounters_[channel];
+    unsigned slot = 3; // Idle.
+    if (ch.busyUntil > now) {
+        switch (ch.occupantCls) {
+          case ReqClass::Demand:    slot = 0; break;
+          case ReqClass::Prefetch:  slot = 1; break;
+          case ReqClass::Writeback: slot = 2; break;
+        }
+    }
+    ++*counters.slots[slot];
+    ++*counters.slots[4]; // Accounted cycles for this channel.
+    ++*contentionCounters_[slot];
+}
+
+void
+DramSystem::noteDemandStall(uint64_t waiting)
+{
+    *demandStallCounter_ += waiting;
+}
+
+ReqClass
+DramSystem::occupantClass(unsigned channel) const
+{
+    return channels_[channel].occupantCls;
+}
+
+RefId
+DramSystem::occupantRef(unsigned channel) const
+{
+    return channels_[channel].occupantRef;
+}
+
+obs::HintClass
+DramSystem::occupantHint(unsigned channel) const
+{
+    return channels_[channel].occupantHint;
+}
+
+DramSystem::ChannelCycles
+DramSystem::channelCycles(unsigned channel) const
+{
+    const std::string prefix = "ch" + std::to_string(channel);
+    return ChannelCycles{
+        stats_.value(prefix + "DemandCycles"),
+        stats_.value(prefix + "PrefetchCycles"),
+        stats_.value(prefix + "WritebackCycles"),
+        stats_.value(prefix + "IdleCycles"),
+    };
 }
 
 void
@@ -103,6 +183,9 @@ DramSystem::reset()
 {
     for (Channel &channel : channels_) {
         channel.busyUntil = 0;
+        channel.occupantCls = ReqClass::Demand;
+        channel.occupantRef = kInvalidRefId;
+        channel.occupantHint = obs::HintClass::None;
         for (Bank &bank : channel.banks)
             bank.openRow = -1;
     }

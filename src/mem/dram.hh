@@ -11,9 +11,11 @@
 #ifndef GRP_MEM_DRAM_HH
 #define GRP_MEM_DRAM_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "mem/request.hh"
 #include "obs/stat_registry.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -48,11 +50,61 @@ class DramSystem
     /**
      * Issue the access for @p addr's block at @p now on its (idle)
      * channel. Occupies the channel for the access + transfer time
-     * and leaves the row open.
+     * and leaves the row open. The request class (and, for
+     * prefetches, the responsible site) is remembered as the
+     * channel's occupant so per-cycle contention accounting can
+     * attribute the busy time.
      *
      * @return Tick at which the block's data is fully returned.
      */
-    Tick serve(Addr addr, Tick now);
+    Tick serve(Addr addr, Tick now, ReqClass cls,
+               RefId ref = kInvalidRefId,
+               obs::HintClass hint = obs::HintClass::None);
+
+    /** Demand-class convenience overload (tests, microbenches). */
+    Tick serve(Addr addr, Tick now)
+    {
+        return serve(addr, now, ReqClass::Demand);
+    }
+
+    /**
+     * Per-cycle contention accounting, driven once per channel per
+     * simulated cycle by the memory system's tick: attributes the
+     * cycle to the occupant's request class when the channel is busy
+     * at @p now, to idle otherwise. The per-channel and aggregate
+     * breakdowns live in the "dram" stat group
+     * (chNDemandCycles/chNPrefetchCycles/chNWritebackCycles/
+     * chNIdleCycles/chNCycles and contention*Cycles), so
+     * demand + prefetch + writeback + idle sums to the channel's
+     * accounted cycles by construction.
+     */
+    void noteChannelCycle(unsigned channel, Tick now);
+
+    /** Demand requests spent @p waiting request-cycles stalled behind
+     *  an in-flight prefetch transfer the prioritizer could not
+     *  preempt (dram.contentionDemandStallCycles). */
+    void noteDemandStall(uint64_t waiting);
+
+    /** Request class occupying @p channel (meaningful while busy). */
+    ReqClass occupantClass(unsigned channel) const;
+    /** Site / hint class of the occupying prefetch (attribution). */
+    RefId occupantRef(unsigned channel) const;
+    obs::HintClass occupantHint(unsigned channel) const;
+
+    /** One channel's accounted-cycle breakdown (cost reports). */
+    struct ChannelCycles
+    {
+        uint64_t demand = 0;
+        uint64_t prefetch = 0;
+        uint64_t writeback = 0;
+        uint64_t idle = 0;
+        uint64_t
+        total() const
+        {
+            return demand + prefetch + writeback + idle;
+        }
+    };
+    ChannelCycles channelCycles(unsigned channel) const;
 
     /** Total 64 B transfers served (traffic accounting). */
     uint64_t transfersServed() const { return transfers_; }
@@ -80,9 +132,26 @@ class DramSystem
     {
         Tick busyUntil = 0;
         std::vector<Bank> banks;
+        /** What the in-flight transfer is (contention attribution). */
+        ReqClass occupantCls = ReqClass::Demand;
+        RefId occupantRef = kInvalidRefId;
+        obs::HintClass occupantHint = obs::HintClass::None;
+    };
+
+    /** Cached per-channel cycle counters (demand, prefetch,
+     *  writeback, idle, total) so per-cycle accounting skips the
+     *  stat-name lookup; Counter references are stable across
+     *  StatGroup::reset(). */
+    struct ChannelCycleCounters
+    {
+        std::array<Counter *, 5> slots{};
     };
 
     std::vector<Channel> channels_;
+    std::vector<ChannelCycleCounters> cycleCounters_;
+    /** Aggregate demand/prefetch/writeback/idle cycle counters. */
+    std::array<Counter *, 4> contentionCounters_{};
+    Counter *demandStallCounter_ = nullptr;
     uint64_t transfers_ = 0;
     StatGroup stats_;
     obs::ScopedStatRegistration statReg_{stats_};

@@ -139,6 +139,8 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     // clean until the L1 victim is written back.
     ++stats_.counter("l2DemandAccesses");
     const bool l2_hit = l2_->contains(block);
+    if (shadow_)
+        classifyDemandAccess(block, l2_hit);
 
     if (engine_)
         engine_->onL2DemandAccess(block, ref, hints, l2_hit);
@@ -159,7 +161,7 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     // Stream-buffer short circuit (stride prefetcher).
     if (engine_ && engine_->streamHit(block)) {
         ++stats_.counter("streamHits");
-        insertIntoL2(block, true, false);
+        insertIntoL2(block, true, false, ref, obs::HintClass::Stride);
         // The buffer was armed by the same static reference that now
         // consumes the block, so the demand's ref is the site.
         livePrefetches_[block] =
@@ -250,6 +252,10 @@ MemorySystem::finishL1Fill(Addr block_addr)
             l2_->markDirty(evicted->blockAddr);
         else if (config_.perfection == Perfection::None)
             insertIntoL2(evicted->blockAddr, false, true);
+        // The baseline cache receives the same writeback allocation;
+        // replay it so the shadow diverges only through prefetching.
+        if (shadow_)
+            shadow_->allocate(evicted->blockAddr);
     }
 
     for (const MshrTarget &target : mshr->targets) {
@@ -294,9 +300,21 @@ MemorySystem::notePrefetchUseful(Addr block_addr)
 }
 
 void
-MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty)
+MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty,
+                           RefId ref, obs::HintClass hint)
 {
     auto evicted = l2_->insert(block_addr, as_prefetch, dirty);
+    if (shadow_ && as_prefetch && evicted) {
+        // A prefetch fill displaced a live block: remember whom to
+        // charge if a demand comes back for the victim while the
+        // shadow cache still holds it (a pollution miss).
+        const uint64_t drops_before = victims_.drops();
+        victims_.record(evicted->blockAddr, ref, hint);
+        ++*pol_.victimsRecorded;
+        *pol_.victimDrops += victims_.drops() - drops_before;
+        GRP_TRACE(2, obs::TraceEvent::EvictVictim, evicted->blockAddr,
+                  hint, -1, -1, false, ref);
+    }
     if (evicted && evicted->wasUnusedPrefetch) {
         ++stats_.counter("prefetchEvictedUnused");
         auto it = livePrefetches_.find(evicted->blockAddr);
@@ -325,6 +343,64 @@ MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty)
 }
 
 void
+MemorySystem::enableShadowTags()
+{
+    if (shadow_)
+        return;
+    shadow_ = std::make_unique<obs::ShadowTags>(l2_->sets(),
+                                                l2_->assoc());
+    // Registered (and cached: Counter storage is stable across
+    // reset()) only when the shadow model is on, so non-shadow runs
+    // export exactly the same stat set as before.
+    pol_.bothHits = &stats_.counter("pollutionBothHits");
+    pol_.baselineMisses = &stats_.counter("pollutionBaselineMisses");
+    pol_.pollutionMisses = &stats_.counter("pollutionMisses");
+    pol_.coverageHits = &stats_.counter("pollutionCoverageHits");
+    pol_.shadowMisses = &stats_.counter("pollutionShadowMisses");
+    pol_.attributed = &stats_.counter("pollutionAttributed");
+    pol_.unattributed = &stats_.counter("pollutionUnattributed");
+    pol_.victimsRecorded = &stats_.counter("pollutionVictimsRecorded");
+    pol_.victimDrops = &stats_.counter("pollutionVictimDrops");
+}
+
+void
+MemorySystem::classifyDemandAccess(Addr block_addr, bool real_hit)
+{
+    // One shadow probe per demand L2 access keeps the four outcome
+    // counters a partition of l2DemandAccesses, which is what makes
+    //   coverageHits - pollutionMisses == shadowMisses - realMisses
+    // hold exactly over any window aligned with stat resets. That
+    // alignment includes retries: an access that stalls (MSHR/target
+    // pressure) re-enters here each cycle, exactly as it re-counts in
+    // l2DemandAccesses/l2DemandMissesTotal — so in stall-heavy
+    // configurations a single architectural miss can classify many
+    // times (the shadow allocates on its first probe, turning the
+    // retries into pollution-class counts the victim table cannot
+    // attribute).
+    const bool shadow_hit = shadow_->access(block_addr);
+    if (!shadow_hit)
+        ++*pol_.shadowMisses;
+    if (real_hit && shadow_hit) {
+        ++*pol_.bothHits;
+    } else if (real_hit) {
+        ++*pol_.coverageHits;
+    } else if (shadow_hit) {
+        ++*pol_.pollutionMisses;
+        if (auto victim = victims_.take(block_addr)) {
+            ++*pol_.attributed;
+            GRP_TRACE(2, obs::TraceEvent::PollutionMiss, block_addr,
+                      victim->hint, -1, -1, false, victim->ref);
+            GRP_PROFILE(notePollutionMiss(victim->ref, victim->hint));
+        } else {
+            ++*pol_.unattributed;
+            GRP_TRACE(2, obs::TraceEvent::PollutionMiss, block_addr);
+        }
+    } else {
+        ++*pol_.baselineMisses;
+    }
+}
+
+void
 MemorySystem::indirectPrefetch(Addr base, unsigned elem_size,
                                Addr index_addr, RefId ref)
 {
@@ -340,21 +416,35 @@ MemorySystem::tick()
 
     const Tick now = events_.curTick();
     for (unsigned ch = 0; ch < config_.dram.channels; ++ch) {
-        if (!dram_->channelIdle(ch, now))
-            continue;
-        auto &demand = demandQueues_[ch];
-        auto &wb = writebackQueues_[ch];
-        if (wb.size() > kWritebackHighWater) {
-            startDramAccess(ch, wb.front());
-            wb.pop_front();
-        } else if (!demand.empty()) {
-            startDramAccess(ch, demand.front());
-            demand.pop_front();
-        } else if (!wb.empty()) {
-            startDramAccess(ch, wb.front());
-            wb.pop_front();
-        } else {
-            tryIssuePrefetch(ch);
+        if (dram_->channelIdle(ch, now)) {
+            auto &demand = demandQueues_[ch];
+            auto &wb = writebackQueues_[ch];
+            if (wb.size() > kWritebackHighWater) {
+                startDramAccess(ch, wb.front());
+                wb.pop_front();
+            } else if (!demand.empty()) {
+                startDramAccess(ch, demand.front());
+                demand.pop_front();
+            } else if (!wb.empty()) {
+                startDramAccess(ch, wb.front());
+                wb.pop_front();
+            } else {
+                tryIssuePrefetch(ch);
+            }
+        }
+        // Contention accounting: attribute this cycle to whatever now
+        // occupies the channel (including an access started above),
+        // and charge demand queueing time spent behind an in-flight
+        // prefetch the prioritizer could not pre-empt.
+        dram_->noteChannelCycle(ch, now);
+        if (!dram_->channelIdle(ch, now) &&
+            dram_->occupantClass(ch) == ReqClass::Prefetch &&
+            !demandQueues_[ch].empty()) {
+            const uint64_t waiting = demandQueues_[ch].size();
+            dram_->noteDemandStall(waiting);
+            GRP_PROFILE(noteContention(dram_->occupantRef(ch),
+                                       dram_->occupantHint(ch),
+                                       waiting));
         }
     }
 }
@@ -364,7 +454,8 @@ MemorySystem::startDramAccess(unsigned channel, const MemRequest &req)
 {
     panic_if(dram_->channelOf(req.blockAddr) != channel,
              "request routed to the wrong channel");
-    const Tick done = dram_->serve(req.blockAddr, events_.curTick());
+    const Tick done = dram_->serve(req.blockAddr, events_.curTick(),
+                                   req.cls, req.refId, req.hintClass);
 
     switch (req.cls) {
       case ReqClass::Demand:
@@ -395,7 +486,8 @@ MemorySystem::onDramFill(MemRequest req)
     const uint8_t depth = mshr->ptrDepth;
     const bool was_prefetch_req = req.cls == ReqClass::Prefetch;
 
-    insertIntoL2(req.blockAddr, was_prefetch_req, false);
+    insertIntoL2(req.blockAddr, was_prefetch_req, false, req.refId,
+                 req.hintClass);
     if (was_prefetch_req) {
         const bool warm = mshr->allocated < boundaryTick_;
         livePrefetches_[req.blockAddr] = PrefetchFillInfo{
@@ -563,6 +655,9 @@ MemorySystem::reset()
         queue.clear();
     livePrefetches_.clear();
     boundaryTick_ = 0;
+    if (shadow_)
+        shadow_->reset();
+    victims_.reset();
     stats_.reset();
 }
 

@@ -27,6 +27,7 @@
 #include "mem/mshr.hh"
 #include "mem/prefetch_iface.hh"
 #include "mem/request.hh"
+#include "obs/shadow_tags.hh"
 #include "obs/site_profile.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
@@ -109,6 +110,23 @@ class MemorySystem
      *  (end-of-warmup measurement boundary). */
     void resetStats();
 
+    /**
+     * Attach the counterfactual shadow tags (tag-only no-prefetch L2
+     * replica) and the pollution victim table. From here on every
+     * demand L2 access is classified into mem.pollutionBothHits /
+     * pollutionCoverageHits / pollutionMisses / pollutionBaselineMisses
+     * and each pollution miss is charged, when the victim table still
+     * holds the evicted block, to the (RefId, HintClass) of the
+     * prefetch that evicted it. Pure bookkeeping: enabling this never
+     * changes timing. Idempotent.
+     */
+    void enableShadowTags();
+    bool shadowTagsEnabled() const { return shadow_ != nullptr; }
+
+    /** The victim table backing pollution attribution (cost report /
+     *  tests); only valid once shadow tags are enabled. */
+    const obs::VictimTable &victimTable() const { return victims_; }
+
   private:
     /** A demand/writeback request waiting for its channel. */
     struct PendingReq
@@ -123,7 +141,14 @@ class MemorySystem
     void notePrefetchUseful(Addr block_addr);
     void respondAfter(Tick delay, Addr block_addr);
     void finishL1Fill(Addr block_addr);
-    void insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty);
+    /** @p ref / @p hint attribute a prefetch insertion's evictions to
+     *  the responsible site (victim-table recording). */
+    void insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty,
+                      RefId ref = kInvalidRefId,
+                      obs::HintClass hint = obs::HintClass::None);
+    /** Replay one demand L2 access against the shadow tags and count
+     *  its baseline/pollution/coverage classification. */
+    void classifyDemandAccess(Addr block_addr, bool real_hit);
     void startDramAccess(unsigned channel, const MemRequest &req);
     void onDramFill(MemRequest req);
     bool tryIssuePrefetch(unsigned channel);
@@ -170,6 +195,29 @@ class MemorySystem
     std::unordered_map<Addr, PrefetchFillInfo> livePrefetches_;
     /** Tick of the last resetStats() (warmup/measurement boundary). */
     Tick boundaryTick_ = 0;
+
+    /** Counterfactual no-prefetch L2 replica (null until
+     *  enableShadowTags()). */
+    std::unique_ptr<obs::ShadowTags> shadow_;
+    /** Evicted-victim attribution for pollution misses. */
+    obs::VictimTable victims_;
+
+    /** Cached classification counters (mem.pollution*): registered by
+     *  enableShadowTags(), hot on every demand L2 access. Counter
+     *  storage is stable across StatGroup::reset(). */
+    struct PollutionCounters
+    {
+        Counter *bothHits = nullptr;
+        Counter *baselineMisses = nullptr;
+        Counter *pollutionMisses = nullptr;
+        Counter *coverageHits = nullptr;
+        Counter *shadowMisses = nullptr;
+        Counter *attributed = nullptr;
+        Counter *unattributed = nullptr;
+        Counter *victimsRecorded = nullptr;
+        Counter *victimDrops = nullptr;
+    };
+    PollutionCounters pol_;
 
     StatGroup stats_;
     obs::ScopedStatRegistration statReg_{stats_};

@@ -1,0 +1,44 @@
+#include "obs/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace obs
+{
+
+bool
+atomicWriteFile(const std::string &path,
+                const std::function<void(std::ostream &)> &emit,
+                const char *what)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            warn("cannot open %s file '%s'", what, tmp.c_str());
+            return false;
+        }
+        emit(os);
+        os.flush();
+        if (!os) {
+            warn("failed writing %s file '%s'", what, tmp.c_str());
+            os.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot publish %s file '%s' (rename failed)", what,
+             path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace grp

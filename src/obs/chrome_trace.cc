@@ -95,6 +95,9 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceLine> &lines,
     // per-block generation counter.
     std::unordered_map<Addr, uint64_t> generation;
     std::unordered_map<Addr, std::string> open;
+    // Running pollution-miss count, emitted as a counter track so the
+    // cost accumulates visibly alongside the lifecycle arcs.
+    uint64_t pollutionMisses = 0;
     auto openArc = [&](const TraceLine &line) {
         std::ostringstream id;
         id << "0x" << std::hex << line.addr << std::dec << "#"
@@ -161,10 +164,28 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceLine> &lines,
             open.erase(it);
             break;
           }
+          case TraceEvent::PollutionMiss: {
+            ++pollutionMisses;
+            emit.common("i", "pollutionMiss", line.t, tid);
+            w.kv("s", "t");
+            w.key("args").beginObject();
+            w.kv("addr", line.addr);
+            if (line.site >= 0)
+                w.kv("site", line.site);
+            w.endObject();
+            w.endObject();
+            emit.common("C", "pollutionMisses", line.t, 0);
+            w.key("args").beginObject();
+            w.kv("value", pollutionMisses);
+            w.endObject();
+            w.endObject();
+            break;
+          }
           case TraceEvent::HintTrigger:
           case TraceEvent::Enqueue:
           case TraceEvent::Drop:
           case TraceEvent::Filtered:
+          case TraceEvent::EvictVictim:
           case TraceEvent::Stall: {
             emit.common("i", toString(line.event), line.t, tid);
             w.kv("s", "t");

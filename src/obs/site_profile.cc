@@ -1,8 +1,8 @@
 #include "obs/site_profile.hh"
 
 #include <algorithm>
-#include <fstream>
 
+#include "obs/atomic_file.hh"
 #include "obs/json_writer.hh"
 #include "obs/stat_registry.hh"
 #include "sim/logging.hh"
@@ -110,6 +110,20 @@ SiteProfiler::noteEvictedUnused(RefId ref, HintClass hint, bool warm)
         ++stats_.counter("warmupEvictedUnused");
 }
 
+void
+SiteProfiler::notePollutionMiss(RefId ref, HintClass hint)
+{
+    ++entry(ref, hint).pollutionCaused;
+    ++stats_.counter("pollutionCaused");
+}
+
+void
+SiteProfiler::noteContention(RefId ref, HintClass hint, uint64_t waiting)
+{
+    entry(ref, hint).contentionCycles += waiting;
+    stats_.counter("contentionCycles") += waiting;
+}
+
 const SiteCounters *
 SiteProfiler::find(RefId ref, HintClass hint) const
 {
@@ -142,6 +156,7 @@ SiteProfiler::exportJson(std::ostream &os) const
     JsonWriter w(os);
     w.beginObject();
     w.kv("schema", "grp-site-profile-v1");
+    w.kv("missPenalty", missPenalty_);
     w.key("totals").beginObject();
     for (const auto &[name, counter] : stats_.counters())
         w.kv(name, counter.value());
@@ -164,6 +179,9 @@ SiteProfiler::exportJson(std::ostream &os) const
         w.kv("warmupFills", site.warmupFills);
         w.kv("warmupUseful", site.warmupUseful);
         w.kv("accuracy", site.accuracy());
+        w.kv("pollutionCaused", site.pollutionCaused);
+        w.kv("contentionCycles", site.contentionCycles);
+        w.kv("netCycles", site.netCycles(missPenalty_));
         const DistSummary lat = summarise(site.fillToUse);
         w.key("fillToUse").beginObject();
         w.kv("samples", lat.samples);
@@ -181,25 +199,23 @@ SiteProfiler::exportJson(std::ostream &os) const
 bool
 SiteProfiler::exportJsonFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os) {
-        warn("cannot open site-profile file '%s'", path.c_str());
-        return false;
-    }
-    exportJson(os);
-    return static_cast<bool>(os);
+    return atomicWriteFile(
+        path, [this](std::ostream &os) { exportJson(os); },
+        "site-profile");
 }
 
 void
 SiteProfiler::writeReport(std::ostream &os, size_t top_n) const
 {
     os << "site profile: " << table_.size() << " (site, hint) entries; "
-       << "worst offenders by evicted-unused fills\n";
-    char line[160];
+       << "worst offenders by evicted-unused fills "
+       << "(netCyc prices a miss at " << missPenalty_ << " cycles)\n";
+    char line[224];
     std::snprintf(line, sizeof(line),
-                  "%8s %-10s %9s %8s %8s %8s %8s %7s %8s\n", "site",
-                  "hint", "triggers", "issued", "fills", "useful",
-                  "evicted", "acc%", "p90lat");
+                  "%8s %-10s %9s %8s %8s %8s %8s %7s %8s %8s %9s %11s\n",
+                  "site", "hint", "triggers", "issued", "fills",
+                  "useful", "evicted", "acc%", "p90lat", "pollut",
+                  "contCyc", "netCyc");
     os << line;
     size_t shown = 0;
     for (const auto *item : ranked()) {
@@ -207,9 +223,12 @@ SiteProfiler::writeReport(std::ostream &os, size_t top_n) const
             break;
         const SiteKey &key = item->first;
         const SiteCounters &site = item->second;
+        const uint64_t p90 = site.fillToUse.samples()
+                                 ? site.fillToUse.percentile(90.0)
+                                 : 0;
         std::snprintf(line, sizeof(line),
                       "%8lld %-10s %9llu %8llu %8llu %8llu %8llu "
-                      "%7.1f %8llu\n",
+                      "%7.1f %8llu %8llu %9llu %11lld\n",
                       static_cast<long long>(key.site()),
                       toString(key.hint),
                       static_cast<unsigned long long>(site.triggers),
@@ -219,8 +238,13 @@ SiteProfiler::writeReport(std::ostream &os, size_t top_n) const
                       static_cast<unsigned long long>(
                           site.evictedUnused),
                       100.0 * site.accuracy(),
+                      static_cast<unsigned long long>(p90),
                       static_cast<unsigned long long>(
-                          site.fillToUse.percentile(90.0)));
+                          site.pollutionCaused),
+                      static_cast<unsigned long long>(
+                          site.contentionCycles),
+                      static_cast<long long>(
+                          site.netCycles(missPenalty_)));
         os << line;
     }
 }

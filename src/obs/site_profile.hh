@@ -82,6 +82,12 @@ struct SiteCounters
     uint64_t evictedUnused = 0; ///< Fills evicted untouched.
     uint64_t warmupFills = 0;   ///< Fills of warmup-era requests.
     uint64_t warmupUseful = 0;  ///< First-uses of warmup-era fills.
+    /** Demand misses the shadow tags charged to this site's evictions
+     *  (counterfactual pollution cost). */
+    uint64_t pollutionCaused = 0;
+    /** Demand request-cycles queued behind this site's in-flight
+     *  prefetch transfers (channel contention cost). */
+    uint64_t contentionCycles = 0;
 
     /** Fill-to-first-use latency, measured-window samples only. */
     Distribution fillToUse;
@@ -98,6 +104,19 @@ struct SiteCounters
     /** Fills that never helped: evicted unused, the ranking signal
      *  for the worst-offender report. */
     uint64_t wasted() const { return evictedUnused; }
+
+    /** Counterfactual net benefit in cycles: hits earned minus hits
+     *  destroyed, each priced at @p miss_penalty (a memory round
+     *  trip), minus cycles demands queued behind this site's
+     *  transfers. Negative: the site costs more than it saves. */
+    int64_t
+    netCycles(uint64_t miss_penalty) const
+    {
+        const int64_t delta = static_cast<int64_t>(useful) -
+                              static_cast<int64_t>(pollutionCaused);
+        return delta * static_cast<int64_t>(miss_penalty) -
+               static_cast<int64_t>(contentionCycles);
+    }
 };
 
 /** The process-wide per-site profiler (mirrors Tracer's lifecycle:
@@ -129,6 +148,17 @@ class SiteProfiler
     void noteUseful(RefId ref, HintClass hint, uint64_t distance,
                     bool warm);
     void noteEvictedUnused(RefId ref, HintClass hint, bool warm);
+    /** A shadow-classified pollution miss was charged to the site. */
+    void notePollutionMiss(RefId ref, HintClass hint);
+    /** @p waiting demand requests spent a cycle queued behind the
+     *  site's in-flight prefetch transfer. */
+    void noteContention(RefId ref, HintClass hint, uint64_t waiting);
+
+    /** Cycles one avoided (or suffered) miss is worth in the
+     *  net-cycles score; the harness sets it to the configured DRAM
+     *  row-conflict + transfer time. */
+    void setMissPenalty(uint64_t cycles) { missPenalty_ = cycles; }
+    uint64_t missPenalty() const { return missPenalty_; }
 
     size_t siteCount() const { return table_.size(); }
     const std::map<SiteKey, SiteCounters> &sites() const
@@ -163,6 +193,8 @@ class SiteProfiler
     bool enabled_ = false;
     std::map<SiteKey, SiteCounters> table_;
     StatGroup stats_;
+    /** Default: 120-cycle row conflict + 32-cycle transfer. */
+    uint64_t missPenalty_ = 152;
 };
 
 } // namespace obs

@@ -1,8 +1,8 @@
 #include "obs/stat_registry.hh"
 
 #include <algorithm>
-#include <fstream>
 
+#include "obs/atomic_file.hh"
 #include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
@@ -32,9 +32,13 @@ summarise(const Distribution &dist)
     out.sum = dist.sum();
     out.mean = dist.mean();
     out.maxValue = dist.maxValue();
-    out.p50 = dist.percentile(50.0);
-    out.p90 = dist.percentile(90.0);
-    out.p99 = dist.percentile(99.0);
+    // An empty distribution has no percentiles; the summary keeps the
+    // zero-valued defaults rather than asserting in debug builds.
+    if (dist.samples()) {
+        out.p50 = dist.percentile(50.0);
+        out.p90 = dist.percentile(90.0);
+        out.p99 = dist.percentile(99.0);
+    }
     return out;
 }
 
@@ -190,25 +194,17 @@ StatRegistry::exportCsv(std::ostream &os) const
 bool
 StatRegistry::exportJsonFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os) {
-        warn("cannot open stats JSON file '%s'", path.c_str());
-        return false;
-    }
-    exportJson(os);
-    return static_cast<bool>(os);
+    return atomicWriteFile(
+        path, [this](std::ostream &os) { exportJson(os); },
+        "stats JSON");
 }
 
 bool
 StatRegistry::exportCsvFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os) {
-        warn("cannot open stats CSV file '%s'", path.c_str());
-        return false;
-    }
-    exportCsv(os);
-    return static_cast<bool>(os);
+    return atomicWriteFile(
+        path, [this](std::ostream &os) { exportCsv(os); },
+        "stats CSV");
 }
 
 void

@@ -1,7 +1,6 @@
 #include "obs/timeseries.hh"
 
-#include <fstream>
-
+#include "obs/atomic_file.hh"
 #include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
@@ -59,13 +58,9 @@ TimeSeries::exportJson(std::ostream &os) const
 bool
 TimeSeries::exportJsonFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os) {
-        warn("cannot open time-series file '%s'", path.c_str());
-        return false;
-    }
-    exportJson(os);
-    return static_cast<bool>(os);
+    return atomicWriteFile(
+        path, [this](std::ostream &os) { exportJson(os); },
+        "time-series");
 }
 
 } // namespace obs

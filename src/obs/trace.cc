@@ -35,6 +35,8 @@ toString(TraceEvent event)
       case TraceEvent::Fill:          return "fill";
       case TraceEvent::FirstUse:      return "firstUse";
       case TraceEvent::EvictedUnused: return "evictedUnused";
+      case TraceEvent::EvictVictim:   return "evictVictim";
+      case TraceEvent::PollutionMiss: return "pollutionMiss";
     }
     return "?";
 }
@@ -52,6 +54,8 @@ traceLevelOf(TraceEvent event)
       case TraceEvent::Enqueue:
       case TraceEvent::Drop:
       case TraceEvent::Filtered:
+      case TraceEvent::EvictVictim:
+      case TraceEvent::PollutionMiss:
         return 2;
       case TraceEvent::Stall:
         return 3;

@@ -21,7 +21,8 @@
  *
  * Event levels:
  *  1 — lifecycle: issue, fill, firstUse, evictedUnused
- *  2 — queue: hintTrigger, enqueue, drop, filtered
+ *  2 — queue: hintTrigger, enqueue, drop, filtered; pollution
+ *      attribution: evictVictim, pollutionMiss (shadow tags)
  *  3 — per-cycle: demand-priority / MSHR-reservation stalls
  */
 
@@ -67,6 +68,13 @@ enum class TraceEvent : uint8_t
     Fill,          ///< A prefetch fill completed into the L2.
     FirstUse,      ///< A demand first touched a prefetched block.
     EvictedUnused, ///< A prefetched block was evicted untouched.
+    EvictVictim,   ///< A prefetch fill evicted a live L2 block; the
+                   ///< record carries the victim address and the
+                   ///< responsible prefetch's hint/site (shadow-tag
+                   ///< pollution attribution, level 2).
+    PollutionMiss, ///< A demand miss the shadow tags classify as
+                   ///< prefetch-caused; hint/site name the charged
+                   ///< prefetch when the victim table attributed it.
 };
 
 const char *toString(TraceEvent event);

@@ -30,7 +30,8 @@ parseTraceEvent(const std::string &name)
         TraceEvent::Drop,        TraceEvent::Issue,
         TraceEvent::Stall,       TraceEvent::Filtered,
         TraceEvent::Fill,        TraceEvent::FirstUse,
-        TraceEvent::EvictedUnused,
+        TraceEvent::EvictedUnused, TraceEvent::EvictVictim,
+        TraceEvent::PollutionMiss,
     };
     for (TraceEvent event : all) {
         if (name == toString(event))
@@ -143,11 +144,17 @@ analyzeTrace(const std::vector<TraceLine> &lines)
     std::unordered_map<Addr, bool> state;
     // Base addresses of enqueued windows, for issue coverage.
     std::set<Addr> windows;
+    // Blocks a prefetch fill evicted and a pollution miss could be
+    // charged against (EvictVictim seen, not yet consumed).
+    std::set<Addr> victims;
 
     for (const TraceLine &line : lines) {
         if (out.coverageChecked == false &&
             line.event == TraceEvent::Enqueue)
             out.coverageChecked = true;
+        if (out.pollutionChecked == false &&
+            line.event == TraceEvent::EvictVictim)
+            out.pollutionChecked = true;
     }
 
     size_t lineno = 0;
@@ -291,6 +298,28 @@ analyzeTrace(const std::vector<TraceLine> &lines)
                 state.erase(it);
             ++cls.evictedUnused;
             ++site.evictedUnused;
+            break;
+          }
+          case TraceEvent::EvictVictim:
+            // The victim's own lifecycle (if it was a prefetch) is
+            // traced separately via EvictedUnused; this record only
+            // arms the pollution-attribution check.
+            victims.insert(line.addr);
+            break;
+          case TraceEvent::PollutionMiss: {
+            if (line.site >= 0 && out.pollutionChecked) {
+                auto it = victims.find(line.addr);
+                if (it == victims.end())
+                    violate(hexaddr(line.addr) +
+                            " pollution miss attributed without a "
+                            "recorded victim");
+                else
+                    victims.erase(it);
+            }
+            if (!line.warm) {
+                ++cls.pollutionMisses;
+                ++site.pollutionMisses;
+            }
             break;
           }
         }

@@ -91,6 +91,8 @@ struct FunnelStats
     uint64_t evictedUnused = 0;
     uint64_t warmFills = 0;
     uint64_t warmUseful = 0;
+    /** Shadow-classified demand misses charged to this class/site. */
+    uint64_t pollutionMisses = 0;
 
     /** Fill-to-first-use distances (the FirstUse extra field). */
     Distribution fillToUse;
@@ -120,6 +122,9 @@ struct TraceAnalysis
     uint64_t inFlightAtEnd = 0;
     /** Enqueue events were present, so issue-coverage was checked. */
     bool coverageChecked = false;
+    /** EvictVictim events were present (shadow tags were on), so
+     *  pollution-attribution consistency was checked. */
+    bool pollutionChecked = false;
 
     std::map<HintClass, FunnelStats> byClass;
     /** Keyed by site id (-1 = unattributed). */
@@ -141,7 +146,10 @@ struct TraceAnalysis
  *    use/eviction, and never filled twice;
  *  - when the trace contains Enqueue events (level >= 2), every
  *    non-stride Issue must fall inside a previously enqueued
- *    region window.
+ *    region window;
+ *  - when the trace contains EvictVictim events (shadow tags on),
+ *    every attributed PollutionMiss must name a block a prior
+ *    EvictVictim recorded (and not yet consumed).
  */
 TraceAnalysis analyzeTrace(const std::vector<TraceLine> &lines);
 

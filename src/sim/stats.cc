@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <cassert>
 #include <cmath>
 
 namespace grp
@@ -8,8 +9,9 @@ namespace grp
 uint64_t
 Distribution::percentile(double p) const
 {
+    assert(samples_ != 0 && "percentile() on an empty distribution");
     if (!samples_)
-        return 0;
+        return 0; // Release builds: "no data", see header comment.
     if (p >= 100.0)
         return maxValue();
     // Rank of the percentile sample, at least 1 (p <= 0 gives the

@@ -73,7 +73,12 @@ class Distribution
     /**
      * The @p p-th percentile of the recorded samples (p in [0, 100]):
      * the smallest recorded value v such that at least p percent of
-     * all samples are <= v. Returns 0 when no samples were recorded.
+     * all samples are <= v.
+     *
+     * An empty distribution has no percentiles: debug builds assert;
+     * release builds return 0, which callers must treat as "no data"
+     * (guard with samples() before calling when 0 is a legal sample
+     * value).
      */
     uint64_t percentile(double p) const;
 

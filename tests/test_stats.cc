@@ -46,7 +46,15 @@ TEST(Distribution, EmptyIsSafe)
     EXPECT_EQ(dist.samples(), 0u);
     EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
     EXPECT_DOUBLE_EQ(dist.fraction(3), 0.0);
+#ifdef NDEBUG
+    // Release builds: an empty distribution has no percentiles and
+    // the call returns the documented "no data" 0.
     EXPECT_EQ(dist.percentile(50.0), 0u);
+#else
+    // Debug builds assert: callers must guard with samples() when 0
+    // is a legal sample value.
+    EXPECT_DEATH(dist.percentile(50.0), "empty distribution");
+#endif
 }
 
 TEST(Distribution, PercentileSingleValue)

@@ -56,6 +56,28 @@ TOLERANCES = {
     "usefulPrefetches": ("rel", 0.10),
     "warmupUsefulPrefetches": ("rel", 0.10),
     "benchmarks": ("exact", 0),  # Suite size (when a scalar).
+    # Counterfactual cost artefact (tab_cost): identity fields are
+    # structural (bool/strings compare exactly by default); event
+    # counts and cycle totals drift with modelling changes.
+    "workload": ("exact", 0),
+    "scheme": ("exact", 0),
+    "identityHolds": ("exact", 0),
+    "l2DemandAccesses": ("rel", 0.10),
+    "bothHits": ("rel", 0.10),
+    "baselineMisses": ("rel", 0.10),
+    "coverageHits": ("rel", 0.10),
+    "pollutionMisses": ("rel", 0.10),
+    "shadowMisses": ("rel", 0.10),
+    "realMisses": ("rel", 0.10),
+    "attributed": ("rel", 0.10),
+    "unattributed": ("rel", 0.10),
+    "victimsRecorded": ("rel", 0.10),
+    "victimDrops": ("rel", 0.10),
+    "demandCycles": ("rel", 0.10),
+    "prefetchCycles": ("rel", 0.10),
+    "writebackCycles": ("rel", 0.10),
+    "idleCycles": ("rel", 0.10),
+    "demandStallCycles": ("rel", 0.10),
 }
 DEFAULT_TOLERANCE = ("rel", 0.05)
 

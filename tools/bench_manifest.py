@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Stamp a bench run with its provenance.
+
+Usage:
+    tools/bench_manifest.py start  --out bench/out
+    tools/bench_manifest.py finish --out bench/out [--repo .]
+
+`start` records the wall clock before the first bench binary runs;
+`finish` writes bench/out/manifest.json describing the whole run:
+the git SHA the artefacts were produced from (plus a dirty flag), a
+hash of the simulator configuration header (so a config change that
+silently shifts every baseline is visible in the artefact trail),
+the GRP_INSTRUCTIONS override in effect, and the run's wall-clock
+duration. bench_compare.py ignores the manifest (it has no
+baseline); it exists for humans and dashboards reading bench/out/.
+
+The manifest is published atomically (tmp + rename), matching the
+simulator's own JSON exporters.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+STAMP_NAME = ".bench_started"
+MANIFEST_NAME = "manifest.json"
+
+
+def git(repo, *args):
+    try:
+        return subprocess.run(
+            ["git", "-C", str(repo), *args],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def cmd_start(out_dir):
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / STAMP_NAME).write_text(f"{time.time():.3f}\n")
+    return 0
+
+
+def cmd_finish(out_dir, repo):
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = out_dir / STAMP_NAME
+    wall = None
+    if stamp.is_file():
+        try:
+            wall = round(time.time() - float(stamp.read_text()), 3)
+        except ValueError:
+            pass
+        stamp.unlink(missing_ok=True)
+
+    config = repo / "src" / "sim" / "config.hh"
+    config_hash = (
+        hashlib.sha256(config.read_bytes()).hexdigest()
+        if config.is_file() else None
+    )
+
+    manifest = {
+        "schema": "grp-bench-manifest-v1",
+        "gitSha": git(repo, "rev-parse", "HEAD"),
+        "gitDirty": bool(git(repo, "status", "--porcelain")),
+        "configHash": config_hash,
+        "grpInstructions": os.environ.get("GRP_INSTRUCTIONS"),
+        "wallClockSeconds": wall,
+        "finishedAtUnix": round(time.time(), 3),
+    }
+
+    tmp = out_dir / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+    tmp.replace(out_dir / MANIFEST_NAME)
+    print(f"bench manifest: {out_dir / MANIFEST_NAME}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["start", "finish"])
+    parser.add_argument("--out", default="bench/out", type=Path)
+    parser.add_argument("--repo", default=".", type=Path)
+    args = parser.parse_args()
+    if args.command == "start":
+        return cmd_start(args.out)
+    return cmd_finish(args.out, args.repo)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
