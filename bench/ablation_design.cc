@@ -27,10 +27,42 @@ struct Variant
     void (*apply)(SimConfig &);
 };
 
+/** Queue one ablation's runs: per benchmark, a default-config base
+ *  followed by every variant. Returns the first job index. */
+size_t
+enqueue(BenchSweep &sweep, PrefetchScheme scheme,
+        const std::vector<std::string> &names,
+        const std::vector<Variant> &variants, const RunOptions &opts)
+{
+    size_t first = 0;
+    bool have_first = false;
+    for (const std::string &name : names) {
+        const size_t base_job = sweep.add(name + "/base", [name,
+                                                           opts] {
+            SimConfig config;
+            return runWorkload(name, config, opts);
+        });
+        if (!have_first) {
+            first = base_job;
+            have_first = true;
+        }
+        for (const Variant &variant : variants) {
+            sweep.add(name + "/" + variant.label,
+                      [name, scheme, apply = variant.apply, opts] {
+                          SimConfig config;
+                          config.scheme = scheme;
+                          apply(config);
+                          return runWorkload(name, config, opts);
+                      });
+        }
+    }
+    return first;
+}
+
 void
-report(const char *title, PrefetchScheme scheme,
+report(const BenchSweep &sweep, size_t first, const char *title,
        const std::vector<std::string> &names,
-       const std::vector<Variant> &variants, const RunOptions &opts)
+       const std::vector<Variant> &variants)
 {
     std::printf("%s\n%-9s", title, "bench");
     for (const Variant &variant : variants)
@@ -39,16 +71,12 @@ report(const char *title, PrefetchScheme scheme,
 
     std::vector<std::vector<double>> sp(variants.size()),
         tr(variants.size());
+    size_t job = first;
     for (const std::string &name : names) {
-        SimConfig base_config;
-        const RunResult base =
-            runWorkload(name, base_config, opts);
+        const RunResult &base = sweep.result(job++);
         std::printf("%-9s", name.c_str());
         for (size_t v = 0; v < variants.size(); ++v) {
-            SimConfig config;
-            config.scheme = scheme;
-            variants[v].apply(config);
-            const RunResult run = runWorkload(name, config, opts);
+            const RunResult &run = sweep.result(job++);
             sp[v].push_back(speedup(run, base));
             tr[v].push_back(trafficRatio(run, base));
             std::printf(" | %7.3f %7.2f", sp[v].back(),
@@ -75,37 +103,50 @@ main()
     const std::vector<std::string> mixed = {"wupwise", "equake",
                                             "twolf", "bzip2"};
 
-    report("Ablation 1: prefetch insertion position (SRP)",
-           PrefetchScheme::Srp, mixed,
-           {{"LRU(paper)",
-             [](SimConfig &c) { c.region.lruInsertion = true; }},
-            {"MRU",
-             [](SimConfig &c) { c.region.lruInsertion = false; }}},
-           opts);
+    struct Ablation
+    {
+        const char *title;
+        PrefetchScheme scheme;
+        std::vector<std::string> names;
+        std::vector<Variant> variants;
+    };
+    const std::vector<Ablation> ablations = {
+        {"Ablation 1: prefetch insertion position (SRP)",
+         PrefetchScheme::Srp, mixed,
+         {{"LRU(paper)",
+           [](SimConfig &c) { c.region.lruInsertion = true; }},
+          {"MRU",
+           [](SimConfig &c) { c.region.lruInsertion = false; }}}},
+        {"Ablation 2: prefetch queue scheduling (SRP)",
+         PrefetchScheme::Srp, mixed,
+         {{"LIFO(paper)",
+           [](SimConfig &c) { c.region.lifo = true; }},
+          {"FIFO", [](SimConfig &c) { c.region.lifo = false; }}}},
+        {"Ablation 3: bank-aware prefetch issue (SRP)",
+         PrefetchScheme::Srp, mixed,
+         {{"aware(papr)",
+           [](SimConfig &c) { c.region.bankAware = true; }},
+          {"oblivious",
+           [](SimConfig &c) { c.region.bankAware = false; }}}},
+        {"Ablation 4: recursive chase depth (GRP, mcf/parser)",
+         PrefetchScheme::GrpVar, {"parser", "twolf"},
+         {{"depth 1",
+           [](SimConfig &c) { c.region.recursiveDepth = 1; }},
+          {"depth 3",
+           [](SimConfig &c) { c.region.recursiveDepth = 3; }},
+          {"depth 6(pap)",
+           [](SimConfig &c) { c.region.recursiveDepth = 6; }}}}};
 
-    report("Ablation 2: prefetch queue scheduling (SRP)",
-           PrefetchScheme::Srp, mixed,
-           {{"LIFO(paper)",
-             [](SimConfig &c) { c.region.lifo = true; }},
-            {"FIFO", [](SimConfig &c) { c.region.lifo = false; }}},
-           opts);
+    BenchSweep sweep("ablation_design");
+    std::vector<size_t> firsts;
+    for (const Ablation &ablation : ablations)
+        firsts.push_back(enqueue(sweep, ablation.scheme,
+                                 ablation.names, ablation.variants,
+                                 opts));
+    sweep.run();
 
-    report("Ablation 3: bank-aware prefetch issue (SRP)",
-           PrefetchScheme::Srp, mixed,
-           {{"aware(papr)",
-             [](SimConfig &c) { c.region.bankAware = true; }},
-            {"oblivious",
-             [](SimConfig &c) { c.region.bankAware = false; }}},
-           opts);
-
-    report("Ablation 4: recursive chase depth (GRP, mcf/parser)",
-           PrefetchScheme::GrpVar, {"parser", "twolf"},
-           {{"depth 1",
-             [](SimConfig &c) { c.region.recursiveDepth = 1; }},
-            {"depth 3",
-             [](SimConfig &c) { c.region.recursiveDepth = 3; }},
-            {"depth 6(pap)",
-             [](SimConfig &c) { c.region.recursiveDepth = 6; }}},
-           opts);
+    for (size_t a = 0; a < ablations.size(); ++a)
+        report(sweep, firsts[a], ablations[a].title,
+               ablations[a].names, ablations[a].variants);
     return 0;
 }

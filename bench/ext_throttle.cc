@@ -26,21 +26,28 @@ main()
     RunOptions opts;
     opts.maxInstructions = instructionBudget(600'000);
 
+    const std::vector<std::string> suite = perfSuite();
+    const PrefetchScheme schemes[4] = {
+        PrefetchScheme::None, PrefetchScheme::Srp,
+        PrefetchScheme::SrpThrottled, PrefetchScheme::GrpVar};
+    BenchSweep sweep("ext_throttle");
+    for (const std::string &name : suite)
+        for (PrefetchScheme scheme : schemes)
+            sweep.addScheme(name, scheme, opts);
+    sweep.run();
+
     std::printf("Extension: SRP vs accuracy-throttled SRP vs GRP\n");
     std::printf("%-9s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s\n",
                 "bench", "srp-sp", "thr-sp", "grp-sp", "srp-tr",
                 "thr-tr", "grp-tr", "srp-cov", "thr-cov", "grp-cov");
 
     std::vector<double> sp[3], tr[3];
-    for (const std::string &name : perfSuite()) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
-        const RunResult srp = runScheme(name, PrefetchScheme::Srp,
-                                        opts);
-        const RunResult thr =
-            runScheme(name, PrefetchScheme::SrpThrottled, opts);
-        const RunResult grp = runScheme(name, PrefetchScheme::GrpVar,
-                                        opts);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const std::string &name = suite[b];
+        const RunResult &base = sweep.result(4 * b + 0);
+        const RunResult &srp = sweep.result(4 * b + 1);
+        const RunResult &thr = sweep.result(4 * b + 2);
+        const RunResult &grp = sweep.result(4 * b + 3);
         const RunResult *runs[3] = {&srp, &thr, &grp};
         for (int i = 0; i < 3; ++i) {
             sp[i].push_back(speedup(*runs[i], base));

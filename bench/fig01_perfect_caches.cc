@@ -22,21 +22,28 @@ main()
     RunOptions opts;
     opts.maxInstructions = instructionBudget(1'500'000);
 
+    const std::vector<std::string> suite = perfSuite();
+    BenchSweep sweep("fig01_perfect_caches");
+    for (const std::string &name : suite) {
+        sweep.addScheme(name, PrefetchScheme::None, opts);
+        sweep.addPerfect(name, Perfection::PerfectL2, opts);
+        sweep.addPerfect(name, Perfection::PerfectL1, opts);
+        sweep.addScheme(name, PrefetchScheme::GrpVar, opts);
+    }
+    sweep.run();
+
     std::printf("Figure 1: IPC for base / perfect-L2 / perfect-L1 / "
                 "GRP (sorted output order = suite order)\n");
     std::printf("%-9s %8s %8s %8s %8s | %8s %8s\n", "bench", "base",
                 "pf-L2", "pf-L1", "grp", "gap-L2%", "gap-L1%");
 
     std::vector<double> gap_ratios;
-    for (const std::string &name : perfSuite()) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
-        const RunResult l2 =
-            runPerfect(name, Perfection::PerfectL2, opts);
-        const RunResult l1 =
-            runPerfect(name, Perfection::PerfectL1, opts);
-        const RunResult grp =
-            runScheme(name, PrefetchScheme::GrpVar, opts);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const std::string &name = suite[b];
+        const RunResult &base = sweep.result(4 * b + 0);
+        const RunResult &l2 = sweep.result(4 * b + 1);
+        const RunResult &l1 = sweep.result(4 * b + 2);
+        const RunResult &grp = sweep.result(4 * b + 3);
         std::printf("%-9s %8.3f %8.3f %8.3f %8.3f | %8.2f %8.2f\n",
                     name.c_str(), base.ipc, l2.ipc, l1.ipc, grp.ipc,
                     gapFromPerfect(base, l2), gapFromPerfect(base, l1));

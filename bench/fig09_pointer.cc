@@ -28,22 +28,27 @@ main()
                                 "mcf",    "equake", "ammp", "parser",
                                 "gap",    "bzip2", "twolf", "sphinx"};
 
+    const PrefetchScheme schemes[6] = {
+        PrefetchScheme::None,          PrefetchScheme::PointerHw,
+        PrefetchScheme::PointerHwRec,  PrefetchScheme::Srp,
+        PrefetchScheme::SrpPlusPointer, PrefetchScheme::GrpVar};
+    BenchSweep sweep("fig09_pointer");
+    for (const char *name : benchmarks)
+        for (PrefetchScheme scheme : schemes)
+            sweep.addScheme(name, scheme, opts);
+    sweep.run();
+
     std::printf("Figure 9: speedups over no prefetching\n");
     std::printf("%-9s %8s %8s %8s %8s %8s\n", "bench", "ptr",
                 "ptr-rec", "srp", "srp+ptr", "grp");
+    size_t job = 0;
     for (const char *name : benchmarks) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
-        const RunResult ptr =
-            runScheme(name, PrefetchScheme::PointerHw, opts);
-        const RunResult rec =
-            runScheme(name, PrefetchScheme::PointerHwRec, opts);
-        const RunResult srp =
-            runScheme(name, PrefetchScheme::Srp, opts);
-        const RunResult both =
-            runScheme(name, PrefetchScheme::SrpPlusPointer, opts);
-        const RunResult grp =
-            runScheme(name, PrefetchScheme::GrpVar, opts);
+        const RunResult &base = sweep.result(job++);
+        const RunResult &ptr = sweep.result(job++);
+        const RunResult &rec = sweep.result(job++);
+        const RunResult &srp = sweep.result(job++);
+        const RunResult &both = sweep.result(job++);
+        const RunResult &grp = sweep.result(job++);
         std::printf("%-9s %8.3f %8.3f %8.3f %8.3f %8.3f\n", name,
                     speedup(ptr, base), speedup(rec, base),
                     speedup(srp, base), speedup(both, base),

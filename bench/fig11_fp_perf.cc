@@ -18,21 +18,29 @@ main()
     RunOptions opts;
     opts.maxInstructions = instructionBudget(1'500'000);
 
+    const std::vector<std::string> suite = fpSuite();
+    const PrefetchScheme schemes[4] = {
+        PrefetchScheme::None, PrefetchScheme::Stride,
+        PrefetchScheme::Srp, PrefetchScheme::GrpVar};
+    BenchSweep sweep("fig11_fp_perf");
+    for (const std::string &name : suite) {
+        for (PrefetchScheme scheme : schemes)
+            sweep.addScheme(name, scheme, opts);
+        sweep.addPerfect(name, Perfection::PerfectL2, opts);
+    }
+    sweep.run();
+
     std::printf("Figure 11: floating-point benchmarks, speedup over "
                 "no prefetching\n");
     std::printf("%-9s %8s %8s %8s %8s | %9s\n", "bench", "stride",
                 "srp", "grp", "pf-L2", "grp-gap%");
-    for (const std::string &name : fpSuite()) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
-        const RunResult stride =
-            runScheme(name, PrefetchScheme::Stride, opts);
-        const RunResult srp =
-            runScheme(name, PrefetchScheme::Srp, opts);
-        const RunResult grp =
-            runScheme(name, PrefetchScheme::GrpVar, opts);
-        const RunResult perfect =
-            runPerfect(name, Perfection::PerfectL2, opts);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const std::string &name = suite[b];
+        const RunResult &base = sweep.result(5 * b + 0);
+        const RunResult &stride = sweep.result(5 * b + 1);
+        const RunResult &srp = sweep.result(5 * b + 2);
+        const RunResult &grp = sweep.result(5 * b + 3);
+        const RunResult &perfect = sweep.result(5 * b + 4);
         std::printf("%-9s %8.3f %8.3f %8.3f %8.3f | %9.2f\n",
                     name.c_str(), speedup(stride, base),
                     speedup(srp, base), speedup(grp, base),

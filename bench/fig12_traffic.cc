@@ -23,6 +23,16 @@ main()
     RunOptions opts;
     opts.maxInstructions = instructionBudget(1'500'000);
 
+    const std::vector<std::string> suite = perfSuite();
+    const PrefetchScheme schemes[4] = {
+        PrefetchScheme::None, PrefetchScheme::Stride,
+        PrefetchScheme::Srp, PrefetchScheme::GrpVar};
+    BenchSweep sweep("fig12_traffic");
+    for (const std::string &name : suite)
+        for (PrefetchScheme scheme : schemes)
+            sweep.addScheme(name, scheme, opts);
+    sweep.run();
+
     std::printf("Figure 12: memory traffic normalised to no "
                 "prefetching\n");
     std::printf("%-9s %8s %8s %8s %8s\n", "bench", "base", "stride",
@@ -35,15 +45,12 @@ main()
     json.key("benchmarks");
     json.beginObject();
     std::vector<double> stride_ratios, srp_ratios, grp_ratios;
-    for (const std::string &name : perfSuite()) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
-        const RunResult stride =
-            runScheme(name, PrefetchScheme::Stride, opts);
-        const RunResult srp =
-            runScheme(name, PrefetchScheme::Srp, opts);
-        const RunResult grp =
-            runScheme(name, PrefetchScheme::GrpVar, opts);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const std::string &name = suite[b];
+        const RunResult &base = sweep.result(4 * b + 0);
+        const RunResult &stride = sweep.result(4 * b + 1);
+        const RunResult &srp = sweep.result(4 * b + 2);
+        const RunResult &grp = sweep.result(4 * b + 3);
         stride_ratios.push_back(trafficRatio(stride, base));
         srp_ratios.push_back(trafficRatio(srp, base));
         grp_ratios.push_back(trafficRatio(grp, base));

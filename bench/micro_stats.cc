@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the per-access accounting
+ * paths the sweep refactor optimised:
+ *
+ *  - string-keyed StatGroup::counter() lookup per increment (the old
+ *    hot path) versus a cached Counter handle (the new one);
+ *  - Cache::contains() + access() double tag walk (the old L1 probe)
+ *    versus the fused Cache::accessIfPresent() single walk;
+ *  - a short full-system run, the end-to-end number the two
+ *    optimisations move.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/runner.hh"
+#include "mem/cache.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace grp;
+
+void
+BM_CounterStringLookup(benchmark::State &state)
+{
+    StatGroup stats("micro");
+    // Realistic group population: the lookup cost depends on the
+    // number of sibling counters in the map.
+    const char *names[] = {
+        "l1DemandAccesses", "l1DemandMisses",  "l2DemandAccesses",
+        "l2DemandHits",     "demandToMemory",  "demandFills",
+        "prefetchFills",    "writebacks",      "usefulPrefetches",
+        "prefetchesIssued", "streamHits",      "prefetchFiltered",
+    };
+    for (const char *name : names)
+        stats.counter(name);
+    size_t i = 0;
+    for (auto _ : state) {
+        ++stats.counter(names[i % std::size(names)]);
+        ++i;
+    }
+}
+BENCHMARK(BM_CounterStringLookup);
+
+void
+BM_CounterCachedHandle(benchmark::State &state)
+{
+    StatGroup stats("micro");
+    const char *names[] = {
+        "l1DemandAccesses", "l1DemandMisses",  "l2DemandAccesses",
+        "l2DemandHits",     "demandToMemory",  "demandFills",
+        "prefetchFills",    "writebacks",      "usefulPrefetches",
+        "prefetchesIssued", "streamHits",      "prefetchFiltered",
+    };
+    Counter *handles[std::size(names)];
+    for (size_t i = 0; i < std::size(names); ++i)
+        handles[i] = &stats.counter(names[i]);
+    size_t i = 0;
+    for (auto _ : state) {
+        ++*handles[i % std::size(handles)];
+        ++i;
+    }
+}
+BENCHMARK(BM_CounterCachedHandle);
+
+void
+BM_CacheProbeThenAccess(benchmark::State &state)
+{
+    CacheConfig config{1024 * 1024, 4, 12, 8, 8};
+    Cache cache(config, "bench");
+    Rng rng(7);
+    for (auto _ : state) {
+        // The pre-refactor L1 probe: one walk to test, a second to
+        // touch LRU state on a hit.
+        const Addr addr = rng.below(1 << 16) << kBlockShift;
+        if (cache.contains(addr))
+            benchmark::DoNotOptimize(cache.access(addr, false));
+        else
+            cache.insert(addr, false, false);
+    }
+}
+BENCHMARK(BM_CacheProbeThenAccess);
+
+void
+BM_CacheAccessIfPresent(benchmark::State &state)
+{
+    CacheConfig config{1024 * 1024, 4, 12, 8, 8};
+    Cache cache(config, "bench");
+    Rng rng(7);
+    for (auto _ : state) {
+        const Addr addr = rng.below(1 << 16) << kBlockShift;
+        const CacheAccessResult res =
+            cache.accessIfPresent(addr, false);
+        if (!res.hit)
+            cache.insert(addr, false, false);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_CacheAccessIfPresent);
+
+void
+BM_FullSystem100k(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        SimConfig config;
+        config.scheme = PrefetchScheme::GrpVar;
+        RunOptions opts;
+        opts.maxInstructions = 100'000;
+        opts.warmupInstructions = 0;
+        benchmark::DoNotOptimize(
+            runWorkload("mcf", config, opts).cycles);
+    }
+}
+BENCHMARK(BM_FullSystem100k)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -30,6 +30,16 @@ main()
                                        CompilerPolicy::Default,
                                        CompilerPolicy::Aggressive};
 
+    const std::vector<std::string> suite = perfSuite();
+    BenchSweep sweep("sens_compiler");
+    for (const std::string &name : suite) {
+        sweep.addScheme(name, PrefetchScheme::None, opts);
+        for (CompilerPolicy policy : policies)
+            sweep.addScheme(name, PrefetchScheme::GrpVar, opts,
+                            policy);
+    }
+    sweep.run();
+
     std::printf("Section 5.4: GRP sensitivity to the compiler "
                 "policy (speedup and traffic vs no prefetching)\n");
     std::printf("%-9s | %10s %10s | %10s %10s | %10s %10s\n",
@@ -37,13 +47,12 @@ main()
                 "deflt-tr", "aggr-sp", "aggr-tr");
 
     std::vector<double> sp[3], tr[3];
-    for (const std::string &name : perfSuite()) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const std::string &name = suite[b];
+        const RunResult &base = sweep.result(4 * b + 0);
         double row_sp[3], row_tr[3];
         for (int i = 0; i < 3; ++i) {
-            const RunResult run = runScheme(
-                name, PrefetchScheme::GrpVar, opts, policies[i]);
+            const RunResult &run = sweep.result(4 * b + 1 + i);
             row_sp[i] = speedup(run, base);
             row_tr[i] = trafficRatio(run, base);
             sp[i].push_back(row_sp[i]);

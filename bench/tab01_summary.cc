@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "harness/suite.hh"
@@ -45,11 +46,32 @@ main()
     };
 
     const std::vector<std::string> suite = perfSuite();
-    std::vector<RunResult> bases, perfects;
+
+    // Queue every run up front: base + perfect per benchmark, then
+    // each prefetching scheme (the None row reuses the base runs).
+    BenchSweep sweep("tab01_summary");
+    std::vector<size_t> base_jobs, perfect_jobs;
     for (const std::string &name : suite) {
-        bases.push_back(runScheme(name, PrefetchScheme::None, opts));
-        perfects.push_back(
-            runPerfect(name, Perfection::PerfectL2, opts));
+        base_jobs.push_back(
+            sweep.addScheme(name, PrefetchScheme::None, opts));
+        perfect_jobs.push_back(
+            sweep.addPerfect(name, Perfection::PerfectL2, opts));
+    }
+    std::vector<std::vector<size_t>> row_jobs;
+    for (const Row &row : rows) {
+        std::vector<size_t> jobs;
+        if (row.scheme != PrefetchScheme::None) {
+            for (const std::string &name : suite)
+                jobs.push_back(sweep.addScheme(name, row.scheme, opts));
+        }
+        row_jobs.push_back(std::move(jobs));
+    }
+    sweep.run();
+
+    std::vector<RunResult> bases, perfects;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        bases.push_back(sweep.result(base_jobs[i]));
+        perfects.push_back(sweep.result(perfect_jobs[i]));
     }
 
     std::printf("Table 1: summary of prefetching performance and "
@@ -69,13 +91,14 @@ main()
     json.key("schemes");
     json.beginObject();
 
-    for (const Row &row : rows) {
+    for (size_t r = 0; r < std::size(rows); ++r) {
+        const Row &row = rows[r];
         std::vector<double> speedups, traffics, perfect_ratios;
         for (size_t i = 0; i < suite.size(); ++i) {
-            RunResult run =
+            const RunResult &run =
                 row.scheme == PrefetchScheme::None
                     ? bases[i]
-                    : runScheme(suite[i], row.scheme, opts);
+                    : sweep.result(row_jobs[r][i]);
             speedups.push_back(speedup(run, bases[i]));
             traffics.push_back(trafficRatio(run, bases[i]));
             perfect_ratios.push_back(run.ipc / perfects[i].ipc);

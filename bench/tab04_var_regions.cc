@@ -22,18 +22,24 @@ main()
     RunOptions opts;
     opts.maxInstructions = instructionBudget(1'500'000);
 
+    BenchSweep sweep("tab04_var_regions");
+    for (const char *name : {"mesa", "bzip2", "sphinx"}) {
+        sweep.addScheme(name, PrefetchScheme::None, opts);
+        sweep.addScheme(name, PrefetchScheme::GrpFix, opts);
+        sweep.addScheme(name, PrefetchScheme::GrpVar, opts);
+    }
+    sweep.run();
+
     std::printf("Table 4: GRP/Var vs GRP/Fix traffic and region "
                 "size distribution\n");
     std::printf("%-9s %8s %8s | region blocks: %%2 %%4 %%8 %%16 %%32 "
                 "%%64\n",
                 "bench", "var-tr", "fix-tr");
+    size_t job = 0;
     for (const char *name : {"mesa", "bzip2", "sphinx"}) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
-        const RunResult fix =
-            runScheme(name, PrefetchScheme::GrpFix, opts);
-        const RunResult var =
-            runScheme(name, PrefetchScheme::GrpVar, opts);
+        const RunResult &base = sweep.result(job++);
+        const RunResult &fix = sweep.result(job++);
+        const RunResult &var = sweep.result(job++);
 
         uint64_t total = 0;
         for (const auto &[blocks, count] : var.regionSizes)

@@ -28,6 +28,16 @@ main()
     RunOptions opts;
     opts.maxInstructions = instructionBudget(1'500'000);
 
+    const std::vector<std::string> suite = perfSuite();
+    const PrefetchScheme schemes[4] = {
+        PrefetchScheme::None, PrefetchScheme::Stride,
+        PrefetchScheme::Srp, PrefetchScheme::GrpVar};
+    BenchSweep sweep("tab05_accuracy");
+    for (const std::string &name : suite)
+        for (PrefetchScheme scheme : schemes)
+            sweep.addScheme(name, scheme, opts);
+    sweep.run();
+
     std::printf("Table 5: per-benchmark miss rate, coverage, "
                 "accuracy and traffic\n");
     std::printf("%-9s | %6s %8s | %6s %6s | %6s %6s | %6s %6s | "
@@ -45,15 +55,12 @@ main()
 
     double sum_cov[3] = {0, 0, 0}, sum_acc[3] = {0, 0, 0};
     unsigned count = 0;
-    for (const std::string &name : perfSuite()) {
-        const RunResult base =
-            runScheme(name, PrefetchScheme::None, opts);
-        const RunResult stride =
-            runScheme(name, PrefetchScheme::Stride, opts);
-        const RunResult srp =
-            runScheme(name, PrefetchScheme::Srp, opts);
-        const RunResult grp =
-            runScheme(name, PrefetchScheme::GrpVar, opts);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const std::string &name = suite[b];
+        const RunResult &base = sweep.result(4 * b + 0);
+        const RunResult &stride = sweep.result(4 * b + 1);
+        const RunResult &srp = sweep.result(4 * b + 2);
+        const RunResult &grp = sweep.result(4 * b + 3);
 
         const RunResult *runs[3] = {&stride, &srp, &grp};
         double cov[3], acc[3];

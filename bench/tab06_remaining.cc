@@ -20,17 +20,24 @@ main()
     RunOptions opts;
     opts.maxInstructions = instructionBudget(1'500'000);
 
+    const std::vector<std::string> suite = perfSuite();
+    BenchSweep sweep("tab06_remaining");
+    for (const std::string &name : suite) {
+        sweep.addScheme(name, PrefetchScheme::GrpVar, opts);
+        sweep.addScheme(name, PrefetchScheme::Srp, opts);
+        sweep.addPerfect(name, Perfection::PerfectL2, opts);
+    }
+    sweep.run();
+
     std::printf("Table 6: remaining L2 miss causes (GRP gap from "
                 "perfect L2 > 15%%)\n");
     std::printf("%-9s %10s %10s  %s\n", "bench", "grp-gap%",
                 "srp-gap%", "dominant miss cause");
-    for (const std::string &name : perfSuite()) {
-        const RunResult grp =
-            runScheme(name, PrefetchScheme::GrpVar, opts);
-        const RunResult srp =
-            runScheme(name, PrefetchScheme::Srp, opts);
-        const RunResult perfect =
-            runPerfect(name, Perfection::PerfectL2, opts);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        const std::string &name = suite[b];
+        const RunResult &grp = sweep.result(3 * b + 0);
+        const RunResult &srp = sweep.result(3 * b + 1);
+        const RunResult &perfect = sweep.result(3 * b + 2);
         const double grp_gap = gapFromPerfect(grp, perfect);
         const double srp_gap = gapFromPerfect(srp, perfect);
         if (grp_gap <= 15.0 && srp_gap <= 15.0)

@@ -33,8 +33,10 @@ main()
     opts.obs.shadow = true;
 
     const char *workload = "mcf";
-    const RunResult run = runScheme(workload, PrefetchScheme::Srp,
-                                    opts);
+    BenchSweep sweep("tab_cost");
+    sweep.addScheme(workload, PrefetchScheme::Srp, opts);
+    sweep.run();
+    const RunResult &run = sweep.result(0);
     const obs::StatSnapshot &s = run.stats;
 
     const uint64_t both = s.value("mem.pollutionBothHits");

@@ -81,7 +81,7 @@ run(ListKernel &kernel, PrefetchScheme scheme)
     Interpreter interp(prog, kernel.mem, 42);
     Cpu cpu(config, mem, events, interp,
             config.usesHints() ? &table : nullptr);
-    obs::Tracer::global().setClock(&events);
+    obs::Tracer::instance().setClock(&events);
     Tick cycle = 0;
     while (!cpu.done() && cpu.retiredInstructions() < 300'000) {
         events.advanceTo(cycle);
@@ -89,7 +89,7 @@ run(ListKernel &kernel, PrefetchScheme scheme)
         mem.tick();
         ++cycle;
     }
-    obs::Tracer::global().setClock(nullptr);
+    obs::Tracer::instance().setClock(nullptr);
     return cpu.ipc();
 }
 
@@ -111,8 +111,8 @@ main(int argc, char **argv)
             trace_level = std::atoi(arg.c_str() + 14);
     }
     if (!trace_path.empty()) {
-        if (obs::Tracer::global().open(trace_path))
-            obs::Tracer::global().setLevel(trace_level);
+        if (obs::Tracer::instance().open(trace_path))
+            obs::Tracer::instance().setLevel(trace_level);
         else
             warn("cannot open trace file %s", trace_path.c_str());
     }
@@ -134,6 +134,6 @@ main(int argc, char **argv)
                 "observation); scrambled layouts\nneed the pointer "
                 "scanner, and GRP's recursive hint gets it without "
                 "table state.\n");
-    obs::Tracer::global().close();
+    obs::Tracer::instance().close();
     return 0;
 }

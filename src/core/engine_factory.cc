@@ -10,7 +10,7 @@ namespace grp
 
 std::unique_ptr<PrefetchEngine>
 makePrefetchEngine(const SimConfig &config, const FunctionalMemory &fmem,
-                   MemorySystem &mem)
+                   MemorySystem &mem, obs::StatRegistry &registry)
 {
     std::unique_ptr<PrefetchEngine> engine;
     auto present = [&mem](Addr addr) {
@@ -22,27 +22,30 @@ makePrefetchEngine(const SimConfig &config, const FunctionalMemory &fmem,
       case PrefetchScheme::None:
         break;
       case PrefetchScheme::Stride:
-        engine = std::make_unique<StridePrefetcher>(config);
+        engine = std::make_unique<StridePrefetcher>(config, registry);
         break;
       case PrefetchScheme::Srp:
       case PrefetchScheme::PointerHw:
       case PrefetchScheme::PointerHwRec:
       case PrefetchScheme::SrpPlusPointer: {
-        auto hw = std::make_unique<HwPrefetchEngine>(config, fmem);
+        auto hw = std::make_unique<HwPrefetchEngine>(config, fmem,
+                                                     registry);
         hw->setPresenceTest(present);
         engine = std::move(hw);
         break;
       }
       case PrefetchScheme::SrpThrottled: {
         auto throttled =
-            std::make_unique<ThrottledSrpEngine>(config);
+            std::make_unique<ThrottledSrpEngine>(config, 0.20, 64,
+                                                 registry);
         throttled->setPresenceTest(present);
         engine = std::move(throttled);
         break;
       }
       case PrefetchScheme::GrpFix:
       case PrefetchScheme::GrpVar: {
-        auto grp_engine = std::make_unique<GrpEngine>(config, fmem);
+        auto grp_engine = std::make_unique<GrpEngine>(config, fmem,
+                                                      registry);
         grp_engine->setPresenceTest(present);
         engine = std::move(grp_engine);
         break;

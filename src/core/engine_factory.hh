@@ -20,11 +20,14 @@ namespace grp
 /**
  * Build the engine for @p config.scheme (nullptr for
  * PrefetchScheme::None), attach it to @p mem and point its presence
- * test at @p mem's L2 and MSHRs.
+ * test at @p mem's L2 and MSHRs. The engine's stat groups register
+ * into @p registry (normally the same per-run registry @p mem uses).
  */
 std::unique_ptr<PrefetchEngine>
 makePrefetchEngine(const SimConfig &config, const FunctionalMemory &fmem,
-                   MemorySystem &mem);
+                   MemorySystem &mem,
+                   obs::StatRegistry &registry =
+                       obs::StatRegistry::current());
 
 } // namespace grp
 

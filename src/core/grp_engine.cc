@@ -6,16 +6,26 @@
 namespace grp
 {
 
-GrpEngine::GrpEngine(const SimConfig &config, const FunctionalMemory &mem)
+GrpEngine::GrpEngine(const SimConfig &config, const FunctionalMemory &mem,
+                     obs::StatRegistry &registry)
     : config_(config),
       mem_(mem),
       queue_(config.region.queueEntries, config.region.lifo,
-             config.region.bankAware),
+             config.region.bankAware, registry),
       scanner_(mem),
-      stats_("grpEngine")
+      stats_("grpEngine"),
+      statReg_(stats_, registry)
 {
     fatal_if(!config.usesHints(),
              "GrpEngine requires the GrpFix or GrpVar scheme");
+    missesUnhinted_ = &stats_.counter("missesUnhinted");
+    regionsAllocated_ = &stats_.counter("regionsAllocated");
+    regionsUpdated_ = &stats_.counter("regionsUpdated");
+    linesScanned_ = &stats_.counter("linesScanned");
+    pointersFound_ = &stats_.counter("pointersFound");
+    indirectOps_ = &stats_.counter("indirectOps");
+    indirectTargets_ = &stats_.counter("indirectTargets");
+    candidatesOffered_ = &stats_.counter("candidatesOffered");
 }
 
 void
@@ -32,7 +42,7 @@ GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
     // and recursive hints need no action here — the memory system
     // already armed the miss's MSHR counter; the scan runs on fill.
     if (!hints.spatial()) {
-        ++stats_.counter("missesUnhinted");
+        ++*missesUnhinted_;
         return;
     }
     GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(addr),
@@ -45,10 +55,10 @@ GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
         queue_.noteSpatialMiss(addr, window, 0, ref,
                                obs::HintClass::Spatial);
     if (allocated) {
-        ++stats_.counter("regionsAllocated");
+        ++*regionsAllocated_;
         regionSizes_.sample(allocated);
     } else {
-        ++stats_.counter("regionsUpdated");
+        ++*regionsUpdated_;
     }
 }
 
@@ -59,8 +69,8 @@ GrpEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
         return;
     std::array<Addr, 8> pointers;
     const unsigned found = scanner_.scan(block_addr, pointers);
-    stats_.counter("linesScanned") += 1;
-    stats_.counter("pointersFound") += found;
+    *linesScanned_ += 1;
+    *pointersFound_ += found;
     // Chases deeper than one level came from a recursive-pointer
     // hint; attribute their candidates separately (Table 5).
     const obs::HintClass hint = ptr_depth > 1
@@ -88,7 +98,7 @@ GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
     // know the live extent of b, so words past the end of the array
     // generate prefetches too — exactly the over-fetch the paper's
     // design accepts for its simplicity.
-    ++stats_.counter("indirectOps");
+    ++*indirectOps_;
     GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(index_addr),
               obs::HintClass::Indirect, -1, -1, false, ref);
     GRP_PROFILE(noteTrigger(ref, obs::HintClass::Indirect));
@@ -100,7 +110,7 @@ GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
             base + static_cast<uint64_t>(index) * elem_size;
         queue_.addPointerTarget(target, 1, 0, ref,
                                 obs::HintClass::Indirect);
-        ++stats_.counter("indirectTargets");
+        ++*indirectTargets_;
     }
 }
 
@@ -109,7 +119,7 @@ GrpEngine::dequeuePrefetch(const DramSystem &dram, unsigned channel)
 {
     auto candidate = queue_.dequeue(dram, channel);
     if (candidate)
-        ++stats_.counter("candidatesOffered");
+        ++*candidatesOffered_;
     return candidate;
 }
 

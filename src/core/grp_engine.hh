@@ -40,7 +40,9 @@ class GrpEngine : public PrefetchEngine
      * @param mem Functional memory (pointer scanning and indirect
      *        index reads need line contents).
      */
-    GrpEngine(const SimConfig &config, const FunctionalMemory &mem);
+    GrpEngine(const SimConfig &config, const FunctionalMemory &mem,
+              obs::StatRegistry &registry =
+                  obs::StatRegistry::current());
 
     void setPresenceTest(RegionQueue::PresenceTest test);
 
@@ -75,8 +77,18 @@ class GrpEngine : public PrefetchEngine
     RegionQueue queue_;
     PointerScanner scanner_;
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
     Distribution regionSizes_;
+
+    /** Cached counter handles (lookup once at construction). */
+    Counter *missesUnhinted_ = nullptr;
+    Counter *regionsAllocated_ = nullptr;
+    Counter *regionsUpdated_ = nullptr;
+    Counter *linesScanned_ = nullptr;
+    Counter *pointersFound_ = nullptr;
+    Counter *indirectOps_ = nullptr;
+    Counter *indirectTargets_ = nullptr;
+    Counter *candidatesOffered_ = nullptr;
 };
 
 } // namespace grp

@@ -6,16 +6,23 @@ namespace grp
 {
 
 Cpu::Cpu(const SimConfig &config, MemorySystem &mem, EventQueue &events,
-         TraceSource &trace, const HintTable *hints)
+         TraceSource &trace, const HintTable *hints,
+         obs::StatRegistry &registry)
     : config_(config),
       mem_(mem),
       events_(events),
       trace_(trace),
       hints_(hints),
-      stats_("cpu")
+      stats_("cpu"),
+      statReg_(stats_, registry)
 {
     robEntries_.resize(config.cpu.robEntries);
     mem_.setLoadCallback([this](uint64_t token) { loadDone(token); });
+    robFullStalls_ = &stats_.counter("robFullStalls");
+    loads_ = &stats_.counter("loads");
+    stores_ = &stats_.counter("stores");
+    indirectPrefetchOps_ = &stats_.counter("indirectPrefetchOps");
+    memStalls_ = &stats_.counter("memStalls");
 }
 
 void
@@ -82,7 +89,7 @@ Cpu::tick()
     // Issue up to issueWidth instructions.
     for (unsigned issued = 0; issued < config_.cpu.issueWidth; ++issued) {
         if (robFull()) {
-            ++stats_.counter("robFullStalls");
+            ++*robFullStalls_;
             break;
         }
         if (!fetchNext())
@@ -109,25 +116,25 @@ Cpu::tick()
                                  hints, token);
             waiting = accepted;
             if (accepted)
-                ++stats_.counter("loads");
+                ++*loads_;
             break;
           case OpKind::Store:
             accepted = mem_.store(pendingOp_.addr, pendingOp_.refId,
                                   hints);
             if (accepted)
-                ++stats_.counter("stores");
+                ++*stores_;
             break;
           case OpKind::IndirectPrefetch:
             mem_.indirectPrefetch(pendingOp_.base, pendingOp_.elemSize,
                                   pendingOp_.addr, pendingOp_.refId);
-            ++stats_.counter("indirectPrefetchOps");
+            ++*indirectPrefetchOps_;
             break;
         }
 
         if (!accepted) {
             // Structural stall: keep the op pending, stop issuing.
             --entry.generation;
-            ++stats_.counter("memStalls");
+            ++*memStalls_;
             break;
         }
 

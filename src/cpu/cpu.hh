@@ -36,7 +36,8 @@ class Cpu
      *        instructions elided from the stream).
      */
     Cpu(const SimConfig &config, MemorySystem &mem, EventQueue &events,
-        TraceSource &trace, const HintTable *hints);
+        TraceSource &trace, const HintTable *hints,
+        obs::StatRegistry &registry = obs::StatRegistry::current());
 
     /** Advance one cycle: retire then issue. */
     void tick();
@@ -90,7 +91,14 @@ class Cpu
     Tick lastRetireTick_ = 0;
 
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
+
+    /** Cached counter handles (lookup once at construction). */
+    Counter *robFullStalls_ = nullptr;
+    Counter *loads_ = nullptr;
+    Counter *stores_ = nullptr;
+    Counter *indirectPrefetchOps_ = nullptr;
+    Counter *memStalls_ = nullptr;
 };
 
 } // namespace grp

@@ -34,7 +34,7 @@ class ScopedTrace
     {
         if (obs.tracePath.empty())
             return;
-        obs::Tracer &tracer = obs::Tracer::global();
+        obs::Tracer &tracer = obs::Tracer::instance();
         if (!tracer.open(obs.tracePath)) // open() warns on failure
             return;
         active_ = true;
@@ -47,7 +47,7 @@ class ScopedTrace
     {
         if (!active_)
             return;
-        obs::Tracer &tracer = obs::Tracer::global();
+        obs::Tracer &tracer = obs::Tracer::instance();
         tracer.setClock(nullptr);
         tracer.close();
     }
@@ -59,29 +59,30 @@ class ScopedTrace
     bool active_ = false;
 };
 
-/** Enables the global site profiler for one run, registers its
- *  aggregate StatGroup so registry exports carry the totals, and
- *  disables + wipes it when the run ends. */
+/** Enables the thread's site profiler for one run, registers its
+ *  aggregate StatGroup into the run's registry so exports carry the
+ *  totals, and disables + wipes it when the run ends. */
 class ScopedSiteProfile
 {
   public:
-    explicit ScopedSiteProfile(const ObsOptions &obs)
+    ScopedSiteProfile(const ObsOptions &obs,
+                      obs::StatRegistry &registry)
         : active_(!obs.siteProfilePath.empty() ||
                   obs.siteReportTop > 0 || obs.costReport)
     {
         if (!active_)
             return;
-        obs::SiteProfiler &prof = obs::SiteProfiler::global();
+        obs::SiteProfiler &prof = obs::SiteProfiler::instance();
         prof.clear();
         prof.setEnabled(true);
-        reg_.emplace(prof.stats());
+        reg_.emplace(prof.stats(), registry);
     }
 
     ~ScopedSiteProfile()
     {
         if (!active_)
             return;
-        obs::SiteProfiler &prof = obs::SiteProfiler::global();
+        obs::SiteProfiler &prof = obs::SiteProfiler::instance();
         prof.setEnabled(false);
         prof.clear();
     }
@@ -142,7 +143,7 @@ printCostReport(std::ostream &os, MemorySystem &mem,
 
     if (!profiler_active)
         return;
-    const obs::SiteProfiler &prof = obs::SiteProfiler::global();
+    const obs::SiteProfiler &prof = obs::SiteProfiler::instance();
     const uint64_t penalty = prof.missPenalty();
     std::vector<
         const std::map<obs::SiteKey, obs::SiteCounters>::value_type *>
@@ -199,15 +200,19 @@ runWorkload(const std::string &workload_name, SimConfig config,
     HintGenerator generator(config.policy, config.l2.sizeBytes);
     const HintStats hint_stats = generator.run(prog, table);
 
+    // Every component of this run registers into a run-local registry,
+    // so concurrent sweep jobs (and same-thread nested runs) never
+    // share or clobber each other's statistics.
+    obs::StatRegistry registry;
     EventQueue events;
-    MemorySystem mem(config, events);
+    MemorySystem mem(config, events, registry);
     if (options.obs.shadow || options.obs.costReport)
         mem.enableShadowTags();
-    auto engine = makePrefetchEngine(config, fmem, mem);
+    auto engine = makePrefetchEngine(config, fmem, mem, registry);
 
     Interpreter interp(prog, fmem, options.seed);
     const HintTable *cpu_hints = config.usesHints() ? &table : nullptr;
-    Cpu cpu(config, mem, events, interp, cpu_hints);
+    Cpu cpu(config, mem, events, interp, cpu_hints, registry);
 
     const uint64_t warmup =
         options.warmupInstructions == ~0ull
@@ -215,11 +220,11 @@ runWorkload(const std::string &workload_name, SimConfig config,
             : options.warmupInstructions;
 
     ScopedTrace trace(options.obs, events, warmup > 0);
-    ScopedSiteProfile site_profile(options.obs);
+    ScopedSiteProfile site_profile(options.obs, registry);
     if (site_profile.active()) {
         // Net-cycles prices one avoided/suffered miss at a full
         // memory round trip under this run's DRAM timing.
-        obs::SiteProfiler::global().setMissPenalty(
+        obs::SiteProfiler::instance().setMissPenalty(
             config.dram.rowConflictCycles + config.dram.transferCycles);
     }
     std::optional<obs::TimeSeries> series;
@@ -259,12 +264,12 @@ runWorkload(const std::string &workload_name, SimConfig config,
             mem.resetStats();
             if (engine.get())
                 engine->stats().reset();
-            obs::Tracer::global().setWarmup(false);
+            obs::Tracer::instance().setWarmup(false);
             // Restart the site table with the measured window so its
             // column sums reconcile with the post-reset registry
             // totals (warmup-era fills still in flight attribute to
             // the warmup columns via PrefetchFillInfo::warm).
-            obs::SiteProfiler::global().clear();
+            obs::SiteProfiler::instance().clear();
             warm_instructions = cpu.retiredInstructions();
             warm_cycles = cycle;
             measuring = true;
@@ -306,7 +311,7 @@ runWorkload(const std::string &workload_name, SimConfig config,
         assert(!"useful prefetches exceeded prefetch fills");
     }
     result.hints = hint_stats;
-    result.stats = obs::StatRegistry::global().snapshot();
+    result.stats = registry.snapshot();
 
     if (auto *grp_engine = dynamic_cast<GrpEngine *>(engine.get())) {
         const Distribution &sizes = grp_engine->regionSizes();
@@ -320,13 +325,13 @@ runWorkload(const std::string &workload_name, SimConfig config,
 
     const ObsOptions &obs = options.obs;
     if (!obs.statsJsonPath.empty())
-        obs::StatRegistry::global().exportJsonFile(obs.statsJsonPath);
+        registry.exportJsonFile(obs.statsJsonPath);
     if (!obs.statsCsvPath.empty())
-        obs::StatRegistry::global().exportCsvFile(obs.statsCsvPath);
+        registry.exportCsvFile(obs.statsCsvPath);
     if (series)
         series->exportJsonFile(obs.timeseriesPath);
     if (site_profile.active()) {
-        obs::SiteProfiler &prof = obs::SiteProfiler::global();
+        obs::SiteProfiler &prof = obs::SiteProfiler::instance();
         if (!obs.siteProfilePath.empty())
             prof.exportJsonFile(obs.siteProfilePath);
         if (obs.siteReportTop > 0)
@@ -336,7 +341,7 @@ runWorkload(const std::string &workload_name, SimConfig config,
     if (obs.costReport)
         printCostReport(std::cout, mem, config, site_profile.active());
     if (obs.dumpStats)
-        obs::StatRegistry::global().dumpText(std::cout);
+        registry.dumpText(std::cout);
     return result;
 }
 

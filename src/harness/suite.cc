@@ -1,8 +1,11 @@
 #include "harness/suite.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
+#include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -95,6 +98,123 @@ benchOutPath(const std::string &name)
         warn("cannot create %s: %s", dir.string().c_str(),
              ec.message().c_str());
     return (dir / (name + ".json")).string();
+}
+
+BenchSweep::BenchSweep(std::string bench_name)
+    : name_(std::move(bench_name))
+{
+}
+
+size_t
+BenchSweep::add(std::string label, std::function<RunResult()> job)
+{
+    jobs_.push_back(SweepJob{std::move(label), std::move(job)});
+    return jobs_.size() - 1;
+}
+
+size_t
+BenchSweep::addScheme(const std::string &name, PrefetchScheme scheme,
+                      const RunOptions &options, CompilerPolicy policy)
+{
+    std::string label = name + "/" + toString(scheme);
+    if (policy != CompilerPolicy::Default)
+        label += std::string("/") + toString(policy);
+    return add(std::move(label), [name, scheme, options, policy] {
+        return runScheme(name, scheme, options, policy);
+    });
+}
+
+size_t
+BenchSweep::addPerfect(const std::string &name, Perfection perfection,
+                       const RunOptions &options)
+{
+    return add(name + "/" + toString(perfection),
+               [name, perfection, options] {
+                   return runPerfect(name, perfection, options);
+               });
+}
+
+void
+BenchSweep::run()
+{
+    threads_ = defaultSweepThreads();
+    const auto start = std::chrono::steady_clock::now();
+    outcomes_ = runSweep(std::move(jobs_), threads_);
+    totalWallSeconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    jobs_.clear();
+    for (size_t i = 0; i < outcomes_.size(); ++i) {
+        fatal_if(outcomes_[i].failed, "bench %s job %zu failed: %s",
+                 name_.c_str(), i, outcomes_[i].error.c_str());
+    }
+    writeTimings();
+}
+
+const RunResult &
+BenchSweep::result(size_t index) const
+{
+    fatal_if(index >= outcomes_.size(),
+             "bench %s: result(%zu) out of range (ran %zu jobs)",
+             name_.c_str(), index, outcomes_.size());
+    return outcomes_[index].result;
+}
+
+void
+BenchSweep::writeTimings() const
+{
+    // Timing is non-deterministic by nature, so it lives in a sidecar
+    // next to (never inside) the bench's comparable artefact;
+    // bench_manifest.py finish folds the sidecars into manifest.json.
+    const char *env = std::getenv("GRP_BENCH_OUT");
+    std::filesystem::path dir = env && *env ? env : ".";
+    dir /= "timings";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create %s: %s", dir.string().c_str(),
+             ec.message().c_str());
+        return;
+    }
+    const std::filesystem::path path = dir / (name_ + ".json");
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot write %s", path.string().c_str());
+        return;
+    }
+
+    uint64_t instructions = 0;
+    for (const SweepOutcome &outcome : outcomes_)
+        instructions += outcome.result.instructions;
+
+    obs::JsonWriter json(file);
+    json.beginObject();
+    json.kv("schema", "grp-bench-timing-v1");
+    json.kv("bench", name_);
+    json.kv("threads", threads_);
+    json.kv("totalWallSeconds", totalWallSeconds_);
+    json.kv("simulatedInstructions", instructions);
+    json.kv("instructionsPerSecond",
+            totalWallSeconds_ > 0.0
+                ? static_cast<double>(instructions) / totalWallSeconds_
+                : 0.0);
+    json.key("jobs");
+    json.beginArray();
+    for (const SweepOutcome &outcome : outcomes_) {
+        json.beginObject();
+        json.kv("label", outcome.label);
+        json.kv("wallSeconds", outcome.wallSeconds);
+        json.kv("instructions", outcome.result.instructions);
+        json.kv("instructionsPerSecond",
+                outcome.wallSeconds > 0.0
+                    ? static_cast<double>(outcome.result.instructions) /
+                          outcome.wallSeconds
+                    : 0.0);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
 }
 
 } // namespace grp

@@ -7,10 +7,12 @@
 #ifndef GRP_HARNESS_SUITE_HH
 #define GRP_HARNESS_SUITE_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 
 namespace grp
 {
@@ -49,6 +51,57 @@ double gapFromPerfect(const RunResult &run, const RunResult &perfect);
  * (created if missing) or the current directory, plus "<name>.json".
  */
 std::string benchOutPath(const std::string &name);
+
+/**
+ * The bench binaries' front end to the sweep executor.
+ *
+ * Queue every simulation of the bench with add() (the calls only
+ * record jobs), execute them all with run() — GRP_BENCH_THREADS
+ * workers, default hardware concurrency — then read the results by
+ * index in whatever order the bench's tables need. Because results
+ * are keyed by submission index, the bench's stdout and JSON
+ * artefacts are byte-identical at every thread count; only the wall
+ * clock changes. run() also writes a per-job timing sidecar to
+ * $GRP_BENCH_OUT/timings/<bench>.json (ignored by bench_compare.py,
+ * embedded into manifest.json by bench_manifest.py finish).
+ */
+class BenchSweep
+{
+  public:
+    /** @param bench_name Artefact stem, e.g. "tab01_summary". */
+    explicit BenchSweep(std::string bench_name);
+
+    /** Queue one simulation; returns its index for result(). */
+    size_t add(std::string label, std::function<RunResult()> job);
+
+    /** Convenience: queue runScheme(name, scheme, options). */
+    size_t addScheme(const std::string &name, PrefetchScheme scheme,
+                     const RunOptions &options,
+                     CompilerPolicy policy = CompilerPolicy::Default);
+
+    /** Convenience: queue runPerfect(name, perfection, options). */
+    size_t addPerfect(const std::string &name, Perfection perfection,
+                      const RunOptions &options);
+
+    /** Execute every queued job and write the timing sidecar.
+     *  Aborts (fatal) if any job threw. */
+    void run();
+
+    /** Result of the @p index-th add() (valid after run()). */
+    const RunResult &result(size_t index) const;
+
+    unsigned threads() const { return threads_; }
+    double totalWallSeconds() const { return totalWallSeconds_; }
+
+  private:
+    void writeTimings() const;
+
+    std::string name_;
+    std::vector<SweepJob> jobs_;
+    std::vector<SweepOutcome> outcomes_;
+    unsigned threads_ = 0;
+    double totalWallSeconds_ = 0.0;
+};
 
 } // namespace grp
 

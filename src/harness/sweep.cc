@@ -1,0 +1,97 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace grp
+{
+
+namespace
+{
+
+SweepOutcome
+executeJob(const SweepJob &job)
+{
+    SweepOutcome outcome;
+    outcome.label = job.label;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        outcome.result = job.run();
+    } catch (const std::exception &e) {
+        outcome.failed = true;
+        outcome.error = e.what();
+    } catch (...) {
+        outcome.failed = true;
+        outcome.error = "unknown exception";
+    }
+    outcome.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return outcome;
+}
+
+} // namespace
+
+std::vector<SweepOutcome>
+runSweep(std::vector<SweepJob> jobs, unsigned threads)
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    if (threads <= 1 || jobs.size() == 1) {
+        // Serial mode: the calling thread runs every job in order —
+        // bitwise the pre-executor behaviour.
+        for (size_t i = 0; i < jobs.size(); ++i)
+            outcomes[i] = executeJob(jobs[i]);
+        return outcomes;
+    }
+
+    // Bounded pool. Workers claim the next unclaimed job index; each
+    // outcome lands in its job's slot, so result order is job order
+    // regardless of which worker finishes when.
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            outcomes[i] = executeJob(jobs[i]);
+        }
+    };
+
+    const size_t pool =
+        std::min<size_t>(threads, jobs.size());
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (size_t t = 0; t < pool; ++t)
+        workers.emplace_back(worker);
+    for (std::thread &w : workers)
+        w.join();
+    return outcomes;
+}
+
+std::vector<SweepOutcome>
+runSweep(std::vector<SweepJob> jobs)
+{
+    return runSweep(std::move(jobs), defaultSweepThreads());
+}
+
+unsigned
+defaultSweepThreads()
+{
+    if (const char *env = std::getenv("GRP_BENCH_THREADS")) {
+        const long parsed = std::atol(env);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace grp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Parallel sweep execution for the bench harness.
+ *
+ * A sweep is an ordered list of independent simulation jobs (one
+ * (workload, configuration) pair each). runSweep() executes them on a
+ * bounded pool of worker threads and returns the outcomes in job
+ * order, so callers consume results exactly as a serial loop would —
+ * the artefacts a bench writes are byte-identical at any thread
+ * count.
+ *
+ * Isolation: every job builds its own EventQueue, FunctionalMemory,
+ * RNG (seeded from its RunOptions) and — after the registry-threading
+ * refactor — its own StatRegistry, while the remaining per-thread
+ * observability singletons (Tracer, SiteProfiler) are thread_local
+ * and each job runs wholly on one thread. Jobs therefore share no
+ * mutable state and their results cannot depend on scheduling.
+ */
+
+#ifndef GRP_HARNESS_SWEEP_HH
+#define GRP_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace grp
+{
+
+/** One simulation job in a sweep. */
+struct SweepJob
+{
+    /** Identifies the job in timing sidecars ("mcf/GrpVar"). */
+    std::string label;
+    /** Runs the simulation; executed on a worker thread. Must not
+     *  write to shared streams or mutate shared state. */
+    std::function<RunResult()> run;
+};
+
+/** Result of one sweep job, in the order the jobs were submitted. */
+struct SweepOutcome
+{
+    /** Copied from the job, so timing reports survive the job list. */
+    std::string label;
+    RunResult result;
+    /** The job threw; result is default-constructed and error holds
+     *  the exception message. */
+    bool failed = false;
+    std::string error;
+    /** Wall-clock seconds this job took on its worker thread. */
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Execute @p jobs on at most @p threads worker threads and return
+ * one outcome per job, ordered by job index (NOT completion order).
+ * threads <= 1 runs every job inline on the calling thread, exactly
+ * reproducing a serial loop. Exceptions are captured per job; the
+ * sweep always completes.
+ */
+std::vector<SweepOutcome> runSweep(std::vector<SweepJob> jobs,
+                                   unsigned threads);
+
+/** Convenience: runSweep(jobs, defaultSweepThreads()). */
+std::vector<SweepOutcome> runSweep(std::vector<SweepJob> jobs);
+
+/** Worker count benches use: $GRP_BENCH_THREADS if set and positive,
+ *  else std::thread::hardware_concurrency() (min 1). */
+unsigned defaultSweepThreads();
+
+} // namespace grp
+
+#endif // GRP_HARNESS_SWEEP_HH

@@ -8,17 +8,27 @@ namespace grp
 {
 
 Cache::Cache(const CacheConfig &config, const std::string &name,
-             bool lru_insertion)
+             bool lru_insertion, obs::StatRegistry &registry)
     : config_(config),
       numSets_(static_cast<unsigned>(config.sizeBytes /
                                      (config.assoc * kBlockBytes))),
       assoc_(config.assoc),
       lruInsertion_(lru_insertion),
-      stats_(name)
+      stats_(name),
+      statReg_(stats_, registry)
 {
     fatal_if(numSets_ == 0 || !isPowerOfTwo(numSets_),
              "cache set count must be a non-zero power of two");
     lines_.resize(static_cast<size_t>(numSets_) * assoc_);
+    cnt_.accesses = &stats_.counter("accesses");
+    cnt_.hits = &stats_.counter("hits");
+    cnt_.misses = &stats_.counter("misses");
+    cnt_.prefetchHits = &stats_.counter("prefetchHits");
+    cnt_.evictions = &stats_.counter("evictions");
+    cnt_.unusedPrefetchEvictions =
+        &stats_.counter("unusedPrefetchEvictions");
+    cnt_.prefetchFills = &stats_.counter("prefetchFills");
+    cnt_.demandFills = &stats_.counter("demandFills");
 }
 
 unsigned
@@ -34,15 +44,22 @@ Cache::tagOf(Addr addr) const
 }
 
 Cache::Line *
-Cache::findLine(Addr addr)
+Cache::findInSet(unsigned set_idx, Addr tag)
 {
-    const Addr tag = tagOf(addr);
-    Line *set = &lines_[static_cast<size_t>(setIndex(addr)) * assoc_];
+    Line *set = &lines_[static_cast<size_t>(set_idx) * assoc_];
     for (unsigned way = 0; way < assoc_; ++way) {
         if (set[way].valid && set[way].tag == tag)
             return &set[way];
     }
     return nullptr;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const uint64_t block = blockNumber(addr);
+    return findInSet(static_cast<unsigned>(block & (numSets_ - 1)),
+                     block / numSets_);
 }
 
 const Cache::Line *
@@ -52,25 +69,41 @@ Cache::findLine(Addr addr) const
 }
 
 CacheAccessResult
+Cache::touchLine(Line &line, bool is_write)
+{
+    ++*cnt_.hits;
+    bool first_use = false;
+    if (line.prefetched && !line.referenced) {
+        line.referenced = true;
+        first_use = true;
+        ++*cnt_.prefetchHits;
+    }
+    line.lruStamp = nextStamp_++;
+    if (is_write)
+        line.dirty = true;
+    return {true, first_use};
+}
+
+CacheAccessResult
 Cache::access(Addr addr, bool is_write)
 {
-    ++stats_.counter("accesses");
+    ++*cnt_.accesses;
     Line *line = findLine(addr);
     if (!line) {
-        ++stats_.counter("misses");
+        ++*cnt_.misses;
         return {false, false};
     }
-    ++stats_.counter("hits");
-    bool first_use = false;
-    if (line->prefetched && !line->referenced) {
-        line->referenced = true;
-        first_use = true;
-        ++stats_.counter("prefetchHits");
-    }
-    line->lruStamp = nextStamp_++;
-    if (is_write)
-        line->dirty = true;
-    return {true, first_use};
+    return touchLine(*line, is_write);
+}
+
+CacheAccessResult
+Cache::accessIfPresent(Addr addr, bool is_write)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return {false, false}; // Probe only: nothing counted.
+    ++*cnt_.accesses;
+    return touchLine(*line, is_write);
 }
 
 bool
@@ -89,57 +122,81 @@ Cache::containsUnusedPrefetch(Addr addr) const
 std::optional<Eviction>
 Cache::insert(Addr addr, bool as_prefetch, bool dirty)
 {
-    // Re-inserting a present block only updates its state.
-    if (Line *line = findLine(addr)) {
-        line->dirty = line->dirty || dirty;
-        return std::nullopt;
-    }
+    const uint64_t block = blockNumber(addr);
+    const unsigned set_idx =
+        static_cast<unsigned>(block & (numSets_ - 1));
+    const Addr tag = block / numSets_;
+    Line *set = &lines_[static_cast<size_t>(set_idx) * assoc_];
 
-    Line *set = &lines_[static_cast<size_t>(setIndex(addr)) * assoc_];
-    Line *victim = nullptr;
+    // One pass over the set finds the re-insertion hit, the victim
+    // (first invalid way, else earliest-scanned minimum stamp) and
+    // the two smallest valid stamps, so the LRU-insertion stamp needs
+    // no second walk.
+    Line *present = nullptr;
+    Line *free_way = nullptr;
+    Line *lru_way = nullptr;
+    uint64_t min_stamp = ~0ull, second_stamp = ~0ull;
     for (unsigned way = 0; way < assoc_; ++way) {
         Line &line = set[way];
         if (!line.valid) {
-            victim = &line;
+            if (!free_way)
+                free_way = &line;
+            continue;
+        }
+        if (line.tag == tag) {
+            present = &line;
             break;
         }
-        if (!victim || line.lruStamp < victim->lruStamp)
-            victim = &line;
+        if (!lru_way || line.lruStamp < lru_way->lruStamp)
+            lru_way = &line;
+        if (line.lruStamp < min_stamp) {
+            second_stamp = min_stamp;
+            min_stamp = line.lruStamp;
+        } else if (line.lruStamp < second_stamp) {
+            second_stamp = line.lruStamp;
+        }
     }
 
+    // Re-inserting a present block only updates its state.
+    if (present) {
+        present->dirty = present->dirty || dirty;
+        return std::nullopt;
+    }
+
+    Line *victim = free_way ? free_way : lru_way;
     std::optional<Eviction> evicted;
     if (victim->valid) {
         evicted = Eviction{
-            (victim->tag * numSets_ + setIndex(addr)) << kBlockShift,
+            (victim->tag * numSets_ + set_idx) << kBlockShift,
             victim->dirty,
             victim->prefetched && !victim->referenced,
         };
-        ++stats_.counter("evictions");
+        ++*cnt_.evictions;
         if (evicted->wasUnusedPrefetch)
-            ++stats_.counter("unusedPrefetchEvictions");
+            ++*cnt_.unusedPrefetchEvictions;
     }
 
     victim->valid = true;
-    victim->tag = tagOf(addr);
+    victim->tag = tag;
     victim->dirty = dirty;
     victim->prefetched = as_prefetch;
     victim->referenced = !as_prefetch;
 
     if (as_prefetch && lruInsertion_) {
-        // LRU position: stamp below every other valid line in the set.
-        uint64_t min_stamp = nextStamp_;
-        for (unsigned way = 0; way < assoc_; ++way) {
-            if (&set[way] != victim && set[way].valid)
-                min_stamp = std::min(min_stamp, set[way].lruStamp);
-        }
-        victim->lruStamp = min_stamp > 0 ? min_stamp - 1 : 0;
-        ++stats_.counter("prefetchFills");
+        // LRU position: stamp below every other valid line in the
+        // set. When the victim itself was valid its stamp was the
+        // set minimum, so the surviving minimum is the second one.
+        const uint64_t other_min = free_way ? min_stamp : second_stamp;
+        const uint64_t floor_stamp =
+            other_min == ~0ull ? nextStamp_ : other_min;
+        victim->lruStamp = floor_stamp > 0 ? floor_stamp - 1 : 0;
+        ++*cnt_.prefetchFills;
     } else {
         victim->lruStamp = nextStamp_++;
         if (as_prefetch)
-            ++stats_.counter("prefetchFills");
+            ++*cnt_.prefetchFills;
         else
-            ++stats_.counter("demandFills");
+            ++*cnt_.demandFills;
     }
     return evicted;
 }

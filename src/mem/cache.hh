@@ -48,9 +48,12 @@ class Cache
      * @param name Statistics group name (e.g. "l1d", "l2").
      * @param lru_insertion Insert prefetches at LRU (paper default)
      *        rather than MRU (ablation knob).
+     * @param registry Stat registry to register into (defaults to the
+     *        calling thread's).
      */
     Cache(const CacheConfig &config, const std::string &name,
-          bool lru_insertion = true);
+          bool lru_insertion = true,
+          obs::StatRegistry &registry = obs::StatRegistry::current());
 
     /**
      * Demand access for a read or write; updates LRU state and marks
@@ -58,6 +61,16 @@ class Cache
      * promoted to MRU and count as useful.
      */
     CacheAccessResult access(Addr addr, bool is_write);
+
+    /**
+     * Single-walk fusion of contains() + access(): one set/tag
+     * computation and one way scan. On a hit it behaves exactly like
+     * access() (LRU promotion, dirty marking, first-use detection,
+     * accesses/hits counters); on a miss it behaves exactly like
+     * contains() — no state change and *no counter bumps* (the
+     * returned result has hit == false and nothing was recorded).
+     */
+    CacheAccessResult accessIfPresent(Addr addr, bool is_write);
 
     /** Tag probe without any state update. */
     bool contains(Addr addr) const;
@@ -107,8 +120,11 @@ class Cache
 
     unsigned setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    /** Way holding @p tag within set @p set_idx, or nullptr. */
+    Line *findInSet(unsigned set_idx, Addr tag);
     Line *findLine(Addr addr);
     const Line *findLine(Addr addr) const;
+    CacheAccessResult touchLine(Line &line, bool is_write);
 
     CacheConfig config_;
     unsigned numSets_;
@@ -117,7 +133,23 @@ class Cache
     uint64_t nextStamp_ = 1;
     std::vector<Line> lines_; ///< numSets_ * assoc_, set-major.
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
+
+    /** Cached counter handles: the name lookups happen once, at
+     *  construction; the access path pays a pointer increment.
+     *  Counter storage is stable across StatGroup::reset(). */
+    struct HotCounters
+    {
+        Counter *accesses = nullptr;
+        Counter *hits = nullptr;
+        Counter *misses = nullptr;
+        Counter *prefetchHits = nullptr;
+        Counter *evictions = nullptr;
+        Counter *unusedPrefetchEvictions = nullptr;
+        Counter *prefetchFills = nullptr;
+        Counter *demandFills = nullptr;
+    };
+    HotCounters cnt_;
 };
 
 } // namespace grp

@@ -5,13 +5,15 @@
 namespace grp
 {
 
-DramSystem::DramSystem(const DramConfig &config)
+DramSystem::DramSystem(const DramConfig &config,
+                       obs::StatRegistry &registry)
     : config_(config),
       channelShift_(floorLog2(config.channels)),
       blocksPerRow_(config.rowBytes / kBlockBytes),
       blocksPerRowShift_(floorLog2(config.rowBytes / kBlockBytes)),
       bankShift_(floorLog2(config.banksPerChannel)),
-      stats_("dram")
+      stats_("dram"),
+      statReg_(stats_, registry)
 {
     fatal_if(!isPowerOfTwo(config.channels) ||
              !isPowerOfTwo(config.banksPerChannel) ||
@@ -31,6 +33,9 @@ DramSystem::DramSystem(const DramConfig &config)
         &stats_.counter("contentionIdleCycles"),
     };
     demandStallCounter_ = &stats_.counter("contentionDemandStallCycles");
+    rowHitCounter_ = &stats_.counter("rowHits");
+    rowConflictCounter_ = &stats_.counter("rowConflicts");
+    transferCounter_ = &stats_.counter("transfers");
     cycleCounters_.resize(config.channels);
     for (unsigned ch = 0; ch < config.channels; ++ch) {
         const std::string prefix = "ch" + std::to_string(ch);
@@ -103,10 +108,10 @@ DramSystem::serve(Addr addr, Tick now, ReqClass cls, RefId ref,
     unsigned access;
     if (bank.openRow == row) {
         access = config_.rowHitCycles;
-        ++stats_.counter("rowHits");
+        ++*rowHitCounter_;
     } else {
         access = config_.rowConflictCycles;
-        ++stats_.counter("rowConflicts");
+        ++*rowConflictCounter_;
         bank.openRow = row;
     }
 
@@ -120,7 +125,7 @@ DramSystem::serve(Addr addr, Tick now, ReqClass cls, RefId ref,
     channel.occupantRef = ref;
     channel.occupantHint = hint;
     ++transfers_;
-    ++stats_.counter("transfers");
+    ++*transferCounter_;
     return done;
 }
 

@@ -28,7 +28,9 @@ namespace grp
 class DramSystem
 {
   public:
-    explicit DramSystem(const DramConfig &config);
+    explicit DramSystem(const DramConfig &config,
+                        obs::StatRegistry &registry =
+                            obs::StatRegistry::current());
 
     /** Channel servicing @p addr (block interleaved). */
     unsigned channelOf(Addr addr) const;
@@ -152,9 +154,13 @@ class DramSystem
     /** Aggregate demand/prefetch/writeback/idle cycle counters. */
     std::array<Counter *, 4> contentionCounters_{};
     Counter *demandStallCounter_ = nullptr;
+    /** Per-serve() counters, cached for the same reason. */
+    Counter *rowHitCounter_ = nullptr;
+    Counter *rowConflictCounter_ = nullptr;
+    Counter *transferCounter_ = nullptr;
     uint64_t transfers_ = 0;
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
 };
 
 } // namespace grp

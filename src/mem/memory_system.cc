@@ -13,10 +13,12 @@ namespace
 constexpr uint64_t kStoreToken = ~0ull;
 } // namespace
 
-MemorySystem::MemorySystem(const SimConfig &config, EventQueue &events)
+MemorySystem::MemorySystem(const SimConfig &config, EventQueue &events,
+                           obs::StatRegistry &registry)
     : config_(config),
       events_(events),
-      stats_("mem")
+      stats_("mem"),
+      statReg_(stats_, registry)
 {
     config_.validate();
     // Registered up front so it exports as an explicit zero: a
@@ -24,18 +26,49 @@ MemorySystem::MemorySystem(const SimConfig &config, EventQueue &events)
     // harness/runner.cc), which must be countable, not just logged.
     stats_.counter("accuracyClampEvents");
     l1d_ = std::make_unique<Cache>(config.l1d, "l1d",
-                                   config.region.lruInsertion);
+                                   config.region.lruInsertion, registry);
     l2_ = std::make_unique<Cache>(config.l2, "l2",
-                                  config.region.lruInsertion);
+                                  config.region.lruInsertion, registry);
     l1Mshrs_ = std::make_unique<MshrFile>(config.l1d.mshrs,
                                           config.l1d.mshrTargets,
-                                          "l1dMshrs");
+                                          "l1dMshrs", registry);
     l2Mshrs_ = std::make_unique<MshrFile>(config.l2.mshrs,
                                           config.l2.mshrTargets,
-                                          "l2Mshrs");
-    dram_ = std::make_unique<DramSystem>(config.dram);
+                                          "l2Mshrs", registry);
+    dram_ = std::make_unique<DramSystem>(config.dram, registry);
     demandQueues_.resize(config.dram.channels);
     writebackQueues_.resize(config.dram.channels);
+
+    // Registered up front (and cached: Counter storage is stable
+    // across reset()) so the per-access accounting is a pointer
+    // increment, never a string-keyed map lookup.
+    hot_.l1DemandAccesses = &stats_.counter("l1DemandAccesses");
+    hot_.l1DemandMisses = &stats_.counter("l1DemandMisses");
+    hot_.l1TargetStalls = &stats_.counter("l1TargetStalls");
+    hot_.l1MshrStalls = &stats_.counter("l1MshrStalls");
+    hot_.l2DemandAccesses = &stats_.counter("l2DemandAccesses");
+    hot_.l2DemandHits = &stats_.counter("l2DemandHits");
+    hot_.l2DemandMissesTotal = &stats_.counter("l2DemandMissesTotal");
+    hot_.streamHits = &stats_.counter("streamHits");
+    hot_.latePrefetchUpgrades = &stats_.counter("latePrefetchUpgrades");
+    hot_.l2TargetStalls = &stats_.counter("l2TargetStalls");
+    hot_.l2MshrStalls = &stats_.counter("l2MshrStalls");
+    hot_.demandToMemory = &stats_.counter("demandToMemory");
+    hot_.demandFills = &stats_.counter("demandFills");
+    hot_.prefetchFills = &stats_.counter("prefetchFills");
+    hot_.writebacks = &stats_.counter("writebacks");
+    hot_.writebacksQueued = &stats_.counter("writebacksQueued");
+    hot_.prefetchEvictedUnused = &stats_.counter("prefetchEvictedUnused");
+    hot_.usefulPrefetches = &stats_.counter("usefulPrefetches");
+    hot_.usefulPrefetchWarmupCarryover =
+        &stats_.counter("usefulPrefetchWarmupCarryover");
+    hot_.prefetchDemandThrottled =
+        &stats_.counter("prefetchDemandThrottled");
+    hot_.prefetchMshrThrottled = &stats_.counter("prefetchMshrThrottled");
+    hot_.prefetchFiltered = &stats_.counter("prefetchFiltered");
+    hot_.prefetchesIssued = &stats_.counter("prefetchesIssued");
+    hot_.prefetchToUseDistance =
+        &stats_.distribution("prefetchToUseDistance");
 }
 
 uint8_t
@@ -61,15 +94,15 @@ MemorySystem::load(Addr addr, RefId ref, const LoadHints &hints,
                    uint64_t token)
 {
     if (config_.perfection == Perfection::PerfectL1) {
-        ++stats_.counter("l1DemandAccesses");
+        ++*hot_.l1DemandAccesses;
         events_.scheduleIn(config_.l1d.latency,
                            [this, token] { loadDone_(token); });
         return true;
     }
 
-    if (l1d_->contains(blockAlign(addr))) {
-        ++stats_.counter("l1DemandAccesses");
-        l1d_->access(addr, false);
+    // Single tag walk: probe and (on a hit) touch in one pass.
+    if (l1d_->accessIfPresent(addr, false).hit) {
+        ++*hot_.l1DemandAccesses;
         events_.scheduleIn(config_.l1d.latency,
                            [this, token] { loadDone_(token); });
         return true;
@@ -77,8 +110,8 @@ MemorySystem::load(Addr addr, RefId ref, const LoadHints &hints,
 
     if (!handleL1Miss(addr, ref, hints, token, false))
         return false;
-    ++stats_.counter("l1DemandAccesses");
-    ++stats_.counter("l1DemandMisses");
+    ++*hot_.l1DemandAccesses;
+    ++*hot_.l1DemandMisses;
     return true;
 }
 
@@ -86,20 +119,19 @@ bool
 MemorySystem::store(Addr addr, RefId ref, const LoadHints &hints)
 {
     if (config_.perfection == Perfection::PerfectL1) {
-        ++stats_.counter("l1DemandAccesses");
+        ++*hot_.l1DemandAccesses;
         return true;
     }
 
-    if (l1d_->contains(blockAlign(addr))) {
-        ++stats_.counter("l1DemandAccesses");
-        l1d_->access(addr, true);
+    if (l1d_->accessIfPresent(addr, true).hit) {
+        ++*hot_.l1DemandAccesses;
         return true;
     }
 
     if (!handleL1Miss(addr, ref, hints, kStoreToken, true))
         return false;
-    ++stats_.counter("l1DemandAccesses");
-    ++stats_.counter("l1DemandMisses");
+    ++*hot_.l1DemandAccesses;
+    ++*hot_.l1DemandMisses;
     return true;
 }
 
@@ -113,14 +145,14 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     // Coalesce onto an existing outstanding L1 miss.
     if (Mshr *mshr = l1Mshrs_->find(block)) {
         if (!l1Mshrs_->addTarget(*mshr, target)) {
-            ++stats_.counter("l1TargetStalls");
+            ++*hot_.l1TargetStalls;
             return false;
         }
         return true;
     }
 
     if (l1Mshrs_->full()) {
-        ++stats_.counter("l1MshrStalls");
+        ++*hot_.l1MshrStalls;
         return false;
     }
 
@@ -137,8 +169,12 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     // The L2 sees only the clean-read side of a store miss: the store
     // data lands in the L1 copy (write-allocate); the L2 copy stays
     // clean until the L1 victim is written back.
-    ++stats_.counter("l2DemandAccesses");
-    const bool l2_hit = l2_->contains(block);
+    ++*hot_.l2DemandAccesses;
+    // Single tag walk: probe and (on a hit) touch in one pass. The
+    // first-use-of-prefetch outcome is applied after the engine
+    // callback below to preserve the original notification order.
+    const CacheAccessResult l2_res = l2_->accessIfPresent(block, false);
+    const bool l2_hit = l2_res.hit;
     if (shadow_)
         classifyDemandAccess(block, l2_hit);
 
@@ -146,8 +182,8 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
         engine_->onL2DemandAccess(block, ref, hints, l2_hit);
 
     if (l2_hit) {
-        ++stats_.counter("l2DemandHits");
-        if (l2_->access(block, false).firstUseOfPrefetch)
+        ++*hot_.l2DemandHits;
+        if (l2_res.firstUseOfPrefetch)
             notePrefetchUseful(block);
         Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
                                         events_.curTick());
@@ -156,11 +192,11 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
         return true;
     }
 
-    ++stats_.counter("l2DemandMissesTotal");
+    ++*hot_.l2DemandMissesTotal;
 
     // Stream-buffer short circuit (stride prefetcher).
     if (engine_ && engine_->streamHit(block)) {
-        ++stats_.counter("streamHits");
+        ++*hot_.streamHits;
         insertIntoL2(block, true, false, ref, obs::HintClass::Stride);
         // The buffer was armed by the same static reference that now
         // consumes the block, so the demand's ref is the site.
@@ -188,10 +224,10 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
                  "demand L2 MSHR without an L1 MSHR for block %#llx",
                  (unsigned long long)block);
         if (!l2Mshrs_->addTarget(*l2_mshr, target)) {
-            ++stats_.counter("l2TargetStalls");
+            ++*hot_.l2TargetStalls;
             return false;
         }
-        ++stats_.counter("latePrefetchUpgrades");
+        ++*hot_.latePrefetchUpgrades;
         Mshr &mshr = l1Mshrs_->allocate(block, false, hints, 0,
                                         events_.curTick());
         l1Mshrs_->addTarget(mshr, target);
@@ -199,12 +235,12 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     }
 
     if (l2Mshrs_->full()) {
-        ++stats_.counter("l2MshrStalls");
+        ++*hot_.l2MshrStalls;
         return false;
     }
 
     // Full miss: allocate both MSHRs and queue the DRAM request.
-    ++stats_.counter("demandToMemory");
+    ++*hot_.demandToMemory;
     const uint8_t depth = demandPtrDepth(hints);
     Mshr &l2_mshr = l2Mshrs_->allocate(block, false, hints, depth,
                                        events_.curTick());
@@ -276,7 +312,7 @@ MemorySystem::notePrefetchUseful(Addr block_addr)
         // No fill record (state carried across a reset()): attribute
         // conservatively as carryover so measured accuracy stays a
         // fills-vs-uses ratio over the same window.
-        ++stats_.counter("usefulPrefetchWarmupCarryover");
+        ++*hot_.usefulPrefetchWarmupCarryover;
         GRP_TRACE(1, obs::TraceEvent::FirstUse, block_addr,
                   obs::HintClass::None, -1, -1, true);
         GRP_PROFILE(noteUseful(kInvalidRefId, obs::HintClass::None, 0,
@@ -289,10 +325,10 @@ MemorySystem::notePrefetchUseful(Addr block_addr)
     const uint64_t distance = std::min<uint64_t>(
         events_.curTick() - info.fillTick, kDistanceCap);
     if (info.warm) {
-        ++stats_.counter("usefulPrefetchWarmupCarryover");
+        ++*hot_.usefulPrefetchWarmupCarryover;
     } else {
-        ++stats_.counter("usefulPrefetches");
-        stats_.distribution("prefetchToUseDistance").sample(distance);
+        ++*hot_.usefulPrefetches;
+        hot_.prefetchToUseDistance->sample(distance);
     }
     GRP_TRACE(1, obs::TraceEvent::FirstUse, block_addr, info.hint, -1,
               static_cast<int64_t>(distance), info.warm, info.ref);
@@ -316,7 +352,7 @@ MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty,
                   hint, -1, -1, false, ref);
     }
     if (evicted && evicted->wasUnusedPrefetch) {
-        ++stats_.counter("prefetchEvictedUnused");
+        ++*hot_.prefetchEvictedUnused;
         auto it = livePrefetches_.find(evicted->blockAddr);
         const obs::HintClass hint = it != livePrefetches_.end()
                                         ? it->second.hint
@@ -338,7 +374,7 @@ MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty,
         wb.cls = ReqClass::Writeback;
         wb.enqueued = events_.curTick();
         writebackQueues_[dram_->channelOf(wb.blockAddr)].push_back(wb);
-        ++stats_.counter("writebacksQueued");
+        ++*hot_.writebacksQueued;
     }
 }
 
@@ -459,13 +495,13 @@ MemorySystem::startDramAccess(unsigned channel, const MemRequest &req)
 
     switch (req.cls) {
       case ReqClass::Demand:
-        ++stats_.counter("demandFills");
+        ++*hot_.demandFills;
         break;
       case ReqClass::Prefetch:
-        ++stats_.counter("prefetchFills");
+        ++*hot_.prefetchFills;
         break;
       case ReqClass::Writeback:
-        ++stats_.counter("writebacks");
+        ++*hot_.writebacks;
         return; // Writebacks need no completion handling.
     }
 
@@ -523,14 +559,14 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
     // prefetches thus contend with demands only when the demand
     // arrived after the prefetch had already been issued to DRAM.
     if (l2Mshrs_->demandInFlight() > 0) {
-        ++stats_.counter("prefetchDemandThrottled");
+        ++*hot_.prefetchDemandThrottled;
         GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
                   static_cast<int>(channel), 0);
         return false;
     }
     for (const auto &queue : demandQueues_) {
         if (!queue.empty()) {
-            ++stats_.counter("prefetchDemandThrottled");
+            ++*hot_.prefetchDemandThrottled;
             GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
                       static_cast<int>(channel), 1);
             return false;
@@ -538,7 +574,7 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
     }
     if (l2Mshrs_->capacity() - l2Mshrs_->inFlight() <=
         kDemandReservedMshrs) {
-        ++stats_.counter("prefetchMshrThrottled");
+        ++*hot_.prefetchMshrThrottled;
         GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
                   static_cast<int>(channel), 2);
         return false;
@@ -552,7 +588,7 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
         panic_if(dram_->channelOf(block) != channel,
                  "engine offered a candidate for the wrong channel");
         if (l2_->contains(block) || l2Mshrs_->find(block)) {
-            ++stats_.counter("prefetchFiltered");
+            ++*hot_.prefetchFiltered;
             GRP_TRACE(2, obs::TraceEvent::Filtered, block,
                       candidate->hintClass, static_cast<int>(channel),
                       -1, false, candidate->refId);
@@ -570,7 +606,7 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
         req.hintClass = candidate->hintClass;
         req.enqueued = events_.curTick();
         startDramAccess(channel, req);
-        ++stats_.counter("prefetchesIssued");
+        ++*hot_.prefetchesIssued;
         GRP_TRACE(1, obs::TraceEvent::Issue, block, candidate->hintClass,
                   static_cast<int>(channel), candidate->ptrDepth, false,
                   candidate->refId);

@@ -45,7 +45,13 @@ class MemorySystem
     /** Called when an outstanding load's data is ready. */
     using LoadCallback = std::function<void(uint64_t token)>;
 
-    MemorySystem(const SimConfig &config, EventQueue &events);
+    /** @param registry Stat registry the hierarchy (and every
+     *         subcomponent) registers into; defaults to the calling
+     *         thread's, so per-run registries isolate concurrent
+     *         simulations. */
+    MemorySystem(const SimConfig &config, EventQueue &events,
+                 obs::StatRegistry &registry =
+                     obs::StatRegistry::current());
 
     /** Attach the engine selected by the configuration (may be
      *  nullptr for no prefetching). Not owned. */
@@ -219,8 +225,41 @@ class MemorySystem
     };
     PollutionCounters pol_;
 
+    /** Cached hot-path counter handles (mem.*): looked up by name
+     *  once at construction, bumped through pointers on every
+     *  access/fill/arbitration event. Counter storage is stable
+     *  across StatGroup::reset(). */
+    struct HotCounters
+    {
+        Counter *l1DemandAccesses = nullptr;
+        Counter *l1DemandMisses = nullptr;
+        Counter *l1TargetStalls = nullptr;
+        Counter *l1MshrStalls = nullptr;
+        Counter *l2DemandAccesses = nullptr;
+        Counter *l2DemandHits = nullptr;
+        Counter *l2DemandMissesTotal = nullptr;
+        Counter *streamHits = nullptr;
+        Counter *latePrefetchUpgrades = nullptr;
+        Counter *l2TargetStalls = nullptr;
+        Counter *l2MshrStalls = nullptr;
+        Counter *demandToMemory = nullptr;
+        Counter *demandFills = nullptr;
+        Counter *prefetchFills = nullptr;
+        Counter *writebacks = nullptr;
+        Counter *writebacksQueued = nullptr;
+        Counter *prefetchEvictedUnused = nullptr;
+        Counter *usefulPrefetches = nullptr;
+        Counter *usefulPrefetchWarmupCarryover = nullptr;
+        Counter *prefetchDemandThrottled = nullptr;
+        Counter *prefetchMshrThrottled = nullptr;
+        Counter *prefetchFiltered = nullptr;
+        Counter *prefetchesIssued = nullptr;
+        Distribution *prefetchToUseDistance = nullptr;
+    };
+    HotCounters hot_;
+
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
 };
 
 } // namespace grp

@@ -6,14 +6,20 @@ namespace grp
 {
 
 MshrFile::MshrFile(unsigned entries, unsigned max_targets,
-                   const std::string &name)
+                   const std::string &name,
+                   obs::StatRegistry &registry)
     : entries_(entries),
       size_(entries),
       maxTargets_(max_targets),
       freeCount_(entries),
-      stats_(name)
+      stats_(name),
+      statReg_(stats_, registry)
 {
     fatal_if(entries == 0, "MSHR file needs at least one entry");
+    prefetchAllocs_ = &stats_.counter("prefetchAllocs");
+    demandAllocs_ = &stats_.counter("demandAllocs");
+    prefetchUpgrades_ = &stats_.counter("prefetchUpgrades");
+    coalescedTargets_ = &stats_.counter("coalescedTargets");
 }
 
 Mshr *
@@ -54,7 +60,7 @@ MshrFile::allocate(Addr addr, bool is_prefetch, const LoadHints &hints,
         --freeCount_;
         if (!is_prefetch)
             ++demandCount_;
-        ++stats_.counter(is_prefetch ? "prefetchAllocs" : "demandAllocs");
+        ++*(is_prefetch ? prefetchAllocs_ : demandAllocs_);
         return entry;
     }
     panic("MSHR bookkeeping out of sync");
@@ -69,9 +75,9 @@ MshrFile::addTarget(Mshr &entry, const MshrTarget &target)
     if (entry.isPrefetch) {
         entry.isPrefetch = false;
         ++demandCount_;
-        ++stats_.counter("prefetchUpgrades");
+        ++*prefetchUpgrades_;
     }
-    ++stats_.counter("coalescedTargets");
+    ++*coalescedTargets_;
     return true;
 }
 

@@ -47,7 +47,8 @@ class MshrFile
 {
   public:
     MshrFile(unsigned entries, unsigned max_targets,
-             const std::string &name);
+             const std::string &name,
+             obs::StatRegistry &registry = obs::StatRegistry::current());
 
     /** Entry tracking @p addr's block, or nullptr. */
     Mshr *find(Addr addr);
@@ -88,7 +89,13 @@ class MshrFile
     unsigned freeCount_;
     unsigned demandCount_ = 0;
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
+
+    /** Cached counter handles (lookup once at construction). */
+    Counter *prefetchAllocs_ = nullptr;
+    Counter *demandAllocs_ = nullptr;
+    Counter *prefetchUpgrades_ = nullptr;
+    Counter *coalescedTargets_ = nullptr;
 };
 
 } // namespace grp

@@ -13,9 +13,9 @@ namespace obs
 {
 
 SiteProfiler &
-SiteProfiler::global()
+SiteProfiler::instance()
 {
-    static SiteProfiler profiler;
+    thread_local SiteProfiler profiler;
     return profiler;
 }
 

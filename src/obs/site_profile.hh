@@ -119,13 +119,14 @@ struct SiteCounters
     }
 };
 
-/** The process-wide per-site profiler (mirrors Tracer's lifecycle:
+/** The per-thread per-site profiler (mirrors Tracer's lifecycle:
  *  the harness enables it for one run and clears it at the
- *  measurement boundary). */
+ *  measurement boundary; per-thread so concurrent sweep jobs
+ *  profile independently). */
 class SiteProfiler
 {
   public:
-    static SiteProfiler &global();
+    static SiteProfiler &instance();
 
     SiteProfiler() : stats_("siteProfile") {}
     SiteProfiler(const SiteProfiler &) = delete;
@@ -207,7 +208,7 @@ class SiteProfiler
     do {                                                              \
         if constexpr (GRP_TRACE_MAX_LEVEL > 0) {                      \
             ::grp::obs::SiteProfiler &prof_ =                         \
-                ::grp::obs::SiteProfiler::global();                   \
+                ::grp::obs::SiteProfiler::instance();                 \
             if (prof_.enabled())                                      \
                 prof_.__VA_ARGS__;                                    \
         }                                                             \

@@ -43,9 +43,9 @@ summarise(const Distribution &dist)
 }
 
 StatRegistry &
-StatRegistry::global()
+StatRegistry::current()
 {
-    static StatRegistry registry;
+    thread_local StatRegistry registry;
     return registry;
 }
 

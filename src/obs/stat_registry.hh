@@ -1,12 +1,16 @@
 /**
  * @file
- * A process-wide registry of every live StatGroup.
+ * A registry of every live StatGroup in one simulation.
  *
  * Components (caches, MSHR files, DRAM, the memory system, the CPU,
  * the prefetch queue and every prefetch engine) register their stat
  * group on construction via a ScopedStatRegistration member and
  * deregister on destruction, so at any point the registry describes
- * exactly the live simulation. The registry renders every group as
+ * exactly the live simulation. Registries are per-run values, not a
+ * process singleton: the harness creates one per runWorkload() call
+ * and threads it through the component constructors, and components
+ * built without an explicit registry fall back to the calling
+ * thread's StatRegistry::current(). The registry renders every group as
  * text (the historical dump format), JSON or CSV, and can snapshot
  * all values into a plain-data StatSnapshot that outlives the
  * components — the harness populates RunResult from such a snapshot.
@@ -60,8 +64,15 @@ struct StatSnapshot
 class StatRegistry
 {
   public:
-    /** The process-wide registry every component registers into. */
-    static StatRegistry &global();
+    /**
+     * The calling thread's default registry. Components that are not
+     * handed an explicit registry register here, so two simulations
+     * can coexist in one process as long as they live on different
+     * threads (the sweep executor gives every job its own thread) or
+     * pass explicit registries. There is deliberately no process-wide
+     * singleton any more.
+     */
+    static StatRegistry &current();
 
     StatRegistry() = default;
     StatRegistry(const StatRegistry &) = delete;
@@ -120,7 +131,7 @@ class ScopedStatRegistration
 {
   public:
     explicit ScopedStatRegistration(StatGroup &group)
-        : ScopedStatRegistration(group, StatRegistry::global())
+        : ScopedStatRegistration(group, StatRegistry::current())
     {}
 
     ScopedStatRegistration(StatGroup &group, StatRegistry &registry)

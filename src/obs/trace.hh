@@ -2,7 +2,7 @@
  * @file
  * Prefetch lifecycle tracing.
  *
- * A process-wide, low-overhead event sink that records each
+ * A per-thread, low-overhead event sink that records each
  * prefetch's full arc as one JSON object per line (JSONL):
  * the hint class that triggered it, queue enqueue / drop, memory
  * channel issue vs. demand-priority stall, fill, and finally
@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "sim/types.hh"
@@ -110,11 +111,17 @@ struct TraceRecord
     RefId site;
 };
 
-/** The process-wide JSONL trace sink. */
+/** The per-thread JSONL trace sink. */
 class Tracer
 {
   public:
-    static Tracer &global();
+    /**
+     * The calling thread's tracer. Per-thread rather than
+     * process-wide so concurrent sweep jobs (one job per pool
+     * thread) trace independently; each run opens, flips and closes
+     * its own sink via ScopedTrace.
+     */
+    static Tracer &instance();
 
     Tracer() = default;
     ~Tracer();
@@ -123,10 +130,13 @@ class Tracer
 
     /** Start writing to @p path (truncates); enables emission once a
      *  level > 0 is set. Returns false when the file cannot be
-     *  opened. */
+     *  opened. The stream gets a large (256 KB) output buffer so
+     *  records pay one memcpy, not one syscall, each. */
     bool open(const std::string &path);
 
-    /** Flush and close the sink; tracing reverts to disabled. */
+    /** Flush and close the sink; tracing reverts to disabled.
+     *  Also runs on destruction, so buffered records are never
+     *  lost. */
     void close();
 
     void setLevel(int level) { level_ = level; }
@@ -153,7 +163,14 @@ class Tracer
     uint64_t recordsWritten() const { return records_; }
 
   private:
+    /** stdio stream buffer size; large enough that --trace runs do
+     *  a filesystem write every few thousand records, not every
+     *  record. */
+    static constexpr size_t kStreamBufBytes = 256 * 1024;
+
     std::FILE *out_ = nullptr;
+    /** Backing storage handed to setvbuf(); must outlive out_. */
+    std::unique_ptr<char[]> iobuf_;
     int level_ = 0;
     const EventQueue *clock_ = nullptr;
     bool warmup_ = false;
@@ -174,7 +191,8 @@ class Tracer
 #define GRP_TRACE(lvl, ...)                                           \
     do {                                                              \
         if constexpr ((lvl) <= GRP_TRACE_MAX_LEVEL) {                 \
-            ::grp::obs::Tracer &tracer_ = ::grp::obs::Tracer::global(); \
+            ::grp::obs::Tracer &tracer_ =                             \
+                ::grp::obs::Tracer::instance();                       \
             if (tracer_.enabled(lvl))                                 \
                 tracer_.record(::grp::obs::TraceRecord(__VA_ARGS__)); \
         }                                                             \

@@ -7,16 +7,23 @@ namespace grp
 {
 
 HwPrefetchEngine::HwPrefetchEngine(const SimConfig &config,
-                                   const FunctionalMemory &mem)
+                                   const FunctionalMemory &mem,
+                                   obs::StatRegistry &registry)
     : config_(config),
       queue_(config.region.queueEntries, config.region.lifo,
-             config.region.bankAware),
+             config.region.bankAware, registry),
       scanner_(mem),
-      stats_("hwEngine")
+      stats_("hwEngine"),
+      statReg_(stats_, registry)
 {
     fatal_if(config.usesHints(),
              "HwPrefetchEngine cannot run hint-based schemes; "
              "use GrpEngine");
+    regionsAllocated_ = &stats_.counter("regionsAllocated");
+    regionsUpdated_ = &stats_.counter("regionsUpdated");
+    linesScanned_ = &stats_.counter("linesScanned");
+    pointersFound_ = &stats_.counter("pointersFound");
+    candidatesOffered_ = &stats_.counter("candidatesOffered");
 }
 
 bool
@@ -54,9 +61,9 @@ HwPrefetchEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &)
               obs::HintClass::Spatial, -1, -1, false, ref);
     GRP_PROFILE(noteTrigger(ref, obs::HintClass::Spatial));
     if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0, ref)) {
-        ++stats_.counter("regionsAllocated");
+        ++*regionsAllocated_;
     } else {
-        ++stats_.counter("regionsUpdated");
+        ++*regionsUpdated_;
     }
 }
 
@@ -67,8 +74,8 @@ HwPrefetchEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
         return;
     std::array<Addr, 8> pointers;
     const unsigned found = scanner_.scan(block_addr, pointers);
-    stats_.counter("linesScanned") += 1;
-    stats_.counter("pointersFound") += found;
+    *linesScanned_ += 1;
+    *pointersFound_ += found;
     const obs::HintClass hint = ptr_depth > 1
                                     ? obs::HintClass::Recursive
                                     : obs::HintClass::Pointer;
@@ -91,7 +98,7 @@ HwPrefetchEngine::dequeuePrefetch(const DramSystem &dram,
 {
     auto candidate = queue_.dequeue(dram, channel);
     if (candidate)
-        ++stats_.counter("candidatesOffered");
+        ++*candidatesOffered_;
     return candidate;
 }
 

@@ -27,7 +27,9 @@ class HwPrefetchEngine : public PrefetchEngine
      *        SrpPlusPointer.
      */
     HwPrefetchEngine(const SimConfig &config,
-                     const FunctionalMemory &mem);
+                     const FunctionalMemory &mem,
+                     obs::StatRegistry &registry =
+                         obs::StatRegistry::current());
 
     void setPresenceTest(RegionQueue::PresenceTest test);
 
@@ -53,7 +55,14 @@ class HwPrefetchEngine : public PrefetchEngine
     RegionQueue queue_;
     PointerScanner scanner_;
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
+
+    /** Cached counter handles (lookup once at construction). */
+    Counter *regionsAllocated_ = nullptr;
+    Counter *regionsUpdated_ = nullptr;
+    Counter *linesScanned_ = nullptr;
+    Counter *pointersFound_ = nullptr;
+    Counter *candidatesOffered_ = nullptr;
 };
 
 } // namespace grp

@@ -8,12 +8,19 @@
 namespace grp
 {
 
-RegionQueue::RegionQueue(unsigned capacity, bool lifo, bool bank_aware)
+RegionQueue::RegionQueue(unsigned capacity, bool lifo, bool bank_aware,
+                         obs::StatRegistry &registry)
     : capacity_(capacity),
       lifo_(lifo),
-      bankAware_(bank_aware)
+      bankAware_(bank_aware),
+      statReg_(stats_, registry)
 {
     fatal_if(capacity == 0, "prefetch queue capacity must be non-zero");
+    entriesDropped_ = &stats_.counter("entriesDropped");
+    candidatesDropped_ = &stats_.counter("candidatesDropped");
+    regionsQueued_ = &stats_.counter("regionsQueued");
+    pointerTargetsQueued_ = &stats_.counter("pointerTargetsQueued");
+    candidatesDequeued_ = &stats_.counter("candidatesDequeued");
 }
 
 RegionEntry *
@@ -58,9 +65,8 @@ RegionQueue::pushFront(RegionEntry entry)
         const RegionEntry &victim = entries_.back();
         const int victim_blocks = std::popcount(victim.bitvec);
         dropped_ += victim_blocks;
-        ++stats_.counter("entriesDropped");
-        stats_.counter("candidatesDropped") +=
-            static_cast<uint64_t>(victim_blocks);
+        ++*entriesDropped_;
+        *candidatesDropped_ += static_cast<uint64_t>(victim_blocks);
         GRP_TRACE(2, obs::TraceEvent::Drop,
                   victim.baseBlock << kBlockShift, victim.hintClass, -1,
                   victim_blocks, false, victim.refId);
@@ -115,7 +121,7 @@ RegionQueue::noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
     entry.refId = ref;
     entry.hintClass = hint;
     if (entry.bitvec != 0) {
-        ++stats_.counter("regionsQueued");
+        ++*regionsQueued_;
         pushFront(entry);
     }
     return window_blocks;
@@ -147,7 +153,7 @@ RegionQueue::addPointerTarget(Addr target, unsigned blocks,
     entry.refId = ref;
     entry.hintClass = hint;
     if (entry.bitvec != 0) {
-        ++stats_.counter("pointerTargetsQueued");
+        ++*pointerTargetsQueued_;
         pushFront(entry);
     }
 }
@@ -186,7 +192,7 @@ RegionQueue::dequeue(const DramSystem &dram, unsigned channel)
         candidate.ptrDepth = entry.ptrDepth;
         candidate.refId = entry.refId;
         candidate.hintClass = entry.hintClass;
-        ++stats_.counter("candidatesDequeued");
+        ++*candidatesDequeued_;
         entry.bitvec &= ~(1ull << pos);
         if (entry.bitvec == 0) {
             for (auto it = entries_.begin(); it != entries_.end(); ++it) {

@@ -56,7 +56,9 @@ class RegionQueue
      * @param lifo Scan newest entries first (paper default).
      * @param bank_aware Prefer candidates with an open DRAM row.
      */
-    RegionQueue(unsigned capacity, bool lifo, bool bank_aware);
+    RegionQueue(unsigned capacity, bool lifo, bool bank_aware,
+                obs::StatRegistry &registry =
+                    obs::StatRegistry::current());
 
     /** Blocks already present/in-flight are excluded from windows. */
     void setPresenceTest(PresenceTest test) { present_ = std::move(test); }
@@ -113,7 +115,14 @@ class RegionQueue
     PresenceTest present_;
     uint64_t dropped_ = 0;
     StatGroup stats_{"regionQueue"};
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
+
+    /** Cached counter handles (lookup once at construction). */
+    Counter *entriesDropped_ = nullptr;
+    Counter *candidatesDropped_ = nullptr;
+    Counter *regionsQueued_ = nullptr;
+    Counter *pointerTargetsQueued_ = nullptr;
+    Counter *candidatesDequeued_ = nullptr;
 };
 
 } // namespace grp

@@ -9,13 +9,18 @@
 namespace grp
 {
 
-StridePrefetcher::StridePrefetcher(const SimConfig &config)
+StridePrefetcher::StridePrefetcher(const SimConfig &config,
+                                   obs::StatRegistry &registry)
     : config_(config),
       sets_(config.stride.tableEntries / config.stride.tableAssoc),
-      stats_("stride")
+      stats_("stride"),
+      statReg_(stats_, registry)
 {
     table_.resize(config.stride.tableEntries);
     streams_.resize(config.stride.streamBuffers);
+    streamsAllocated_ = &stats_.counter("streamsAllocated");
+    pageBoundaryStops_ = &stats_.counter("pageBoundaryStops");
+    candidatesOffered_ = &stats_.counter("candidatesOffered");
 }
 
 StridePrefetcher::TableEntry *
@@ -92,7 +97,7 @@ StridePrefetcher::allocateStream(RefId ref, Addr addr,
     victim->lruStamp = nextStamp_++;
     anchorStream(*victim, addr, stride_blocks);
     if (victim->valid)
-        ++stats_.counter("streamsAllocated");
+        ++*streamsAllocated_;
 }
 
 void
@@ -111,7 +116,7 @@ StridePrefetcher::anchorStream(Stream &stream, Addr addr,
         stride_bytes > -int64_t(kRegionBytes);
     if (short_stride && regionAlign(next) != regionAlign(addr)) {
         stream.valid = false;
-        ++stats_.counter("pageBoundaryStops");
+        ++*pageBoundaryStops_;
         return;
     }
     stream.nextAddr = next;
@@ -214,13 +219,13 @@ StridePrefetcher::dequeuePrefetch(const DramSystem &dram,
         if (short_stride &&
             regionAlign(next) != regionAlign(stream.nextAddr)) {
             stream.valid = false;
-            ++stats_.counter("pageBoundaryStops");
+            ++*pageBoundaryStops_;
         } else {
             stream.nextAddr = next;
             --stream.credits;
         }
         rrCursor_ = (rrCursor_ + i + 1) % count;
-        ++stats_.counter("candidatesOffered");
+        ++*candidatesOffered_;
         return candidate;
     }
     return std::nullopt;

@@ -30,7 +30,9 @@ namespace grp
 class StridePrefetcher : public PrefetchEngine
 {
   public:
-    explicit StridePrefetcher(const SimConfig &config);
+    explicit StridePrefetcher(const SimConfig &config,
+                              obs::StatRegistry &registry =
+                                  obs::StatRegistry::current());
 
     void onL2DemandAccess(Addr addr, RefId ref, const LoadHints &hints,
                           bool hit) override;
@@ -81,7 +83,12 @@ class StridePrefetcher : public PrefetchEngine
     uint64_t nextStamp_ = 1;
     unsigned rrCursor_ = 0;
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
+
+    /** Cached counter handles (lookup once at construction). */
+    Counter *streamsAllocated_ = nullptr;
+    Counter *pageBoundaryStops_ = nullptr;
+    Counter *candidatesOffered_ = nullptr;
 };
 
 } // namespace grp

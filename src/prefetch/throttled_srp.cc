@@ -8,16 +8,24 @@ namespace grp
 
 ThrottledSrpEngine::ThrottledSrpEngine(const SimConfig &config,
                                        double accuracy_floor,
-                                       unsigned resume_misses)
+                                       unsigned resume_misses,
+                                       obs::StatRegistry &registry)
     : config_(config),
       queue_(config.region.queueEntries, config.region.lifo,
-             config.region.bankAware),
+             config.region.bankAware, registry),
       accuracyFloor_(accuracy_floor),
       resumeMisses_(resume_misses),
-      stats_("throttledSrp")
+      stats_("throttledSrp"),
+      statReg_(stats_, registry)
 {
     fatal_if(accuracy_floor < 0.0 || accuracy_floor > 1.0,
              "accuracy floor must be in [0, 1]");
+    missesWhileThrottledCounter_ =
+        &stats_.counter("missesWhileThrottled");
+    resumes_ = &stats_.counter("resumes");
+    regionsAllocated_ = &stats_.counter("regionsAllocated");
+    regionsUpdated_ = &stats_.counter("regionsUpdated");
+    throttleEvents_ = &stats_.counter("throttleEvents");
 }
 
 void
@@ -33,13 +41,13 @@ ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId ref,
     if (throttled_) {
         // The misses a paused prefetcher fails to cover are exactly
         // the opportunity cost the paper calls out.
-        ++stats_.counter("missesWhileThrottled");
+        ++*missesWhileThrottledCounter_;
         if (++missesWhileThrottled_ >= resumeMisses_) {
             throttled_ = false;
             missesWhileThrottled_ = 0;
             windowIssued_ = 0;
             windowUseful_ = 0;
-            ++stats_.counter("resumes");
+            ++*resumes_;
         } else {
             return; // No region allocation while paused.
         }
@@ -48,9 +56,9 @@ ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId ref,
               obs::HintClass::Spatial, -1, -1, false, ref);
     GRP_PROFILE(noteTrigger(ref, obs::HintClass::Spatial));
     if (queue_.noteSpatialMiss(addr, kBlocksPerRegion, 0, ref)) {
-        ++stats_.counter("regionsAllocated");
+        ++*regionsAllocated_;
     } else {
-        ++stats_.counter("regionsUpdated");
+        ++*regionsUpdated_;
     }
 }
 
@@ -80,7 +88,7 @@ ThrottledSrpEngine::dequeuePrefetch(const DramSystem &dram,
             throttled_ = true;
             missesWhileThrottled_ = 0;
             queue_.clear();
-            ++stats_.counter("throttleEvents");
+            ++*throttleEvents_;
         }
         windowIssued_ = 0;
         windowUseful_ = 0;

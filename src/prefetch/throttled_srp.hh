@@ -38,7 +38,9 @@ class ThrottledSrpEngine : public PrefetchEngine
      */
     ThrottledSrpEngine(const SimConfig &config,
                        double accuracy_floor = 0.20,
-                       unsigned resume_misses = 64);
+                       unsigned resume_misses = 64,
+                       obs::StatRegistry &registry =
+                           obs::StatRegistry::current());
 
     void setPresenceTest(RegionQueue::PresenceTest test);
 
@@ -67,7 +69,14 @@ class ThrottledSrpEngine : public PrefetchEngine
     unsigned missesWhileThrottled_ = 0;
 
     StatGroup stats_;
-    obs::ScopedStatRegistration statReg_{stats_};
+    obs::ScopedStatRegistration statReg_;
+
+    /** Cached counter handles (lookup once at construction). */
+    Counter *missesWhileThrottledCounter_ = nullptr;
+    Counter *resumes_ = nullptr;
+    Counter *regionsAllocated_ = nullptr;
+    Counter *regionsUpdated_ = nullptr;
+    Counter *throttleEvents_ = nullptr;
 };
 
 } // namespace grp

@@ -29,20 +29,20 @@ class ProfilerGuard
   public:
     ProfilerGuard()
     {
-        obs::SiteProfiler::global().clear();
-        obs::SiteProfiler::global().setEnabled(true);
+        obs::SiteProfiler::instance().clear();
+        obs::SiteProfiler::instance().setEnabled(true);
     }
     ~ProfilerGuard()
     {
-        obs::SiteProfiler::global().setEnabled(false);
-        obs::SiteProfiler::global().clear();
+        obs::SiteProfiler::instance().setEnabled(false);
+        obs::SiteProfiler::instance().clear();
     }
 };
 
 TEST(SiteProfile, FunnelAccounting)
 {
     ProfilerGuard guard;
-    obs::SiteProfiler &prof = obs::SiteProfiler::global();
+    obs::SiteProfiler &prof = obs::SiteProfiler::instance();
 
     prof.noteTrigger(7, obs::HintClass::Spatial);
     prof.noteEnqueue(7, obs::HintClass::Spatial, 12);
@@ -88,7 +88,7 @@ TEST(SiteProfile, FunnelAccounting)
 
 TEST(SiteProfile, DisabledProfilerRecordsNothing)
 {
-    obs::SiteProfiler &prof = obs::SiteProfiler::global();
+    obs::SiteProfiler &prof = obs::SiteProfiler::instance();
     prof.clear();
     ASSERT_FALSE(prof.enabled());
     // GRP_PROFILE checks enabled() before forwarding.
@@ -99,7 +99,7 @@ TEST(SiteProfile, DisabledProfilerRecordsNothing)
 TEST(SiteProfile, InvalidRefProfilesAsUnattributedSite)
 {
     ProfilerGuard guard;
-    obs::SiteProfiler &prof = obs::SiteProfiler::global();
+    obs::SiteProfiler &prof = obs::SiteProfiler::instance();
     prof.noteFill(kInvalidRefId, obs::HintClass::Pointer, false);
     ASSERT_EQ(prof.siteCount(), 1u);
     EXPECT_EQ(prof.sites().begin()->first.site(), -1);
@@ -108,7 +108,7 @@ TEST(SiteProfile, InvalidRefProfilesAsUnattributedSite)
 TEST(SiteProfile, RankedOrdersWorstFirst)
 {
     ProfilerGuard guard;
-    obs::SiteProfiler &prof = obs::SiteProfiler::global();
+    obs::SiteProfiler &prof = obs::SiteProfiler::instance();
 
     // Site 1: accurate. Site 2: wasteful. Site 3: issued, no result.
     prof.noteIssue(1, obs::HintClass::Spatial);
@@ -138,7 +138,7 @@ TEST(SiteProfile, RankedOrdersWorstFirst)
 TEST(SiteProfile, ExportJsonSchema)
 {
     ProfilerGuard guard;
-    obs::SiteProfiler &prof = obs::SiteProfiler::global();
+    obs::SiteProfiler &prof = obs::SiteProfiler::instance();
     prof.noteIssue(5, obs::HintClass::Spatial);
     prof.noteFill(5, obs::HintClass::Spatial, false);
     prof.noteUseful(5, obs::HintClass::Spatial, 17, false);
@@ -225,8 +225,8 @@ TEST(SiteProfile, ReconcilesWithRegistryTotals)
               issued);
 
     // The run-scoped guard restored the global profiler.
-    EXPECT_FALSE(obs::SiteProfiler::global().enabled());
-    EXPECT_EQ(obs::SiteProfiler::global().siteCount(), 0u);
+    EXPECT_FALSE(obs::SiteProfiler::instance().enabled());
+    EXPECT_EQ(obs::SiteProfiler::instance().siteCount(), 0u);
     std::remove(path.c_str());
 }
 

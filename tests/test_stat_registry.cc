@@ -168,7 +168,7 @@ TEST(StatRegistry, ResetAll)
 
 TEST(StatRegistry, GlobalSeesEveryMemoryComponent)
 {
-    const size_t before = obs::StatRegistry::global().size();
+    const size_t before = obs::StatRegistry::current().size();
     {
         SimConfig config;
         EventQueue events;
@@ -176,16 +176,16 @@ TEST(StatRegistry, GlobalSeesEveryMemoryComponent)
 
         // MemorySystem registers itself, two caches, two MSHR files
         // and the DRAM model.
-        EXPECT_GE(obs::StatRegistry::global().size(), before + 6);
+        EXPECT_GE(obs::StatRegistry::current().size(), before + 6);
         for (const char *name :
              {"mem", "l1d", "l2", "l1dMshrs", "l2Mshrs", "dram"}) {
-            EXPECT_NE(obs::StatRegistry::global().find(name), nullptr)
+            EXPECT_NE(obs::StatRegistry::current().find(name), nullptr)
                 << name;
         }
 
         ++mem.stats().counter("demandFills");
         std::ostringstream os;
-        obs::StatRegistry::global().exportJson(os);
+        obs::StatRegistry::current().exportJson(os);
         std::string error;
         auto doc = obs::parseJson(os.str(), &error);
         ASSERT_TRUE(doc) << error;
@@ -198,7 +198,7 @@ TEST(StatRegistry, GlobalSeesEveryMemoryComponent)
             1.0);
     }
     // Destruction deregisters everything again.
-    EXPECT_EQ(obs::StatRegistry::global().size(), before);
+    EXPECT_EQ(obs::StatRegistry::current().size(), before);
 }
 
 } // namespace

@@ -248,10 +248,10 @@ TEST(Trace, DisabledWhenNoPathGiven)
     config.scheme = PrefetchScheme::GrpVar;
     RunOptions opts;
     opts.maxInstructions = 20'000;
-    const uint64_t before = obs::Tracer::global().recordsWritten();
+    const uint64_t before = obs::Tracer::instance().recordsWritten();
     runWorkload("mcf", config, opts);
-    EXPECT_EQ(obs::Tracer::global().recordsWritten(), before);
-    EXPECT_FALSE(obs::Tracer::global().enabled(1));
+    EXPECT_EQ(obs::Tracer::instance().recordsWritten(), before);
+    EXPECT_FALSE(obs::Tracer::instance().enabled(1));
 }
 
 } // namespace

@@ -81,6 +81,21 @@ TOLERANCES = {
 }
 DEFAULT_TOLERANCE = ("rel", 0.05)
 
+# Timing-only fields (bench sidecars, manifest throughput figures)
+# are machine- and thread-count-dependent; never compare them even if
+# one slips into a baselined artefact.
+TIMING_KEYS = {
+    "wallSeconds",
+    "totalWallSeconds",
+    "benchWallSeconds",
+    "wallClockSeconds",
+    "instructionsPerSecond",
+    "simulatedInstructions",
+    "threads",
+    "benchThreads",
+    "finishedAtUnix",
+}
+
 
 def leaf_matches(key, base, out):
     """Return None on a match, else a human-readable reason."""
@@ -105,6 +120,8 @@ def leaf_matches(key, base, out):
 
 def diff(path, key, base, out, failures):
     where = path or "<root>"
+    if key in TIMING_KEYS:
+        return
     if type(base) is not type(out) and not (
             isinstance(base, (int, float)) and
             isinstance(out, (int, float)) and

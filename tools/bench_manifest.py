@@ -11,8 +11,13 @@ the git SHA the artefacts were produced from (plus a dirty flag), a
 hash of the simulator configuration header (so a config change that
 silently shifts every baseline is visible in the artefact trail),
 the GRP_INSTRUCTIONS override in effect, and the run's wall-clock
-duration. bench_compare.py ignores the manifest (it has no
-baseline); it exists for humans and dashboards reading bench/out/.
+duration. Each bench binary also drops a timing sidecar into
+bench/out/timings/<bench>.json (threads used, per-job wall clock,
+simulated instructions per second); `finish` folds those into the
+manifest under "benches" and sums them into aggregate throughput
+figures. bench_compare.py ignores the manifest and the sidecars
+(they have no baselines — timing is machine-dependent by nature); it
+exists for humans and dashboards reading bench/out/.
 
 The manifest is published atomically (tmp + rename), matching the
 simulator's own JSON exporters.
@@ -47,6 +52,30 @@ def cmd_start(out_dir):
     return 0
 
 
+def load_timings(out_dir):
+    """Collect the per-bench timing sidecars the bench binaries wrote
+    to out/timings/, keyed by bench name."""
+    timings = {}
+    timing_dir = out_dir / "timings"
+    if not timing_dir.is_dir():
+        return timings
+    for path in sorted(timing_dir.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        timings[data.get("bench", path.stem)] = {
+            "threads": data.get("threads"),
+            "wallSeconds": data.get("totalWallSeconds"),
+            "simulatedInstructions": data.get(
+                "simulatedInstructions"),
+            "instructionsPerSecond": data.get(
+                "instructionsPerSecond"),
+            "jobs": data.get("jobs", []),
+        }
+    return timings
+
+
 def cmd_finish(out_dir, repo):
     out_dir.mkdir(parents=True, exist_ok=True)
     stamp = out_dir / STAMP_NAME
@@ -64,14 +93,28 @@ def cmd_finish(out_dir, repo):
         if config.is_file() else None
     )
 
+    timings = load_timings(out_dir)
+    total_instructions = sum(
+        t["simulatedInstructions"] or 0 for t in timings.values())
+    bench_wall = sum(
+        t["wallSeconds"] or 0.0 for t in timings.values())
+
     manifest = {
-        "schema": "grp-bench-manifest-v1",
+        "schema": "grp-bench-manifest-v2",
         "gitSha": git(repo, "rev-parse", "HEAD"),
         "gitDirty": bool(git(repo, "status", "--porcelain")),
         "configHash": config_hash,
         "grpInstructions": os.environ.get("GRP_INSTRUCTIONS"),
+        "benchThreads": os.environ.get("GRP_BENCH_THREADS"),
         "wallClockSeconds": wall,
+        "benchWallSeconds": round(bench_wall, 3) or None,
+        "simulatedInstructions": total_instructions or None,
+        "instructionsPerSecond": (
+            round(total_instructions / bench_wall, 1)
+            if bench_wall > 0 else None
+        ),
         "finishedAtUnix": round(time.time(), 3),
+        "benches": timings,
     }
 
     tmp = out_dir / (MANIFEST_NAME + ".tmp")
