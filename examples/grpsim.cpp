@@ -9,7 +9,7 @@
  *          [--trace PATH] [--trace-level N]
  *          [--timeseries PATH] [--timeseries-bucket N]
  *          [--site-profile PATH] [--site-report N]
- *          [--shadow] [--cost-report]
+ *          [--shadow] [--cost-report] [--adaptive-report]
  *
  * Runs one (workload, scheme) pair through the harness and prints
  * the headline metrics. The observability flags export the full
@@ -46,7 +46,7 @@ parseScheme(const std::string &name)
         PrefetchScheme::Srp,          PrefetchScheme::GrpFix,
         PrefetchScheme::GrpVar,       PrefetchScheme::PointerHw,
         PrefetchScheme::PointerHwRec, PrefetchScheme::SrpPlusPointer,
-        PrefetchScheme::SrpThrottled,
+        PrefetchScheme::SrpThrottled, PrefetchScheme::GrpAdaptive,
     };
     for (PrefetchScheme scheme : all) {
         if (name == toString(scheme))
@@ -93,9 +93,9 @@ usage()
         "              [--trace PATH] [--trace-level N]\n"
         "              [--timeseries PATH] [--timeseries-bucket N]\n"
         "              [--site-profile PATH] [--site-report N]\n"
-        "              [--shadow] [--cost-report]\n"
-        "schemes: none stride srp grp-fix grp-var ptr-hw ptr-hw-rec "
-        "srp+ptr srp-throttled\n"
+        "              [--shadow] [--cost-report] [--adaptive-report]\n"
+        "schemes: none stride srp grp-fix grp-var grp-adaptive ptr-hw "
+        "ptr-hw-rec srp+ptr srp-throttled\n"
         "policies: conservative default aggressive\n");
 }
 
@@ -166,6 +166,8 @@ try {
             options.obs.shadow = true;
         } else if (arg == "--cost-report") {
             options.obs.costReport = true;
+        } else if (arg == "--adaptive-report") {
+            options.obs.adaptiveReport = true;
         } else if (arg == "--list") {
             for (const auto &name : workloadNames())
                 std::printf("%s\n", name.c_str());

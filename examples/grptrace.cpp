@@ -164,6 +164,11 @@ try {
                         ? ""
                         : " (no enqueue events: issue coverage "
                           "not checked)");
+        if (analysis.controllerTransitions)
+            std::printf("adaptive controller: %llu knob "
+                        "transitions\n",
+                        (unsigned long long)
+                            analysis.controllerTransitions);
 
         std::printf("\nper hint class (measured window):\n");
         printFunnelHeader("class");

@@ -1,5 +1,6 @@
 #include "core/engine_factory.hh"
 
+#include "adaptive/signals.hh"
 #include "core/grp_engine.hh"
 #include "prefetch/hw_engine.hh"
 #include "prefetch/stride.hh"
@@ -35,15 +36,18 @@ makePrefetchEngine(const SimConfig &config, const FunctionalMemory &fmem,
         break;
       }
       case PrefetchScheme::SrpThrottled: {
-        auto throttled =
-            std::make_unique<ThrottledSrpEngine>(config, 0.20, 64,
-                                                 registry);
+        // The governor samples its accuracy epochs from the run's
+        // mem.* counters (queue depth is unused: capacity 0).
+        auto throttled = std::make_unique<ThrottledSrpEngine>(
+            config, adaptive::memorySource(mem, nullptr, 0), 0.20, 64,
+            registry);
         throttled->setPresenceTest(present);
         engine = std::move(throttled);
         break;
       }
       case PrefetchScheme::GrpFix:
-      case PrefetchScheme::GrpVar: {
+      case PrefetchScheme::GrpVar:
+      case PrefetchScheme::GrpAdaptive: {
         auto grp_engine = std::make_unique<GrpEngine>(config, fmem,
                                                       registry);
         grp_engine->setPresenceTest(present);

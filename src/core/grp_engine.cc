@@ -1,5 +1,7 @@
 #include "core/grp_engine.hh"
 
+#include <algorithm>
+
 #include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
@@ -17,7 +19,8 @@ GrpEngine::GrpEngine(const SimConfig &config, const FunctionalMemory &mem,
       statReg_(stats_, registry)
 {
     fatal_if(!config.usesHints(),
-             "GrpEngine requires the GrpFix or GrpVar scheme");
+             "GrpEngine requires the GrpFix, GrpVar or GrpAdaptive "
+             "scheme");
     missesUnhinted_ = &stats_.counter("missesUnhinted");
     regionsAllocated_ = &stats_.counter("regionsAllocated");
     regionsUpdated_ = &stats_.counter("regionsUpdated");
@@ -35,6 +38,13 @@ GrpEngine::setPresenceTest(RegionQueue::PresenceTest test)
 }
 
 void
+GrpEngine::setControlPlane(const adaptive::ControlPlane *plane)
+{
+    plane_ = plane;
+    queue_.setControlPlane(plane);
+}
+
+void
 GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
 {
     // The compiler's hint gates the spatial engine: misses without a
@@ -48,9 +58,15 @@ GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
     GRP_TRACE(2, obs::TraceEvent::HintTrigger, blockAlign(addr),
               obs::HintClass::Spatial, -1, -1, false, ref);
     GRP_PROFILE(noteTrigger(ref, obs::HintClass::Spatial));
-    const unsigned window =
+    unsigned window =
         variableRegions() ? hints.regionBlocks(kBlocksPerRegion)
                           : kBlocksPerRegion;
+    // The adaptive region-size ladder caps the hinted window; both
+    // are powers of two, so the min stays one.
+    if (plane_) {
+        window = std::min(
+            window, plane_->regionBlockCap(obs::HintClass::Spatial));
+    }
     const unsigned allocated =
         queue_.noteSpatialMiss(addr, window, 0, ref,
                                obs::HintClass::Spatial);

@@ -36,7 +36,7 @@ class GrpEngine : public PrefetchEngine
 {
   public:
     /**
-     * @param config scheme must be GrpFix or GrpVar.
+     * @param config scheme must be GrpFix, GrpVar or GrpAdaptive.
      * @param mem Functional memory (pointer scanning and indirect
      *        index reads need line contents).
      */
@@ -45,6 +45,11 @@ class GrpEngine : public PrefetchEngine
                   obs::StatRegistry::current());
 
     void setPresenceTest(RegionQueue::PresenceTest test);
+
+    /** Attach the adaptive control plane (not owned): caps the
+     *  spatial window and priority-tiers the queue. A null plane
+     *  keeps GrpVar behavior exactly. */
+    void setControlPlane(const adaptive::ControlPlane *plane);
 
     void onL2DemandMiss(Addr addr, RefId ref,
                         const LoadHints &hints) override;
@@ -69,11 +74,13 @@ class GrpEngine : public PrefetchEngine
   private:
     bool variableRegions() const
     {
-        return config_.scheme == PrefetchScheme::GrpVar;
+        return config_.scheme == PrefetchScheme::GrpVar ||
+               config_.scheme == PrefetchScheme::GrpAdaptive;
     }
 
     SimConfig config_;
     const FunctionalMemory &mem_;
+    const adaptive::ControlPlane *plane_ = nullptr;
     RegionQueue queue_;
     PointerScanner scanner_;
     StatGroup stats_;

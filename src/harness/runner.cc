@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "adaptive/controller.hh"
 #include "core/engine_factory.hh"
 #include "core/grp_engine.hh"
 #include "cpu/cpu.hh"
@@ -210,6 +211,25 @@ runWorkload(const std::string &workload_name, SimConfig config,
         mem.enableShadowTags();
     auto engine = makePrefetchEngine(config, fmem, mem, registry);
 
+    // The feedback controller is a run-local layer above the engine:
+    // it samples only this run's registry-backed counters, so sweep
+    // determinism is untouched. A null plane everywhere else means
+    // the hardware behaves exactly as before.
+    fatal_if(options.obs.adaptiveReport &&
+                 !config.usesAdaptiveController(),
+             "--adaptive-report requires the grp-adaptive scheme");
+    std::optional<adaptive::AdaptiveController> controller;
+    if (config.usesAdaptiveController()) {
+        controller.emplace(config.adaptive, config.region.recursiveDepth,
+                           adaptive::memorySource(
+                               mem, engine.get(),
+                               config.region.queueEntries),
+                           registry);
+        mem.setControlPlane(&controller->plane());
+        if (auto *grp_engine = dynamic_cast<GrpEngine *>(engine.get()))
+            grp_engine->setControlPlane(&controller->plane());
+    }
+
     Interpreter interp(prog, fmem, options.seed);
     const HintTable *cpu_hints = config.usesHints() ? &table : nullptr;
     Cpu cpu(config, mem, events, interp, cpu_hints, registry);
@@ -242,6 +262,9 @@ runWorkload(const std::string &workload_name, SimConfig config,
         events.advanceTo(cycle);
         cpu.tick();
         mem.tick();
+        if (controller && cycle &&
+            cycle % config.adaptive.epochCycles == 0)
+            controller->onEpoch(cycle);
         if (series && cycle % bucket == 0) {
             series->record("prefetchQueueDepth", cycle,
                            engine ? static_cast<double>(
@@ -257,6 +280,14 @@ runWorkload(const std::string &workload_name, SimConfig config,
             series->record("writebackQueueDepth", cycle,
                            static_cast<double>(
                                mem.writebackQueueDepth()));
+            if (controller) {
+                series->record("adaptiveSpatialRegionBlocks", cycle,
+                               static_cast<double>(
+                                   controller->spatialRegionBlocks()));
+                series->record("adaptiveTransitions", cycle,
+                               static_cast<double>(
+                                   controller->totalTransitions()));
+            }
         }
         ++cycle;
         if (!measuring && cpu.retiredInstructions() >= warmup) {
@@ -270,6 +301,8 @@ runWorkload(const std::string &workload_name, SimConfig config,
             // totals (warmup-era fills still in flight attribute to
             // the warmup columns via PrefetchFillInfo::warm).
             obs::SiteProfiler::instance().clear();
+            if (controller)
+                controller->onWarmupBoundary();
             warm_instructions = cpu.retiredInstructions();
             warm_cycles = cycle;
             measuring = true;
@@ -340,6 +373,8 @@ runWorkload(const std::string &workload_name, SimConfig config,
     }
     if (obs.costReport)
         printCostReport(std::cout, mem, config, site_profile.active());
+    if (obs.adaptiveReport && controller)
+        controller->writeReport(std::cout);
     if (obs.dumpStats)
         registry.dumpText(std::cout);
     return result;

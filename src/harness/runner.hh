@@ -115,6 +115,10 @@ struct ObsOptions
      *  per-channel cycle breakdown, worst sites by net cycles) to
      *  stdout; implies shadow and enables the site profiler. */
     bool costReport = false;
+    /** Print the adaptive controller's end-of-run state report
+     *  (epochs, transitions per knob, time-in-state per class).
+     *  Rejected (fatal) when the scheme has no controller. */
+    bool adaptiveReport = false;
 };
 
 /** Options for a run. */

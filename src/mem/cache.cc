@@ -120,7 +120,8 @@ Cache::containsUnusedPrefetch(Addr addr) const
 }
 
 std::optional<Eviction>
-Cache::insert(Addr addr, bool as_prefetch, bool dirty)
+Cache::insert(Addr addr, bool as_prefetch, bool dirty,
+              std::optional<adaptive::InsertPos> pos)
 {
     const uint64_t block = blockNumber(addr);
     const unsigned set_idx =
@@ -182,22 +183,47 @@ Cache::insert(Addr addr, bool as_prefetch, bool dirty)
     victim->prefetched = as_prefetch;
     victim->referenced = !as_prefetch;
 
-    if (as_prefetch && lruInsertion_) {
-        // LRU position: stamp below every other valid line in the
-        // set. When the victim itself was valid its stamp was the
-        // set minimum, so the surviving minimum is the second one.
-        const uint64_t other_min = free_way ? min_stamp : second_stamp;
+    // Demand insertions are always MRU; prefetch insertions follow
+    // the explicit control-plane position when given, else the
+    // constructor policy.
+    const adaptive::InsertPos eff =
+        !as_prefetch ? adaptive::InsertPos::Mru
+                     : pos.value_or(lruInsertion_
+                                        ? adaptive::InsertPos::Lru
+                                        : adaptive::InsertPos::Mru);
+    // The stamp floor of the surviving lines: when the victim itself
+    // was valid its stamp was the set minimum, so the surviving
+    // minimum is the second one.
+    const uint64_t other_min = free_way ? min_stamp : second_stamp;
+    switch (eff) {
+      case adaptive::InsertPos::Lru: {
+        // LRU position: stamp below every other valid line in the set.
         const uint64_t floor_stamp =
             other_min == ~0ull ? nextStamp_ : other_min;
         victim->lruStamp = floor_stamp > 0 ? floor_stamp - 1 : 0;
-        ++*cnt_.prefetchFills;
-    } else {
+        break;
+      }
+      case adaptive::InsertPos::Mid: {
+        // Halfway up the recency stack: between the surviving LRU
+        // stamp and the next MRU stamp (ties resolve by way order,
+        // deterministically). An otherwise-empty set degenerates to
+        // MRU.
+        if (other_min == ~0ull) {
+            victim->lruStamp = nextStamp_++;
+        } else {
+            victim->lruStamp =
+                other_min + (nextStamp_ - other_min) / 2;
+        }
+        break;
+      }
+      case adaptive::InsertPos::Mru:
         victim->lruStamp = nextStamp_++;
-        if (as_prefetch)
-            ++*cnt_.prefetchFills;
-        else
-            ++*cnt_.demandFills;
+        break;
     }
+    if (as_prefetch)
+        ++*cnt_.prefetchFills;
+    else
+        ++*cnt_.demandFills;
     return evicted;
 }
 

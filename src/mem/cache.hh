@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "adaptive/control_plane.hh"
 #include "obs/stat_registry.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -81,10 +82,16 @@ class Cache
      * @param as_prefetch Insert at LRU position with the prefetch bit
      *        set; otherwise insert at MRU.
      * @param dirty Initial dirty state (stores that missed).
+     * @param pos Explicit recency position for a prefetch insertion
+     *        (adaptive control-plane override). Ignored for demand
+     *        insertions (always MRU); when absent, prefetches follow
+     *        the constructor's lru_insertion policy.
      * @return The evicted victim, if a valid block was displaced.
      */
     std::optional<Eviction> insert(Addr addr, bool as_prefetch,
-                                   bool dirty);
+                                   bool dirty,
+                                   std::optional<adaptive::InsertPos>
+                                       pos = std::nullopt);
 
     /** Mark the block containing @p addr dirty (store to present
      *  block); no-op when absent. */

@@ -84,6 +84,16 @@ MemorySystem::demandPtrDepth(const LoadHints &hints) const
       case PrefetchScheme::GrpVar:
         return static_cast<uint8_t>(
             hints.pointerDepth(config_.region.recursiveDepth));
+      case PrefetchScheme::GrpAdaptive: {
+        unsigned depth = hints.pointerDepth(config_.region.recursiveDepth);
+        if (plane_ && depth > 0) {
+            const obs::HintClass cls = depth > 1
+                                           ? obs::HintClass::Recursive
+                                           : obs::HintClass::Pointer;
+            depth = std::min<unsigned>(depth, plane_->ptrDepthCap(cls));
+        }
+        return static_cast<uint8_t>(depth);
+      }
       default:
         return 0;
     }
@@ -206,6 +216,8 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
         GRP_TRACE(1, obs::TraceEvent::Fill, block,
                   obs::HintClass::Stride, -1, -1, false, ref);
         GRP_PROFILE(noteFill(ref, obs::HintClass::Stride, false));
+        ++classCounts_[static_cast<size_t>(obs::HintClass::Stride)]
+              .fills;
         // Promote; counts a useful prefetch.
         if (l2_->access(block, false).firstUseOfPrefetch)
             notePrefetchUseful(block);
@@ -328,6 +340,7 @@ MemorySystem::notePrefetchUseful(Addr block_addr)
         ++*hot_.usefulPrefetchWarmupCarryover;
     } else {
         ++*hot_.usefulPrefetches;
+        ++classCounts_[static_cast<size_t>(info.hint)].useful;
         hot_.prefetchToUseDistance->sample(distance);
     }
     GRP_TRACE(1, obs::TraceEvent::FirstUse, block_addr, info.hint, -1,
@@ -339,7 +352,12 @@ void
 MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty,
                            RefId ref, obs::HintClass hint)
 {
-    auto evicted = l2_->insert(block_addr, as_prefetch, dirty);
+    // The control plane (when attached) picks the recency position of
+    // prefetch fills per hint class; demand fills stay MRU.
+    std::optional<adaptive::InsertPos> pos;
+    if (plane_ && as_prefetch)
+        pos = plane_->insertPos(hint);
+    auto evicted = l2_->insert(block_addr, as_prefetch, dirty, pos);
     if (shadow_ && as_prefetch && evicted) {
         // A prefetch fill displaced a live block: remember whom to
         // charge if a demand comes back for the victim while the
@@ -531,6 +549,8 @@ MemorySystem::onDramFill(MemRequest req)
         GRP_TRACE(1, obs::TraceEvent::Fill, req.blockAddr,
                   req.hintClass, -1, -1, warm, req.refId);
         GRP_PROFILE(noteFill(req.refId, req.hintClass, warm));
+        if (!warm)
+            ++classCounts_[static_cast<size_t>(req.hintClass)].fills;
     }
     if (demand_class && was_prefetch_req) {
         // Late prefetch: the waiting demand touches it immediately.
@@ -675,6 +695,7 @@ MemorySystem::resetStats()
     boundaryTick_ = events_.curTick();
     for (auto &entry : livePrefetches_)
         entry.second.warm = true;
+    classCounts_ = {};
 }
 
 void
@@ -695,6 +716,7 @@ MemorySystem::reset()
         shadow_->reset();
     victims_.reset();
     stats_.reset();
+    classCounts_ = {};
 }
 
 } // namespace grp

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adaptive/signals.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/functional_memory.hh"
@@ -59,6 +60,24 @@ class MemorySystem
 
     /** Register the CPU's load-completion callback. */
     void setLoadCallback(LoadCallback cb) { loadDone_ = std::move(cb); }
+
+    /** Attach the adaptive control plane (not owned; nullptr reverts
+     *  to static behavior). Drives the L2 insertion position of
+     *  prefetch fills and the demand-miss pointer-depth cap. */
+    void setControlPlane(const adaptive::ControlPlane *plane)
+    {
+        plane_ = plane;
+    }
+
+    /** Measured-window prefetch fills / first-uses per hint class
+     *  (adaptive signal source; zeroed with resetStats()). Plain
+     *  members, not registry counters, so stat exports and committed
+     *  bench baselines are unchanged by their existence. */
+    const std::array<adaptive::ClassCounts, adaptive::kNumClasses> &
+    classPrefetchCounts() const
+    {
+        return classCounts_;
+    }
 
     /**
      * Issue a load.
@@ -169,6 +188,10 @@ class MemorySystem
     std::unique_ptr<DramSystem> dram_;
     PrefetchEngine *engine_ = nullptr;
     LoadCallback loadDone_;
+    const adaptive::ControlPlane *plane_ = nullptr;
+    /** Per-hint-class fill/first-use accounting (see accessor). */
+    std::array<adaptive::ClassCounts, adaptive::kNumClasses>
+        classCounts_{};
 
     std::vector<std::deque<MemRequest>> demandQueues_;
     std::vector<std::deque<MemRequest>> writebackQueues_;

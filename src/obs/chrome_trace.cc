@@ -186,6 +186,7 @@ writeChromeTrace(std::ostream &os, const std::vector<TraceLine> &lines,
           case TraceEvent::Drop:
           case TraceEvent::Filtered:
           case TraceEvent::EvictVictim:
+          case TraceEvent::CtrlTransition:
           case TraceEvent::Stall: {
             emit.common("i", toString(line.event), line.t, tid);
             w.kv("s", "t");

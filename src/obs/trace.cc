@@ -37,6 +37,7 @@ toString(TraceEvent event)
       case TraceEvent::EvictedUnused: return "evictedUnused";
       case TraceEvent::EvictVictim:   return "evictVictim";
       case TraceEvent::PollutionMiss: return "pollutionMiss";
+      case TraceEvent::CtrlTransition: return "ctrlTransition";
     }
     return "?";
 }
@@ -56,6 +57,7 @@ traceLevelOf(TraceEvent event)
       case TraceEvent::Filtered:
       case TraceEvent::EvictVictim:
       case TraceEvent::PollutionMiss:
+      case TraceEvent::CtrlTransition:
         return 2;
       case TraceEvent::Stall:
         return 3;

@@ -22,7 +22,8 @@
  * Event levels:
  *  1 — lifecycle: issue, fill, firstUse, evictedUnused
  *  2 — queue: hintTrigger, enqueue, drop, filtered; pollution
- *      attribution: evictVictim, pollutionMiss (shadow tags)
+ *      attribution: evictVictim, pollutionMiss (shadow tags);
+ *      adaptive controller knob moves: ctrlTransition
  *  3 — per-cycle: demand-priority / MSHR-reservation stalls
  */
 
@@ -76,6 +77,12 @@ enum class TraceEvent : uint8_t
     PollutionMiss, ///< A demand miss the shadow tags classify as
                    ///< prefetch-caused; hint/site name the charged
                    ///< prefetch when the victim table attributed it.
+    CtrlTransition, ///< The adaptive controller moved a knob for a
+                    ///< hint class (level 2). The record reuses the
+                    ///< channel field for the knob id (0 region
+                    ///< size, 1 insert position, 2 queue priority,
+                    ///< 3 pointer depth) and extra for the new
+                    ///< ladder level (0..2).
 };
 
 const char *toString(TraceEvent event);

@@ -31,7 +31,7 @@ parseTraceEvent(const std::string &name)
         TraceEvent::Stall,       TraceEvent::Filtered,
         TraceEvent::Fill,        TraceEvent::FirstUse,
         TraceEvent::EvictedUnused, TraceEvent::EvictVictim,
-        TraceEvent::PollutionMiss,
+        TraceEvent::PollutionMiss, TraceEvent::CtrlTransition,
     };
     for (TraceEvent event : all) {
         if (name == toString(event))
@@ -173,6 +173,20 @@ analyzeTrace(const std::vector<TraceLine> &lines)
             ++out.warmupRecords;
         if (line.event == TraceEvent::Stall)
             continue; // No hint/site attribution to accumulate.
+        if (line.event == TraceEvent::CtrlTransition) {
+            // Controller knob moves touch no block lifecycle; check
+            // the knob-id/level encoding and count the move.
+            if (line.channel < 0 || line.channel > 3)
+                violate("controller transition with knob id " +
+                        std::to_string(line.channel) +
+                        " outside [0, 3]");
+            if (line.extra < 0 || line.extra > 2)
+                violate("controller transition with level " +
+                        std::to_string(line.extra) +
+                        " outside [0, 2]");
+            ++out.controllerTransitions;
+            continue;
+        }
 
         FunnelStats &cls = out.byClass[line.hint];
         FunnelStats &site = out.bySite[line.site];
@@ -203,7 +217,8 @@ analyzeTrace(const std::vector<TraceLine> &lines)
             }
             break;
           case TraceEvent::Stall:
-            break;
+          case TraceEvent::CtrlTransition:
+            break; // Handled (continued) above.
           case TraceEvent::Filtered:
             if (!line.warm) {
                 ++cls.filtered;

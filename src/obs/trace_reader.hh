@@ -125,6 +125,8 @@ struct TraceAnalysis
     /** EvictVictim events were present (shadow tags were on), so
      *  pollution-attribution consistency was checked. */
     bool pollutionChecked = false;
+    /** Adaptive-controller knob moves (CtrlTransition records). */
+    uint64_t controllerTransitions = 0;
 
     std::map<HintClass, FunnelStats> byClass;
     /** Keyed by site id (-1 = unattributed). */

@@ -33,6 +33,14 @@ class HwPrefetchEngine : public PrefetchEngine
 
     void setPresenceTest(RegionQueue::PresenceTest test);
 
+    /** Attach the adaptive control plane (not owned): priority-tiers
+     *  the prefetch queue. A null plane keeps queue-order dequeue. */
+    void
+    setControlPlane(const adaptive::ControlPlane *plane)
+    {
+        queue_.setControlPlane(plane);
+    }
+
     void onL2DemandMiss(Addr addr, RefId ref,
                         const LoadHints &hints) override;
     void onFill(Addr block_addr, uint8_t ptr_depth,

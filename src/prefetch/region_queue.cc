@@ -21,6 +21,7 @@ RegionQueue::RegionQueue(unsigned capacity, bool lifo, bool bank_aware,
     regionsQueued_ = &stats_.counter("regionsQueued");
     pointerTargetsQueued_ = &stats_.counter("pointerTargetsQueued");
     candidatesDequeued_ = &stats_.counter("candidatesDequeued");
+    occupancyHighWater_ = &stats_.counter("occupancyHighWater");
 }
 
 RegionEntry *
@@ -73,6 +74,11 @@ RegionQueue::pushFront(RegionEntry entry)
         GRP_PROFILE(noteDrop(victim.refId, victim.hintClass,
                              static_cast<uint64_t>(victim_blocks)));
         entries_.pop_back();
+    }
+    // Counters only go up: advance the high-water mark by its delta.
+    if (entries_.size() > highWater_) {
+        *occupancyHighWater_ += entries_.size() - highWater_;
+        highWater_ = entries_.size();
     }
 }
 
@@ -161,14 +167,37 @@ RegionQueue::addPointerTarget(Addr target, unsigned blocks,
 std::optional<PrefetchCandidate>
 RegionQueue::dequeue(const DramSystem &dram, unsigned channel)
 {
+    if (!plane_)
+        return dequeueTier(dram, channel, -1);
+    // Priority tiers drain high to low: a candidate from a
+    // lower-priority class is offered only when no higher tier has
+    // one for this channel. Equal priorities across all classes
+    // reduce to the classic single pass.
+    for (int tier = plane_->maxPriority(); tier >= 0; --tier) {
+        if (auto candidate = dequeueTier(dram, channel, tier))
+            return candidate;
+    }
+    return std::nullopt;
+}
+
+std::optional<PrefetchCandidate>
+RegionQueue::dequeueTier(const DramSystem &dram, unsigned channel,
+                         int tier)
+{
     // First choice: a candidate on this channel whose DRAM row is
     // already open; fallback: the first candidate on this channel in
-    // queue order.
+    // queue order (within the tier, when one is given).
     RegionEntry *fallback_entry = nullptr;
     unsigned fallback_pos = 0;
 
+    auto in_tier = [&](const RegionEntry &entry) {
+        return tier < 0 || plane_->priority(entry.hintClass) == tier;
+    };
+
     auto scan_entry = [&](RegionEntry &entry)
         -> std::optional<unsigned> {
+        if (!in_tier(entry))
+            return std::nullopt;
         for (unsigned step = 0; step < entry.numBlocks; ++step) {
             const unsigned pos = (entry.index + step) % entry.numBlocks;
             if (!(entry.bitvec & (1ull << pos)))
@@ -228,6 +257,7 @@ RegionQueue::clear()
     entries_.clear();
     dropped_ = 0;
     stats_.reset();
+    highWater_ = 0;
 }
 
 } // namespace grp

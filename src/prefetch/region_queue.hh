@@ -22,6 +22,7 @@
 #include <functional>
 #include <optional>
 
+#include "adaptive/control_plane.hh"
 #include "mem/dram.hh"
 #include "mem/request.hh"
 #include "obs/stat_registry.hh"
@@ -62,6 +63,14 @@ class RegionQueue
 
     /** Blocks already present/in-flight are excluded from windows. */
     void setPresenceTest(PresenceTest test) { present_ = std::move(test); }
+
+    /** Attach the adaptive control plane (not owned). Dequeue then
+     *  drains per-hint-class priority tiers high to low; a null plane
+     *  (the default) keeps the single-pass queue-order scan. */
+    void setControlPlane(const adaptive::ControlPlane *plane)
+    {
+        plane_ = plane;
+    }
 
     /**
      * Record an L2 miss at @p miss_addr within a spatial window of
@@ -105,6 +114,10 @@ class RegionQueue
   private:
     RegionEntry *findCovering(uint64_t block_num);
     void pushFront(RegionEntry entry);
+    /** One scan pass over entries whose class priority equals
+     *  @p tier (-1 scans every entry: the classic behavior). */
+    std::optional<PrefetchCandidate>
+    dequeueTier(const DramSystem &dram, unsigned channel, int tier);
     uint64_t buildWindowVector(uint64_t base_block, unsigned blocks,
                                uint64_t exclude_block) const;
 
@@ -113,7 +126,11 @@ class RegionQueue
     bool lifo_;
     bool bankAware_;
     PresenceTest present_;
+    const adaptive::ControlPlane *plane_ = nullptr;
     uint64_t dropped_ = 0;
+    /** Occupancy high-water mark mirrored into the counter (Counter
+     *  supports only ++/+=, so the mark advances by deltas). */
+    size_t highWater_ = 0;
     StatGroup stats_{"regionQueue"};
     obs::ScopedStatRegistration statReg_;
 
@@ -123,6 +140,7 @@ class RegionQueue
     Counter *regionsQueued_ = nullptr;
     Counter *pointerTargetsQueued_ = nullptr;
     Counter *candidatesDequeued_ = nullptr;
+    Counter *occupancyHighWater_ = nullptr;
 };
 
 } // namespace grp

@@ -7,6 +7,7 @@ namespace grp
 {
 
 ThrottledSrpEngine::ThrottledSrpEngine(const SimConfig &config,
+                                       adaptive::Signals::Source source,
                                        double accuracy_floor,
                                        unsigned resume_misses,
                                        obs::StatRegistry &registry)
@@ -15,6 +16,7 @@ ThrottledSrpEngine::ThrottledSrpEngine(const SimConfig &config,
              config.region.bankAware, registry),
       accuracyFloor_(accuracy_floor),
       resumeMisses_(resume_misses),
+      signals_(std::move(source)),
       stats_("throttledSrp"),
       statReg_(stats_, registry)
 {
@@ -40,13 +42,20 @@ ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId ref,
 {
     if (throttled_) {
         // The misses a paused prefetcher fails to cover are exactly
-        // the opportunity cost the paper calls out.
+        // the opportunity cost the paper calls out. The counter is
+        // the only accounting; resume progress is its delta since
+        // the pause began (saturating: a stat reset at the warmup
+        // boundary restarts the pause, not the run).
         ++*missesWhileThrottledCounter_;
-        if (++missesWhileThrottled_ >= resumeMisses_) {
+        const uint64_t cur = missesWhileThrottledCounter_->value();
+        const uint64_t since = cur >= throttleStartMisses_
+                                   ? cur - throttleStartMisses_
+                                   : cur;
+        if (since >= resumeMisses_) {
             throttled_ = false;
-            missesWhileThrottled_ = 0;
-            windowIssued_ = 0;
-            windowUseful_ = 0;
+            // Drop the paused era from the next accuracy epoch.
+            signals_.reprime();
+            dequeuesSinceEval_ = 0;
             ++*resumes_;
         } else {
             return; // No region allocation while paused.
@@ -62,12 +71,6 @@ ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId ref,
     }
 }
 
-void
-ThrottledSrpEngine::onPrefetchUseful(Addr)
-{
-    ++windowUseful_;
-}
-
 std::optional<PrefetchCandidate>
 ThrottledSrpEngine::dequeuePrefetch(const DramSystem &dram,
                                     unsigned channel)
@@ -79,19 +82,19 @@ ThrottledSrpEngine::dequeuePrefetch(const DramSystem &dram,
     if (!candidate)
         return std::nullopt;
 
-    ++windowIssued_;
-    if (windowIssued_ >= kWindow) {
-        const double accuracy =
-            static_cast<double>(windowUseful_) /
-            static_cast<double>(windowIssued_);
-        if (accuracy < accuracyFloor_) {
+    if (++dequeuesSinceEval_ >= kWindow) {
+        dequeuesSinceEval_ = 0;
+        const adaptive::EpochSignals epoch = signals_.sample();
+        // A window with no issued prefetches carries no signal
+        // (filters can eat every dequeue): hold the current state.
+        if (epoch.prefetchesIssued > 0 &&
+            epoch.accuracy() < accuracyFloor_) {
             throttled_ = true;
-            missesWhileThrottled_ = 0;
+            throttleStartMisses_ =
+                missesWhileThrottledCounter_->value();
             queue_.clear();
             ++*throttleEvents_;
         }
-        windowIssued_ = 0;
-        windowUseful_ = 0;
     }
     return candidate;
 }
@@ -100,10 +103,10 @@ void
 ThrottledSrpEngine::reset()
 {
     queue_.clear();
-    windowIssued_ = 0;
-    windowUseful_ = 0;
+    dequeuesSinceEval_ = 0;
     throttled_ = false;
-    missesWhileThrottled_ = 0;
+    throttleStartMisses_ = 0;
+    signals_.reprime();
     stats_.reset();
 }
 

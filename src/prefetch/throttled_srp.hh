@@ -7,15 +7,23 @@
  * and Stenstrom). This engine wraps the SRP region hardware with a
  * purely dynamic accuracy monitor: no compiler information at all.
  *
- * It exists as an extension/ablation point: bench/ext_throttle
- * compares SRP, throttled SRP and GRP to show that dynamic
- * throttling cuts traffic by sacrificing coverage, where GRP's
- * static hints cut traffic while keeping it.
+ * The accuracy signal comes from an adaptive::Signals epoch sampler
+ * over the run's mem.* counters (the same sampler the adaptive
+ * controller uses) rather than private issue/use accounting: every
+ * kWindow dequeues the engine reads one delta of issued vs. useful
+ * prefetches and pauses when the ratio is below the floor.
+ *
+ * It exists as an extension/ablation point: bench/ext_throttle and
+ * bench/ext_adaptive compare SRP, throttled SRP and GRP variants to
+ * show that global dynamic throttling cuts traffic by sacrificing
+ * coverage, where hint-guided (and per-class adaptive) schemes keep
+ * it.
  */
 
 #ifndef GRP_PREFETCH_THROTTLED_SRP_HH
 #define GRP_PREFETCH_THROTTLED_SRP_HH
 
+#include "adaptive/signals.hh"
 #include "mem/functional_memory.hh"
 #include "mem/prefetch_iface.hh"
 #include "prefetch/region_queue.hh"
@@ -32,11 +40,15 @@ class ThrottledSrpEngine : public PrefetchEngine
     static constexpr unsigned kWindow = 256;
 
     /**
+     * @param source Cumulative signal source the accuracy epochs are
+     *        sampled from (production: adaptive::memorySource over
+     *        the run's MemorySystem; tests: a synthetic lambda).
      * @param accuracy_floor Minimum useful/issued ratio; below it
      *        the engine pauses until demand misses accumulate.
      * @param resume_misses Demand misses required to resume.
      */
     ThrottledSrpEngine(const SimConfig &config,
+                       adaptive::Signals::Source source,
                        double accuracy_floor = 0.20,
                        unsigned resume_misses = 64,
                        obs::StatRegistry &registry =
@@ -46,7 +58,6 @@ class ThrottledSrpEngine : public PrefetchEngine
 
     void onL2DemandMiss(Addr addr, RefId ref,
                         const LoadHints &hints) override;
-    void onPrefetchUseful(Addr block_addr) override;
     std::optional<PrefetchCandidate>
     dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
 
@@ -63,10 +74,14 @@ class ThrottledSrpEngine : public PrefetchEngine
     double accuracyFloor_;
     unsigned resumeMisses_;
 
-    uint64_t windowIssued_ = 0;
-    uint64_t windowUseful_ = 0;
+    adaptive::Signals signals_;
+    /** Dequeues since the last accuracy evaluation. */
+    uint64_t dequeuesSinceEval_ = 0;
     bool throttled_ = false;
-    unsigned missesWhileThrottled_ = 0;
+    /** missesWhileThrottled counter value when the current pause
+     *  began (resume progress is the delta; the counter IS the
+     *  accounting — no duplicate raw member). */
+    uint64_t throttleStartMisses_ = 0;
 
     StatGroup stats_;
     obs::ScopedStatRegistration statReg_;

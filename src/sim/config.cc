@@ -18,6 +18,7 @@ toString(PrefetchScheme scheme)
       case PrefetchScheme::PointerHwRec: return "ptr-hw-rec";
       case PrefetchScheme::SrpPlusPointer: return "srp+ptr";
       case PrefetchScheme::SrpThrottled: return "srp-throttled";
+      case PrefetchScheme::GrpAdaptive: return "grp-adaptive";
     }
     return "?";
 }
@@ -88,6 +89,23 @@ SimConfig::validate() const
              "stride table shape invalid");
     fatal_if(stride.streamBuffers == 0 || stride.bufferEntries == 0,
              "stream buffer shape invalid");
+    fatal_if(adaptive.epochCycles == 0,
+             "adaptive epoch length must be non-zero");
+    fatal_if(adaptive.hysteresisEpochs == 0,
+             "adaptive hysteresis must be at least one epoch");
+    fatal_if(adaptive.accuracyLow < 0.0 ||
+             adaptive.accuracyHigh > 1.0 ||
+             adaptive.accuracyLow > adaptive.accuracyHigh,
+             "adaptive accuracy thresholds must satisfy "
+             "0 <= low <= high <= 1");
+    fatal_if(adaptive.idleLow < 0.0 || adaptive.idleHigh > 1.0 ||
+             adaptive.idleLow > adaptive.idleHigh,
+             "adaptive idle thresholds must satisfy 0 <= low <= high <= 1");
+    fatal_if(adaptive.occupancyHigh <= 0.0 ||
+             adaptive.occupancyHigh > 1.0,
+             "adaptive occupancy threshold must be in (0, 1]");
+    fatal_if(adaptive.pollutionHigh < 0.0,
+             "adaptive pollution threshold must be non-negative");
 }
 
 } // namespace grp

@@ -35,6 +35,11 @@ enum class PrefetchScheme
     SrpPlusPointer, ///< SRP combined with HW pointer prefetching.
     SrpThrottled,   ///< SRP with a dynamic accuracy governor
                     ///< (the related-work class of §1).
+    GrpAdaptive,    ///< GRP/Var plus the epoch-based feedback
+                    ///< controller (src/adaptive/): per-hint-class
+                    ///< region size, queue priority, L2 insertion
+                    ///< position and pointer depth are retuned from
+                    ///< runtime signals every epoch.
 };
 
 /** Idealised cache modes for the limit studies in Figure 1. */
@@ -105,6 +110,37 @@ struct RegionPrefetchConfig
     unsigned indirectFanout = 16;
 };
 
+/** Epoch-based adaptive prefetch controller (src/adaptive/). */
+struct AdaptiveConfig
+{
+    /** Cycles between controller evaluations. */
+    uint64_t epochCycles = 2048;
+    /** Per-class accuracy at/above which an epoch votes to raise the
+     *  class's knobs (more aggressive). */
+    double accuracyHigh = 0.60;
+    /** Per-class accuracy at/below which an epoch votes to lower
+     *  them (less aggressive). */
+    double accuracyLow = 0.20;
+    /** Pollution misses per demand L2 access above which every class
+     *  votes to lower (needs shadow tags; 0 signal without them). */
+    double pollutionHigh = 0.02;
+    /** Channel idle fraction required before a raise may also grow
+     *  the region size / pointer depth (bandwidth headroom gate). */
+    double idleHigh = 0.50;
+    /** Idle fraction below which a saturated prefetch queue counts
+     *  as congestion (votes to lower). */
+    double idleLow = 0.10;
+    /** Queue occupancy above which (with idle below idleLow) the
+     *  epoch counts as congested. */
+    double occupancyHigh = 0.75;
+    /** Consecutive same-direction epochs required before any knob
+     *  moves (hysteresis against boundary oscillation). */
+    unsigned hysteresisEpochs = 2;
+    /** Epochs with fewer prefetch fills than this for a class carry
+     *  no signal for it: streaks neither grow nor reset. */
+    uint64_t minEpochFills = 8;
+};
+
 /** Stride prefetcher (PDSB stride component) parameters. */
 struct StrideConfig
 {
@@ -123,6 +159,7 @@ struct SimConfig
     DramConfig dram;
     CpuConfig cpu;
     RegionPrefetchConfig region;
+    AdaptiveConfig adaptive;
     StrideConfig stride;
 
     PrefetchScheme scheme = PrefetchScheme::None;
@@ -144,7 +181,15 @@ struct SimConfig
     usesHints() const
     {
         return scheme == PrefetchScheme::GrpFix ||
-               scheme == PrefetchScheme::GrpVar;
+               scheme == PrefetchScheme::GrpVar ||
+               scheme == PrefetchScheme::GrpAdaptive;
+    }
+
+    /** True when the scheme carries an adaptive controller. */
+    bool
+    usesAdaptiveController() const
+    {
+        return scheme == PrefetchScheme::GrpAdaptive;
     }
 
     /** True when the scheme includes region prefetching. */

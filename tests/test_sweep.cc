@@ -109,6 +109,44 @@ TEST(Sweep, ParallelMatchesSerialExactly)
     }
 }
 
+// The adaptive controller reads only per-run state, so a GrpAdaptive
+// sweep must stay bit-identical at any thread count — including the
+// controller's own stat group (epochs, transitions, time-in-state).
+TEST(Sweep, AdaptiveSchemeIsDeterministicAcrossThreadCounts)
+{
+    setQuiet(true);
+    const RunOptions opts = quickOptions();
+    auto jobs = [&] {
+        std::vector<SweepJob> out;
+        for (const char *workload : {"mcf", "equake", "twolf"}) {
+            out.push_back(SweepJob{
+                std::string(workload) + "/grp-adaptive",
+                [workload = std::string(workload), opts] {
+                    SimConfig config;
+                    config.scheme = PrefetchScheme::GrpAdaptive;
+                    // Small epochs so the controller actually steps
+                    // within the short test window.
+                    config.adaptive.epochCycles = 512;
+                    return runWorkload(workload, config, opts);
+                }});
+        }
+        return out;
+    };
+
+    const std::vector<SweepOutcome> serial = runSweep(jobs(), 1);
+    const std::vector<SweepOutcome> parallel = runSweep(jobs(), 4);
+    ASSERT_EQ(serial.size(), 3u);
+    ASSERT_EQ(parallel.size(), 3u);
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].label);
+        EXPECT_FALSE(serial[i].failed) << serial[i].error;
+        EXPECT_FALSE(parallel[i].failed) << parallel[i].error;
+        expectResultsEqual(serial[i].result, parallel[i].result);
+        // The run exercised the controller, not just carried it.
+        EXPECT_GT(serial[i].result.stats.value("adaptive.epochs"), 0u);
+    }
+}
+
 TEST(Sweep, OutcomesKeepSubmissionOrder)
 {
     setQuiet(true);

@@ -20,6 +20,14 @@ class ThrottledSrpTest : public ::testing::Test
         config.scheme = PrefetchScheme::SrpThrottled;
     }
 
+    /** The engine samples its accuracy epochs from this synthetic
+     *  cumulative sample instead of a live MemorySystem. */
+    adaptive::Signals::Source
+    src()
+    {
+        return [this] { return feed; };
+    }
+
     /** Pull up to @p max candidates across all channels. */
     unsigned
     pull(ThrottledSrpEngine &engine, unsigned max)
@@ -39,13 +47,41 @@ class ThrottledSrpTest : public ::testing::Test
         return issued;
     }
 
+    /**
+     * Drive one full evaluation window (kWindow dequeues), feeding
+     * the synthetic sample as if every dequeue issued a prefetch of
+     * which @p useful were eventually used. The useful count is fed
+     * up front so the evaluation at the window's last dequeue sees
+     * it; fresh regions are allocated on demand.
+     */
+    void
+    window(ThrottledSrpEngine &engine, uint64_t useful)
+    {
+        feed.usefulPrefetches += useful;
+        unsigned dequeued = 0;
+        unsigned region = 0;
+        while (dequeued < ThrottledSrpEngine::kWindow &&
+               !engine.throttled()) {
+            if (engine.dequeuePrefetch(dram, dequeued % 4)) {
+                ++dequeued;
+                ++feed.prefetchesIssued;
+            } else {
+                engine.onL2DemandMiss(base_ + region++ * kRegionBytes,
+                                      0, {});
+            }
+        }
+        base_ += 0x4000000; // Next window uses disjoint regions.
+    }
+
     SimConfig config;
     DramSystem dram{DramConfig{}};
+    adaptive::Sample feed;
+    Addr base_ = 0x100000;
 };
 
 TEST_F(ThrottledSrpTest, BehavesLikeSrpWhileAccurate)
 {
-    ThrottledSrpEngine engine(config, 0.2, 16);
+    ThrottledSrpEngine engine(config, src(), 0.2, 16);
     engine.onL2DemandMiss(0x100000, 0, {});
     EXPECT_FALSE(engine.throttled());
     EXPECT_EQ(pull(engine, 63), 63u);
@@ -53,17 +89,12 @@ TEST_F(ThrottledSrpTest, BehavesLikeSrpWhileAccurate)
 
 TEST_F(ThrottledSrpTest, ThrottlesWhenNothingIsUseful)
 {
-    ThrottledSrpEngine engine(config, 0.2, 16);
-    // Issue several windows of prefetches with zero usefulness.
-    for (unsigned region = 0; !engine.throttled() && region < 32;
-         ++region) {
-        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
-                              {});
-        pull(engine, 63);
-    }
+    ThrottledSrpEngine engine(config, src(), 0.2, 16);
+    window(engine, 0);
     EXPECT_TRUE(engine.throttled());
     EXPECT_GT(engine.stats().value("throttleEvents"), 0u);
-    // While throttled, nothing issues.
+    // While throttled, nothing issues and misses are counted as the
+    // opportunity cost.
     engine.onL2DemandMiss(0x900000, 0, {});
     EXPECT_EQ(pull(engine, 8), 0u);
     EXPECT_GT(engine.stats().value("missesWhileThrottled"), 0u);
@@ -71,28 +102,36 @@ TEST_F(ThrottledSrpTest, ThrottlesWhenNothingIsUseful)
 
 TEST_F(ThrottledSrpTest, UsefulFeedbackPreventsThrottle)
 {
-    ThrottledSrpEngine engine(config, 0.2, 16);
-    for (unsigned region = 0; region < 32; ++region) {
-        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
-                              {});
-        const unsigned issued = pull(engine, 63);
-        // Report a third of them useful: above the 20% floor.
-        for (unsigned i = 0; i < issued / 3; ++i)
-            engine.onPrefetchUseful(0);
+    ThrottledSrpEngine engine(config, src(), 0.2, 16);
+    // Half of each window's issues prove useful: above the 20% floor.
+    for (unsigned w = 0; w < 4; ++w)
+        window(engine, ThrottledSrpEngine::kWindow / 2);
+    EXPECT_FALSE(engine.throttled());
+    EXPECT_EQ(engine.stats().value("throttleEvents"), 0u);
+}
+
+TEST_F(ThrottledSrpTest, WindowWithoutIssuesCarriesNoSignal)
+{
+    ThrottledSrpEngine engine(config, src(), 0.9, 16);
+    // kWindow dequeues whose issues never reach the memory counters
+    // (a filter ate every one): the epoch has no signal, so the
+    // engine holds its current (running) state.
+    unsigned dequeued = 0;
+    unsigned region = 0;
+    while (dequeued < ThrottledSrpEngine::kWindow) {
+        if (engine.dequeuePrefetch(dram, dequeued % 4))
+            ++dequeued;
+        else
+            engine.onL2DemandMiss(0x100000 + region++ * kRegionBytes,
+                                  0, {});
     }
     EXPECT_FALSE(engine.throttled());
 }
 
 TEST_F(ThrottledSrpTest, ResumesAfterEnoughMisses)
 {
-    ThrottledSrpEngine engine(config, 0.9, 4);
-    // A 90% floor with no feedback throttles after one window.
-    for (unsigned region = 0; !engine.throttled() && region < 16;
-         ++region) {
-        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
-                              {});
-        pull(engine, 63);
-    }
+    ThrottledSrpEngine engine(config, src(), 0.9, 4);
+    window(engine, 0); // 0% accuracy under a 90% floor.
     ASSERT_TRUE(engine.throttled());
     for (unsigned miss = 0; miss < 4; ++miss)
         engine.onL2DemandMiss(0xa00000 + miss * kRegionBytes, 0, {});
@@ -105,19 +144,14 @@ TEST_F(ThrottledSrpTest, ResumesAfterEnoughMisses)
 
 TEST_F(ThrottledSrpTest, BadFloorIsFatal)
 {
-    EXPECT_THROW(ThrottledSrpEngine(config, 1.5, 4),
+    EXPECT_THROW(ThrottledSrpEngine(config, src(), 1.5, 4),
                  std::runtime_error);
 }
 
 TEST_F(ThrottledSrpTest, ResetUnthrottles)
 {
-    ThrottledSrpEngine engine(config, 0.9, 1024);
-    for (unsigned region = 0; !engine.throttled() && region < 16;
-         ++region) {
-        engine.onL2DemandMiss(0x100000 + region * kRegionBytes, 0,
-                              {});
-        pull(engine, 63);
-    }
+    ThrottledSrpEngine engine(config, src(), 0.9, 1024);
+    window(engine, 0);
     ASSERT_TRUE(engine.throttled());
     engine.reset();
     EXPECT_FALSE(engine.throttled());

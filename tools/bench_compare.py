@@ -48,7 +48,12 @@ TOLERANCES = {
     "gapFromPerfectPct": ("abs", 5.0),
     "accuracyPct": ("abs", 5.0),
     "coveragePct": ("abs", 5.0),
+    "meanCoveragePct": ("abs", 5.0),
     "missRatePct": ("abs", 5.0),
+    # Adaptive-controller activity (ext_adaptive): epoch count tracks
+    # simulated cycles; knob moves are few, so allow wider drift.
+    "controllerEpochs": ("rel", 0.10),
+    "controllerTransitions": ("rel", 0.25),
     # Raw event counts.
     "trafficBytes": ("rel", 0.10),
     "baseTrafficBytes": ("rel", 0.10),
