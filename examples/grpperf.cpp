@@ -1,0 +1,258 @@
+/**
+ * @file
+ * grpperf — diff two bench manifests and attribute the change.
+ *
+ *   grpperf BASELINE_MANIFEST NEW_MANIFEST [--top N]
+ *
+ * Reads two bench/out/manifest.json files (bench_manifest.py finish)
+ * and prints, side by side: aggregate and per-bench simulated
+ * instructions per second, and a host-phase attribution table (self
+ * and total seconds per phase, share of attributed self time, and
+ * the share delta) built from the hostProf blocks the timing
+ * sidecars carry when the sweep ran with GRP_HOST_PROF >= 1. The
+ * table answers "the gate says 20% slower — where did the time go?":
+ * the phase whose share grew names the culprit subsystem.
+ *
+ * Manifests without host-profile data still get the throughput
+ * tables; the attribution section then says what to re-run.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/host_prof.hh"
+#include "obs/json_reader.hh"
+#include "sim/logging.hh"
+
+using grp::obs::JsonValue;
+
+namespace
+{
+
+struct PhaseAgg
+{
+    double selfNanos = 0.0;
+    double totalNanos = 0.0;
+    double calls = 0.0;
+};
+
+/** Everything grpperf needs from one manifest. */
+struct Manifest
+{
+    std::string path;
+    double instPerSec = 0.0;
+    /** bench name -> instructionsPerSecond. */
+    std::map<std::string, double> benches;
+    /** phase name -> aggregated nanos across every job. */
+    std::map<std::string, PhaseAgg> phases;
+    bool hasHostProf = false;
+};
+
+double
+numberOr(const JsonValue *value, double fallback)
+{
+    return value && value->isNumber() ? value->asNumber() : fallback;
+}
+
+void
+foldPhases(const JsonValue &phases, Manifest &manifest)
+{
+    if (!phases.isObject())
+        return;
+    for (const auto &[name, totals] : phases.asObject()) {
+        PhaseAgg &agg = manifest.phases[name];
+        agg.selfNanos += numberOr(totals.find("selfNanos"), 0.0);
+        agg.totalNanos += numberOr(totals.find("totalNanos"), 0.0);
+        agg.calls += numberOr(totals.find("calls"), 0.0);
+        manifest.hasHostProf = true;
+    }
+}
+
+Manifest
+loadManifest(const std::string &path)
+{
+    std::ifstream file(path);
+    fatal_if(!file, "cannot open manifest '%s'", path.c_str());
+    std::ostringstream text;
+    text << file.rdbuf();
+
+    std::string error;
+    const auto doc = grp::obs::parseJson(text.str(), &error);
+    fatal_if(!doc, "%s: %s", path.c_str(), error.c_str());
+
+    Manifest manifest;
+    manifest.path = path;
+    manifest.instPerSec =
+        numberOr(doc->find("instructionsPerSecond"), 0.0);
+
+    const JsonValue *benches = doc->find("benches");
+    if (!benches || !benches->isObject())
+        return manifest;
+    for (const auto &[bench, data] : benches->asObject()) {
+        manifest.benches[bench] =
+            numberOr(data.find("instructionsPerSecond"), 0.0);
+        // v3 manifests aggregate the phases per bench; older data
+        // still carries them per job inside the sidecar copy.
+        if (const JsonValue *agg = data.find("hostPhases")) {
+            foldPhases(*agg, manifest);
+        } else if (const JsonValue *jobs = data.find("jobs");
+                   jobs && jobs->isArray()) {
+            for (const JsonValue &job : jobs->asArray()) {
+                if (const JsonValue *prof =
+                        job.findPath("hostProf.phases"))
+                    foldPhases(*prof, manifest);
+            }
+        }
+    }
+    return manifest;
+}
+
+double
+pctDelta(double base, double now)
+{
+    return base > 0.0 ? 100.0 * (now - base) / base : 0.0;
+}
+
+double
+sumSelf(const Manifest &manifest)
+{
+    double sum = 0.0;
+    for (const auto &[name, agg] : manifest.phases)
+        sum += agg.selfNanos;
+    return sum;
+}
+
+void
+printThroughput(const Manifest &base, const Manifest &now)
+{
+    std::printf("%-24s %14s %14s %8s\n", "inst/s", "baseline", "new",
+                "delta");
+    std::printf("%-24s %14.0f %14.0f %+7.1f%%\n", "  <aggregate>",
+                base.instPerSec, now.instPerSec,
+                pctDelta(base.instPerSec, now.instPerSec));
+    for (const auto &[bench, base_ips] : base.benches) {
+        const auto it = now.benches.find(bench);
+        if (it == now.benches.end()) {
+            std::printf("%-24s %14.0f %14s\n", bench.c_str(),
+                        base_ips, "absent");
+            continue;
+        }
+        std::printf("%-24s %14.0f %14.0f %+7.1f%%\n", bench.c_str(),
+                    base_ips, it->second,
+                    pctDelta(base_ips, it->second));
+    }
+    for (const auto &[bench, now_ips] : now.benches) {
+        if (!base.benches.count(bench))
+            std::printf("%-24s %14s %14.0f\n", bench.c_str(),
+                        "absent", now_ips);
+    }
+}
+
+void
+printAttribution(const Manifest &base, const Manifest &now, size_t top)
+{
+    if (!base.hasHostProf && !now.hasHostProf) {
+        std::printf("\nno host-profile data in either manifest; "
+                    "re-run the sweeps with GRP_HOST_PROF=1 for "
+                    "phase attribution\n");
+        return;
+    }
+
+    const double base_self = sumSelf(base);
+    const double now_self = sumSelf(now);
+    std::vector<std::string> names;
+    for (const auto &[name, agg] : base.phases)
+        names.push_back(name);
+    for (const auto &[name, agg] : now.phases) {
+        if (!base.phases.count(name))
+            names.push_back(name);
+    }
+    // Biggest new-run self time first: the top rows are where the
+    // wall clock actually goes now.
+    std::stable_sort(names.begin(), names.end(),
+                     [&](const std::string &a, const std::string &b) {
+                         const auto sn = [&](const std::string &n) {
+                             const auto it = now.phases.find(n);
+                             return it == now.phases.end()
+                                        ? 0.0
+                                        : it->second.selfNanos;
+                         };
+                         return sn(a) > sn(b);
+                     });
+
+    std::printf("\nhost-phase attribution (self seconds, share of "
+                "attributed self time)\n");
+    std::printf("%-16s %10s %10s %7s %7s %8s %12s\n", "phase",
+                "self(b)", "self(n)", "shr(b)", "shr(n)", "d(shr)",
+                "total(n)");
+    size_t shown = 0;
+    for (const std::string &name : names) {
+        if (top && shown++ >= top)
+            break;
+        static const PhaseAgg kZero;
+        const auto bit = base.phases.find(name);
+        const auto nit = now.phases.find(name);
+        const PhaseAgg &b = bit == base.phases.end() ? kZero
+                                                     : bit->second;
+        const PhaseAgg &n = nit == now.phases.end() ? kZero
+                                                    : nit->second;
+        const double b_share =
+            base_self > 0.0 ? 100.0 * b.selfNanos / base_self : 0.0;
+        const double n_share =
+            now_self > 0.0 ? 100.0 * n.selfNanos / now_self : 0.0;
+        std::printf("%-16s %10.3f %10.3f %6.1f%% %6.1f%% %+7.1f%% "
+                    "%12.3f\n",
+                    name.c_str(), b.selfNanos * 1e-9,
+                    n.selfNanos * 1e-9, b_share, n_share,
+                    n_share - b_share, n.totalNanos * 1e-9);
+    }
+}
+
+void
+usage()
+{
+    std::printf("usage: grpperf BASELINE_MANIFEST NEW_MANIFEST "
+                "[--top N]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    std::vector<std::string> paths;
+    size_t top = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top") {
+            fatal_if(i + 1 >= argc, "--top needs a value");
+            top = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        usage();
+        return 1;
+    }
+
+    const Manifest base = loadManifest(paths[0]);
+    const Manifest now = loadManifest(paths[1]);
+    std::printf("baseline: %s\nnew:      %s\n\n", base.path.c_str(),
+                now.path.c_str());
+    printThroughput(base, now);
+    printAttribution(base, now, top);
+    return 0;
+} catch (const std::exception &) {
+    // fatal() already printed the message with its location.
+    return 1;
+}

@@ -10,6 +10,7 @@
  *          [--timeseries PATH] [--timeseries-bucket N]
  *          [--site-profile PATH] [--site-report N]
  *          [--shadow] [--cost-report] [--adaptive-report]
+ *          [--host-prof PATH] [--host-prof-level N]
  *
  * Runs one (workload, scheme) pair through the harness and prints
  * the headline metrics. The observability flags export the full
@@ -18,10 +19,15 @@
  * per-hint-site behaviour; --shadow runs the counterfactual shadow
  * tags (pollution/coverage classification, mem.pollution* counters)
  * and --cost-report additionally prints the cost report (implies
- * --shadow). Every flag accepts both "--flag value" and
+ * --shadow). --host-prof writes the host-side self-profile (where
+ * the simulator's own wall time went, by phase) as JSON; it implies
+ * profiling level 2 unless --host-prof-level or GRP_HOST_PROF says
+ * otherwise. Every flag accepts both "--flag value" and
  * "--flag=value". Output paths are validated up front: a path
  * whose parent directory does not exist is rejected before the
- * simulation spends any time.
+ * simulation spends any time — except the sentinel "-", which
+ * streams the artefact to stdout (--stats-json, --stats-csv,
+ * --host-prof).
  */
 
 #include <cstdio>
@@ -30,6 +36,7 @@
 #include <string>
 
 #include "harness/runner.hh"
+#include "obs/host_prof.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
 
@@ -73,6 +80,8 @@ parsePolicy(const std::string &name)
 std::string
 outputPath(const std::string &flag, const std::string &path)
 {
+    if (path == "-") // stdout sentinel: nothing to validate
+        return path;
     const std::filesystem::path parent =
         std::filesystem::path(path).parent_path();
     if (!parent.empty() && !std::filesystem::is_directory(parent)) {
@@ -94,6 +103,7 @@ usage()
         "              [--timeseries PATH] [--timeseries-bucket N]\n"
         "              [--site-profile PATH] [--site-report N]\n"
         "              [--shadow] [--cost-report] [--adaptive-report]\n"
+        "              [--host-prof PATH] [--host-prof-level N]\n"
         "schemes: none stride srp grp-fix grp-var grp-adaptive ptr-hw "
         "ptr-hw-rec srp+ptr srp-throttled\n"
         "policies: conservative default aggressive\n");
@@ -168,6 +178,10 @@ try {
             options.obs.costReport = true;
         } else if (arg == "--adaptive-report") {
             options.obs.adaptiveReport = true;
+        } else if (arg == "--host-prof") {
+            options.obs.hostProfPath = outputPath(arg, value());
+        } else if (arg == "--host-prof-level") {
+            options.obs.hostProfLevel = static_cast<int>(number());
         } else if (arg == "--list") {
             for (const auto &name : workloadNames())
                 std::printf("%s\n", name.c_str());
@@ -178,46 +192,67 @@ try {
         }
     }
 
+    // A report was asked for but nothing enables profiling: default
+    // to the full hot-loop attribution level rather than emitting an
+    // empty report.
+    if (!options.obs.hostProfPath.empty() &&
+        options.obs.hostProfLevel < 0 &&
+        obs::HostProfiler::envLevel() == 0) {
+        options.obs.hostProfLevel = 2;
+    }
+
     const RunResult result = runWorkload(workload_name, config, options);
     const uint64_t warmup =
         options.warmupInstructions == ~0ull
             ? options.maxInstructions / 4
             : options.warmupInstructions;
 
-    std::printf("workload      %s (%s)\n", workload_name.c_str(),
-                result.info.missCause.c_str());
-    std::printf("scheme        %s, policy %s, seed %llu\n",
-                toString(config.scheme), toString(config.policy),
-                (unsigned long long)options.seed);
-    std::printf("hints         %u refs: %u spatial, %u pointer, %u "
-                "recursive, %u indirect\n",
-                result.hints.memInsts, result.hints.spatial,
-                result.hints.pointer, result.hints.recursive,
-                result.hints.indirect);
-    std::printf("instructions  %llu (after %llu warmup)\n",
-                (unsigned long long)result.instructions,
-                (unsigned long long)warmup);
-    std::printf("cycles        %llu\n",
-                (unsigned long long)result.cycles);
-    std::printf("IPC           %.4f\n", result.ipc);
-    std::printf("traffic       %llu bytes (%llu fills + %llu "
-                "prefetches + %llu writebacks)\n",
-                (unsigned long long)result.trafficBytes,
-                (unsigned long long)result.stats.value(
-                    "mem.demandFills"),
-                (unsigned long long)result.prefetchFills,
-                (unsigned long long)result.stats.value(
-                    "mem.writebacks"));
-    std::printf("L2 misses     %llu to memory, %llu total demand\n",
-                (unsigned long long)result.l2MissesToMemory,
-                (unsigned long long)result.l2MissesTotal);
+    // When a machine-readable report streams to stdout ("-"), the
+    // human summary moves to stderr so `grpsim --stats-json - | jq`
+    // sees a clean document.
+    FILE *const out = (options.obs.statsJsonPath == "-" ||
+                       options.obs.statsCsvPath == "-" ||
+                       options.obs.hostProfPath == "-")
+                          ? stderr
+                          : stdout;
+    std::fprintf(out, "workload      %s (%s)\n", workload_name.c_str(),
+                 result.info.missCause.c_str());
+    std::fprintf(out, "scheme        %s, policy %s, seed %llu\n",
+                 toString(config.scheme), toString(config.policy),
+                 (unsigned long long)options.seed);
+    std::fprintf(out,
+                 "hints         %u refs: %u spatial, %u pointer, %u "
+                 "recursive, %u indirect\n",
+                 result.hints.memInsts, result.hints.spatial,
+                 result.hints.pointer, result.hints.recursive,
+                 result.hints.indirect);
+    std::fprintf(out, "instructions  %llu (after %llu warmup)\n",
+                 (unsigned long long)result.instructions,
+                 (unsigned long long)warmup);
+    std::fprintf(out, "cycles        %llu\n",
+                 (unsigned long long)result.cycles);
+    std::fprintf(out, "IPC           %.4f\n", result.ipc);
+    std::fprintf(out,
+                 "traffic       %llu bytes (%llu fills + %llu "
+                 "prefetches + %llu writebacks)\n",
+                 (unsigned long long)result.trafficBytes,
+                 (unsigned long long)result.stats.value(
+                     "mem.demandFills"),
+                 (unsigned long long)result.prefetchFills,
+                 (unsigned long long)result.stats.value(
+                     "mem.writebacks"));
+    std::fprintf(out,
+                 "L2 misses     %llu to memory, %llu total demand\n",
+                 (unsigned long long)result.l2MissesToMemory,
+                 (unsigned long long)result.l2MissesTotal);
     if (result.prefetchFills) {
-        std::printf("accuracy      %.4f (%llu useful / %llu fills, "
-                    "+%llu warmup carryover)\n",
-                    result.accuracy(),
-                    (unsigned long long)result.usefulPrefetches,
-                    (unsigned long long)result.prefetchFills,
-                    (unsigned long long)result.warmupUsefulPrefetches);
+        std::fprintf(out,
+                     "accuracy      %.4f (%llu useful / %llu fills, "
+                     "+%llu warmup carryover)\n",
+                     result.accuracy(),
+                     (unsigned long long)result.usefulPrefetches,
+                     (unsigned long long)result.prefetchFills,
+                     (unsigned long long)result.warmupUsefulPrefetches);
     }
     return 0;
 } catch (const std::exception &) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/host_prof.hh"
 #include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
@@ -47,6 +48,7 @@ GrpEngine::setControlPlane(const adaptive::ControlPlane *plane)
 void
 GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
 {
+    GRP_HOST_SCOPE(2, EngineNotify);
     // The compiler's hint gates the spatial engine: misses without a
     // spatial mark do not trigger region prefetches at all. Pointer
     // and recursive hints need no action here — the memory system
@@ -81,6 +83,7 @@ GrpEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &hints)
 void
 GrpEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
 {
+    GRP_HOST_SCOPE(2, EngineNotify);
     if (ptr_depth == 0)
         return;
     std::array<Addr, 8> pointers;
@@ -109,6 +112,7 @@ void
 GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
                             Addr index_addr, RefId ref)
 {
+    GRP_HOST_SCOPE(2, EngineNotify);
     // Read the cache block containing &b[i]; every 4-byte word in it
     // is treated as an index into a (§3.3.3). The hardware cannot
     // know the live extent of b, so words past the end of the array
@@ -133,6 +137,7 @@ GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
 std::optional<PrefetchCandidate>
 GrpEngine::dequeuePrefetch(const DramSystem &dram, unsigned channel)
 {
+    GRP_HOST_SCOPE(2, EngineDequeue);
     auto candidate = queue_.dequeue(dram, channel);
     if (candidate)
         ++*candidatesOffered_;

@@ -1,5 +1,6 @@
 #include "cpu/cpu.hh"
 
+#include "obs/host_prof.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -45,6 +46,7 @@ Cpu::fetchNext()
     while (!havePending_) {
         if (traceDone_)
             return false;
+        GRP_HOST_SCOPE(2, Interp);
         TraceOp op;
         if (!trace_.next(op)) {
             traceDone_ = true;

@@ -12,6 +12,8 @@
 #include "core/grp_engine.hh"
 #include "cpu/cpu.hh"
 #include "mem/memory_system.hh"
+#include "obs/atomic_file.hh"
+#include "obs/host_prof.hh"
 #include "obs/site_profile.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
@@ -97,6 +99,87 @@ class ScopedSiteProfile
     bool active_ = false;
     std::optional<obs::ScopedStatRegistration> reg_;
 };
+
+/** Applies one run's host-profiling level (an explicit
+ *  ObsOptions::hostProfLevel overrides the thread's inherited level)
+ *  and captures a baseline snapshot, so profile() reports this run's
+ *  delta even when earlier runs on the thread already accumulated
+ *  time. Restores the previous level on destruction. */
+class ScopedHostProf
+{
+  public:
+    explicit ScopedHostProf(const ObsOptions &obs)
+        : prevLevel_(obs::HostProfiler::instance().level())
+    {
+        obs::HostProfiler &prof = obs::HostProfiler::instance();
+        if (obs.hostProfLevel >= 0)
+            prof.setLevel(obs.hostProfLevel);
+        active_ = prof.level() > 0;
+        if (active_)
+            base_ = prof.snapshot();
+    }
+
+    ~ScopedHostProf()
+    {
+        obs::HostProfiler::instance().setLevel(prevLevel_);
+    }
+
+    ScopedHostProf(const ScopedHostProf &) = delete;
+    ScopedHostProf &operator=(const ScopedHostProf &) = delete;
+
+    bool active() const { return active_; }
+
+    /** The profiler's delta since this run began. */
+    obs::HostProfile
+    profile() const
+    {
+        return obs::HostProfiler::instance().snapshot().delta(base_);
+    }
+
+  private:
+    int prevLevel_;
+    bool active_ = false;
+    obs::HostProfile base_;
+};
+
+/** Folds a host profile into a registry-visible stat group: per-phase
+ *  <phase>TotalNanos / <phase>SelfNanos / <phase>Calls for every
+ *  phase that fired, plus the allocation and RSS aggregates. */
+void
+fillHostProfStats(StatGroup &group, const obs::HostProfile &profile)
+{
+    for (size_t i = 0; i < obs::kNumHostPhases; ++i) {
+        const obs::HostPhaseTotals &totals = profile.phases[i];
+        if (!totals.calls)
+            continue;
+        const std::string name =
+            obs::toString(static_cast<obs::HostPhase>(i));
+        group.counter(name + "TotalNanos") += totals.totalNanos;
+        group.counter(name + "SelfNanos") += totals.selfNanos;
+        group.counter(name + "Calls") += totals.calls;
+    }
+    group.counter("selfSumNanos") += profile.selfSumNanos();
+    group.counter("allocCount") += profile.allocCount;
+    group.counter("allocBytes") += profile.allocBytes;
+    group.counter("freeCount") += profile.freeCount;
+    group.counter("peakRssKb") += profile.peakRssKb;
+    group.counter("level") += static_cast<uint64_t>(profile.level);
+}
+
+/** Writes the --host-prof JSON report ("-" streams to stdout). */
+void
+writeHostProfReport(const std::string &path,
+                    const obs::HostProfile &profile)
+{
+    if (path == "-") {
+        profile.writeJson(std::cout);
+        std::cout << "\n";
+        return;
+    }
+    obs::atomicWriteFile(
+        path, [&profile](std::ostream &os) { profile.writeJson(os); },
+        "host profile");
+}
 
 /** The counterfactual cost report: what prefetching destroyed
  *  (pollution, channel contention) next to what it earned
@@ -188,6 +271,9 @@ RunResult
 runWorkload(const std::string &workload_name, SimConfig config,
             const RunOptions &options)
 {
+    ScopedHostProf host_prof(options.obs);
+    GRP_HOST_SCOPE_NAMED(run_scope, 1, Run);
+    GRP_HOST_SCOPE_NAMED(setup_scope, 1, Setup);
     auto workload = makeWorkload(workload_name);
     const WorkloadInfo info = workload->info();
     if (info.recursiveDepthOverride != 0)
@@ -251,7 +337,9 @@ runWorkload(const std::string &workload_name, SimConfig config,
     if (!options.obs.timeseriesPath.empty())
         series.emplace(options.obs.timeseriesBucket);
     const uint64_t bucket = options.obs.timeseriesBucket;
+    setup_scope.stop();
 
+    GRP_HOST_SCOPE_NAMED(loop_scope, 1, SimLoop);
     Tick cycle = 0;
     uint64_t warm_instructions = 0;
     uint64_t warm_cycles = 0;
@@ -259,13 +347,25 @@ runWorkload(const std::string &workload_name, SimConfig config,
     while (!cpu.done() &&
            cpu.retiredInstructions() <
                options.maxInstructions + warmup) {
-        events.advanceTo(cycle);
-        cpu.tick();
-        mem.tick();
+        {
+            GRP_HOST_SCOPE(2, Events);
+            events.advanceTo(cycle);
+        }
+        {
+            GRP_HOST_SCOPE(2, CpuTick);
+            cpu.tick();
+        }
+        {
+            GRP_HOST_SCOPE(2, MemTick);
+            mem.tick();
+        }
         if (controller && cycle &&
-            cycle % config.adaptive.epochCycles == 0)
+            cycle % config.adaptive.epochCycles == 0) {
+            GRP_HOST_SCOPE(1, Adaptive);
             controller->onEpoch(cycle);
+        }
         if (series && cycle % bucket == 0) {
+            GRP_HOST_SCOPE(1, Timeseries);
             series->record("prefetchQueueDepth", cycle,
                            engine ? static_cast<double>(
                                         engine->queueDepth())
@@ -308,7 +408,9 @@ runWorkload(const std::string &workload_name, SimConfig config,
             measuring = true;
         }
     }
+    loop_scope.stop();
 
+    GRP_HOST_SCOPE_NAMED(finish_scope, 1, Finish);
     RunResult result;
     result.workload = workload_name;
     result.scheme = config.scheme;
@@ -344,6 +446,19 @@ runWorkload(const std::string &workload_name, SimConfig config,
         assert(!"useful prefetches exceeded prefetch fills");
     }
     result.hints = hint_stats;
+
+    // When profiling is on, fold the run's host-time attribution into
+    // the registry as a hostProf group so every exporter (JSON, CSV,
+    // text dump, result.stats) carries it. The group exists only when
+    // the profiler is active: GRP_HOST_PROF=0 artefacts stay
+    // byte-identical to unprofiled runs.
+    std::optional<StatGroup> host_stats;
+    std::optional<obs::ScopedStatRegistration> host_stats_reg;
+    if (host_prof.active()) {
+        host_stats.emplace("hostProf");
+        fillHostProfStats(*host_stats, host_prof.profile());
+        host_stats_reg.emplace(*host_stats, registry);
+    }
     result.stats = registry.snapshot();
 
     if (auto *grp_engine = dynamic_cast<GrpEngine *>(engine.get())) {
@@ -356,6 +471,9 @@ runWorkload(const std::string &workload_name, SimConfig config,
         }
     }
 
+    finish_scope.stop();
+
+    GRP_HOST_SCOPE_NAMED(export_scope, 1, StatsExport);
     const ObsOptions &obs = options.obs;
     if (!obs.statsJsonPath.empty())
         registry.exportJsonFile(obs.statsJsonPath);
@@ -377,6 +495,13 @@ runWorkload(const std::string &workload_name, SimConfig config,
         controller->writeReport(std::cout);
     if (obs.dumpStats)
         registry.dumpText(std::cout);
+    export_scope.stop();
+    run_scope.stop();
+
+    // Written after the run scope closes so the report prices
+    // everything but its own serialization.
+    if (host_prof.active() && !obs.hostProfPath.empty())
+        writeHostProfReport(obs.hostProfPath, host_prof.profile());
     return result;
 }
 

@@ -119,6 +119,14 @@ struct ObsOptions
      *  (epochs, transitions per knob, time-in-state per class).
      *  Rejected (fatal) when the scheme has no controller. */
     bool adaptiveReport = false;
+    /** Host-profiler JSON report path ("-" writes to stdout); empty
+     *  disables the report (profiling may still be on via
+     *  GRP_HOST_PROF, surfacing through the hostProf.* stat group). */
+    std::string hostProfPath;
+    /** Runtime host-profiling level for this run (0 disables, 1 run
+     *  lifecycle, 2 adds the hot-loop phases); -1 inherits the
+     *  thread's level, seeded from GRP_HOST_PROF. */
+    int hostProfLevel = -1;
 };
 
 /** Options for a run. */

@@ -5,11 +5,58 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/host_prof.hh"
 #include "obs/json_writer.hh"
 #include "sim/logging.hh"
 
+// Build provenance baked in by src/CMakeLists.txt; the fallbacks keep
+// out-of-tree builds (tests compiling suite.cc directly) working.
+#ifndef GRP_BUILD_COMPILER
+#define GRP_BUILD_COMPILER "unknown"
+#endif
+#ifndef GRP_BUILD_TYPE
+#define GRP_BUILD_TYPE "unknown"
+#endif
+#ifndef GRP_BUILD_FLAGS
+#define GRP_BUILD_FLAGS ""
+#endif
+
 namespace grp
 {
+
+namespace
+{
+
+/** Per-job host-profile block for the timing sidecar (emitted only
+ *  when the job ran with profiling on). */
+void
+writeHostProfJson(obs::JsonWriter &json, const obs::HostProfile &prof)
+{
+    json.beginObject();
+    json.kv("level", prof.level);
+    json.key("phases");
+    json.beginObject();
+    for (size_t i = 0; i < obs::kNumHostPhases; ++i) {
+        const obs::HostPhaseTotals &totals = prof.phases[i];
+        if (!totals.calls)
+            continue;
+        json.key(obs::toString(static_cast<obs::HostPhase>(i)));
+        json.beginObject();
+        json.kv("totalNanos", totals.totalNanos);
+        json.kv("selfNanos", totals.selfNanos);
+        json.kv("calls", totals.calls);
+        json.endObject();
+    }
+    json.endObject();
+    json.kv("selfSumNanos", prof.selfSumNanos());
+    json.kv("allocCount", prof.allocCount);
+    json.kv("allocBytes", prof.allocBytes);
+    json.kv("freeCount", prof.freeCount);
+    json.kv("peakRssKb", prof.peakRssKb);
+    json.endObject();
+}
+
+} // namespace
 
 std::vector<std::string>
 perfSuite()
@@ -190,9 +237,20 @@ BenchSweep::writeTimings() const
 
     obs::JsonWriter json(file);
     json.beginObject();
-    json.kv("schema", "grp-bench-timing-v1");
+    json.kv("schema", "grp-bench-timing-v2");
     json.kv("bench", name_);
     json.kv("threads", threads_);
+    // Host provenance: timing numbers are only comparable between
+    // sidecars that agree here (perf_compare.py downgrades failures
+    // to warnings across provenance mismatches).
+    json.key("provenance");
+    json.beginObject();
+    json.kv("compiler", GRP_BUILD_COMPILER);
+    json.kv("buildType", GRP_BUILD_TYPE);
+    json.kv("cxxFlags", GRP_BUILD_FLAGS);
+    json.kv("hostProfMaxLevel", GRP_HOST_PROF_MAX_LEVEL);
+    json.kv("hostProfLevel", obs::HostProfiler::envLevel());
+    json.endObject();
     json.kv("totalWallSeconds", totalWallSeconds_);
     json.kv("simulatedInstructions", instructions);
     json.kv("instructionsPerSecond",
@@ -211,6 +269,10 @@ BenchSweep::writeTimings() const
                     ? static_cast<double>(outcome.result.instructions) /
                           outcome.wallSeconds
                     : 0.0);
+        if (outcome.hostProf.enabled()) {
+            json.key("hostProf");
+            writeHostProfJson(json, outcome.hostProf);
+        }
         json.endObject();
     }
     json.endArray();

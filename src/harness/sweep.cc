@@ -18,6 +18,11 @@ executeJob(const SweepJob &job)
 {
     SweepOutcome outcome;
     outcome.label = job.label;
+    obs::HostProfiler &host_prof = obs::HostProfiler::instance();
+    const bool profiling = host_prof.level() > 0;
+    obs::HostProfile prof_base;
+    if (profiling)
+        prof_base = host_prof.snapshot();
     const auto start = std::chrono::steady_clock::now();
     try {
         outcome.result = job.run();
@@ -32,6 +37,8 @@ executeJob(const SweepJob &job)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (profiling)
+        outcome.hostProf = host_prof.snapshot().delta(prof_base);
     return outcome;
 }
 

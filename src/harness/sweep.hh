@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "harness/runner.hh"
+#include "obs/host_prof.hh"
 
 namespace grp
 {
@@ -51,6 +52,10 @@ struct SweepOutcome
     std::string error;
     /** Wall-clock seconds this job took on its worker thread. */
     double wallSeconds = 0.0;
+    /** Host-profiler delta over this job (the worker thread's
+     *  profiler is thread_local, so concurrent jobs never mix).
+     *  All-zero unless profiling was on — check hostProf.enabled(). */
+    obs::HostProfile hostProf;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "mem/dram.hh"
 
+#include "obs/host_prof.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -97,6 +98,7 @@ Tick
 DramSystem::serve(Addr addr, Tick now, ReqClass cls, RefId ref,
                   obs::HintClass hint)
 {
+    GRP_HOST_SCOPE(2, DramServe);
     Channel &channel = channels_[channelOf(addr)];
     panic_if(channel.busyUntil > now,
              "serving on a busy channel (busy until %llu, now %llu)",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/host_prof.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -103,6 +104,7 @@ bool
 MemorySystem::load(Addr addr, RefId ref, const LoadHints &hints,
                    uint64_t token)
 {
+    GRP_HOST_SCOPE(2, MemAccess);
     if (config_.perfection == Perfection::PerfectL1) {
         ++*hot_.l1DemandAccesses;
         events_.scheduleIn(config_.l1d.latency,
@@ -128,6 +130,7 @@ MemorySystem::load(Addr addr, RefId ref, const LoadHints &hints,
 bool
 MemorySystem::store(Addr addr, RefId ref, const LoadHints &hints)
 {
+    GRP_HOST_SCOPE(2, MemAccess);
     if (config_.perfection == Perfection::PerfectL1) {
         ++*hot_.l1DemandAccesses;
         return true;
@@ -179,6 +182,7 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     // The L2 sees only the clean-read side of a store miss: the store
     // data lands in the L1 copy (write-allocate); the L2 copy stays
     // clean until the L1 victim is written back.
+    GRP_HOST_SCOPE(2, L2Access);
     ++*hot_.l2DemandAccesses;
     // Single tag walk: probe and (on a hit) touch in one pass. The
     // first-use-of-prefetch outcome is applied after the engine
@@ -574,6 +578,7 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
 {
     if (!engine_)
         return false;
+    GRP_HOST_SCOPE(2, PrefetchIssue);
     // The access prioritizer forwards prefetch requests only when
     // there are no outstanding demand misses from the L2 (§3.1):
     // prefetches thus contend with demands only when the demand

@@ -1,5 +1,6 @@
 #include "mem/mshr.hh"
 
+#include "obs/host_prof.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -25,6 +26,7 @@ MshrFile::MshrFile(unsigned entries, unsigned max_targets,
 Mshr *
 MshrFile::find(Addr addr)
 {
+    GRP_HOST_SCOPE(2, Mshr);
     const Addr block = blockAlign(addr);
     for (Mshr &entry : entries_) {
         if (entry.valid && entry.blockAddr == block)
@@ -43,6 +45,7 @@ Mshr &
 MshrFile::allocate(Addr addr, bool is_prefetch, const LoadHints &hints,
                    uint8_t ptr_depth, Tick now)
 {
+    GRP_HOST_SCOPE(2, Mshr);
     panic_if(full(), "allocating from a full MSHR file");
     panic_if(find(addr) != nullptr,
              "duplicate MSHR allocation for block %#llx",
@@ -69,6 +72,7 @@ MshrFile::allocate(Addr addr, bool is_prefetch, const LoadHints &hints,
 bool
 MshrFile::addTarget(Mshr &entry, const MshrTarget &target)
 {
+    GRP_HOST_SCOPE(2, Mshr);
     if (entry.targets.size() >= maxTargets_)
         return false;
     entry.targets.push_back(target);
@@ -84,6 +88,7 @@ MshrFile::addTarget(Mshr &entry, const MshrTarget &target)
 void
 MshrFile::deallocate(Mshr &entry)
 {
+    GRP_HOST_SCOPE(2, Mshr);
     panic_if(!entry.valid, "deallocating an invalid MSHR");
     entry.valid = false;
     entry.targets.clear();

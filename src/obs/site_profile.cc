@@ -1,5 +1,7 @@
 #include "obs/site_profile.hh"
 
+#include "obs/host_prof.hh"
+
 #include <algorithm>
 
 #include "obs/atomic_file.hh"
@@ -41,6 +43,7 @@ SiteProfiler::entry(RefId ref, HintClass hint)
 void
 SiteProfiler::noteTrigger(RefId ref, HintClass hint)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     ++entry(ref, hint).triggers;
     ++stats_.counter("triggers");
 }
@@ -48,6 +51,7 @@ SiteProfiler::noteTrigger(RefId ref, HintClass hint)
 void
 SiteProfiler::noteEnqueue(RefId ref, HintClass hint, uint64_t candidates)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     entry(ref, hint).enqueued += candidates;
     stats_.counter("enqueued") += candidates;
 }
@@ -55,6 +59,7 @@ SiteProfiler::noteEnqueue(RefId ref, HintClass hint, uint64_t candidates)
 void
 SiteProfiler::noteDrop(RefId ref, HintClass hint, uint64_t candidates)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     entry(ref, hint).dropped += candidates;
     stats_.counter("dropped") += candidates;
 }
@@ -62,6 +67,7 @@ SiteProfiler::noteDrop(RefId ref, HintClass hint, uint64_t candidates)
 void
 SiteProfiler::noteIssue(RefId ref, HintClass hint)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     ++entry(ref, hint).issued;
     ++stats_.counter("issued");
 }
@@ -69,6 +75,7 @@ SiteProfiler::noteIssue(RefId ref, HintClass hint)
 void
 SiteProfiler::noteFiltered(RefId ref, HintClass hint)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     ++entry(ref, hint).filtered;
     ++stats_.counter("filtered");
 }
@@ -76,6 +83,7 @@ SiteProfiler::noteFiltered(RefId ref, HintClass hint)
 void
 SiteProfiler::noteFill(RefId ref, HintClass hint, bool warm)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     SiteCounters &site = entry(ref, hint);
     if (warm) {
         ++site.warmupFills;
@@ -90,6 +98,7 @@ void
 SiteProfiler::noteUseful(RefId ref, HintClass hint, uint64_t distance,
                          bool warm)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     SiteCounters &site = entry(ref, hint);
     if (warm) {
         ++site.warmupUseful;
@@ -104,6 +113,7 @@ SiteProfiler::noteUseful(RefId ref, HintClass hint, uint64_t distance,
 void
 SiteProfiler::noteEvictedUnused(RefId ref, HintClass hint, bool warm)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     ++entry(ref, hint).evictedUnused;
     ++stats_.counter("evictedUnused");
     if (warm)
@@ -113,6 +123,7 @@ SiteProfiler::noteEvictedUnused(RefId ref, HintClass hint, bool warm)
 void
 SiteProfiler::notePollutionMiss(RefId ref, HintClass hint)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     ++entry(ref, hint).pollutionCaused;
     ++stats_.counter("pollutionCaused");
 }
@@ -120,6 +131,7 @@ SiteProfiler::notePollutionMiss(RefId ref, HintClass hint)
 void
 SiteProfiler::noteContention(RefId ref, HintClass hint, uint64_t waiting)
 {
+    GRP_HOST_SCOPE(2, SiteProfile);
     entry(ref, hint).contentionCycles += waiting;
     stats_.counter("contentionCycles") += waiting;
 }

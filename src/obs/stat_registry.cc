@@ -1,6 +1,7 @@
 #include "obs/stat_registry.hh"
 
 #include <algorithm>
+#include <iostream>
 
 #include "obs/atomic_file.hh"
 #include "obs/json_writer.hh"
@@ -194,6 +195,11 @@ StatRegistry::exportCsv(std::ostream &os) const
 bool
 StatRegistry::exportJsonFile(const std::string &path) const
 {
+    if (path == "-") {
+        exportJson(std::cout);
+        std::cout << "\n";
+        return static_cast<bool>(std::cout);
+    }
     return atomicWriteFile(
         path, [this](std::ostream &os) { exportJson(os); },
         "stats JSON");
@@ -202,6 +208,10 @@ StatRegistry::exportJsonFile(const std::string &path) const
 bool
 StatRegistry::exportCsvFile(const std::string &path) const
 {
+    if (path == "-") {
+        exportCsv(std::cout);
+        return static_cast<bool>(std::cout);
+    }
     return atomicWriteFile(
         path, [this](std::ostream &os) { exportCsv(os); },
         "stats CSV");

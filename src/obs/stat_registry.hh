@@ -106,8 +106,9 @@ class StatRegistry
      *  .samples/.sum/.mean/.max/.p50/.p90/.p99 rows). */
     void exportCsv(std::ostream &os) const;
 
-    /** Write exportJson()/exportCsv() output to @p path; returns
-     *  false (with a warn) when the file cannot be opened. */
+    /** Write exportJson()/exportCsv() output to @p path ("-" streams
+     *  to stdout); returns false (with a warn) when the file cannot
+     *  be opened. */
     bool exportJsonFile(const std::string &path) const;
     bool exportCsvFile(const std::string &path) const;
 

@@ -1,5 +1,7 @@
 #include "obs/trace.hh"
 
+#include "obs/host_prof.hh"
+
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
@@ -107,6 +109,7 @@ Tracer::close()
 void
 Tracer::record(const TraceRecord &rec)
 {
+    GRP_HOST_SCOPE(2, TraceEmit);
     if (!out_)
         return;
     const Tick tick = clock_ ? clock_->curTick() : 0;

@@ -1,5 +1,6 @@
 #include "prefetch/hw_engine.hh"
 
+#include "obs/host_prof.hh"
 #include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
@@ -50,6 +51,7 @@ HwPrefetchEngine::setPresenceTest(RegionQueue::PresenceTest test)
 void
 HwPrefetchEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &)
 {
+    GRP_HOST_SCOPE(2, EngineNotify);
     // SRP prefetches the full 4 KB region on every L2 miss, with no
     // selectivity at all — the coverage/traffic trade the paper's
     // hints improve on. The triggering reference still attributes the
@@ -70,6 +72,7 @@ HwPrefetchEngine::onL2DemandMiss(Addr addr, RefId ref, const LoadHints &)
 void
 HwPrefetchEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
 {
+    GRP_HOST_SCOPE(2, EngineNotify);
     if (!usesPointers() || ptr_depth == 0)
         return;
     std::array<Addr, 8> pointers;
@@ -96,6 +99,7 @@ std::optional<PrefetchCandidate>
 HwPrefetchEngine::dequeuePrefetch(const DramSystem &dram,
                                   unsigned channel)
 {
+    GRP_HOST_SCOPE(2, EngineDequeue);
     auto candidate = queue_.dequeue(dram, channel);
     if (candidate)
         ++*candidatesOffered_;

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "obs/host_prof.hh"
 #include "sim/logging.hh"
 
 namespace grp
@@ -126,6 +127,7 @@ void
 StridePrefetcher::onL2DemandAccess(Addr addr, RefId ref,
                                    const LoadHints &, bool hit)
 {
+    GRP_HOST_SCOPE(2, EngineNotify);
     if (ref == kInvalidRefId)
         return;
 
@@ -192,6 +194,7 @@ std::optional<PrefetchCandidate>
 StridePrefetcher::dequeuePrefetch(const DramSystem &dram,
                                   unsigned channel)
 {
+    GRP_HOST_SCOPE(2, EngineDequeue);
     const unsigned count = static_cast<unsigned>(streams_.size());
     for (unsigned i = 0; i < count; ++i) {
         Stream &stream = streams_[(rrCursor_ + i) % count];

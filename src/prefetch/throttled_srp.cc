@@ -1,5 +1,6 @@
 #include "prefetch/throttled_srp.hh"
 
+#include "obs/host_prof.hh"
 #include "obs/site_profile.hh"
 #include "sim/logging.hh"
 
@@ -40,6 +41,7 @@ void
 ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId ref,
                                    const LoadHints &)
 {
+    GRP_HOST_SCOPE(2, EngineNotify);
     if (throttled_) {
         // The misses a paused prefetcher fails to cover are exactly
         // the opportunity cost the paper calls out. The counter is
@@ -75,6 +77,7 @@ std::optional<PrefetchCandidate>
 ThrottledSrpEngine::dequeuePrefetch(const DramSystem &dram,
                                     unsigned channel)
 {
+    GRP_HOST_SCOPE(2, EngineDequeue);
     if (throttled_)
         return std::nullopt;
 

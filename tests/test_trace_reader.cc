@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Error-path coverage for the offline trace reader: malformed JSONL,
+ * truncated records, unknown record types and hint classes. The
+ * contract under test: bad lines are skipped with a "line N:" error
+ * message — never a fatal — and the invariant checker still runs
+ * over whatever parsed, reporting 1-based line positions.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_reader.hh"
+
+using namespace grp;
+using namespace grp::obs;
+
+namespace
+{
+
+TEST(TraceReaderErrors, BadLinesSkippedWithLineNumbers)
+{
+    std::istringstream is(
+        "{\"ev\": \"issue\", \"addr\": 64}\n"
+        "{\"ev\": \"fill\", \"addr\": 64\n"       // truncated record
+        "not json at all\n"                        // malformed line
+        "{\"ev\": \"warp\", \"addr\": 128}\n"      // unknown type
+        "{\"addr\": 192}\n"                        // missing "ev"
+        "{\"ev\": \"fill\", \"addr\": 64}\n");
+    const TraceParseResult result = readTrace(is);
+
+    EXPECT_FALSE(result.openFailed);
+    EXPECT_EQ(result.lines.size(), 2u);
+    ASSERT_EQ(result.errors.size(), 4u);
+    EXPECT_EQ(result.errors[0].rfind("line 2:", 0), 0u);
+    EXPECT_EQ(result.errors[1].rfind("line 3:", 0), 0u);
+    EXPECT_EQ(result.errors[2].rfind("line 4:", 0), 0u);
+    EXPECT_NE(result.errors[2].find("warp"), std::string::npos);
+    EXPECT_EQ(result.errors[3].rfind("line 5:", 0), 0u);
+    EXPECT_NE(result.errors[3].find("ev"), std::string::npos);
+
+    // The surviving records are the issue/fill pair for block 64.
+    EXPECT_EQ(result.lines[0].event, TraceEvent::Issue);
+    EXPECT_EQ(result.lines[1].event, TraceEvent::Fill);
+}
+
+TEST(TraceReaderErrors, UnknownHintClassReportsLine)
+{
+    std::istringstream is(
+        "{\"ev\": \"issue\", \"addr\": 64, \"hint\": \"psychic\"}\n");
+    const TraceParseResult result = readTrace(is);
+    EXPECT_TRUE(result.lines.empty());
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_EQ(result.errors[0].rfind("line 1:", 0), 0u);
+    EXPECT_NE(result.errors[0].find("hint"), std::string::npos);
+}
+
+TEST(TraceReaderErrors, EmptyLinesKeepNumberingHonest)
+{
+    std::istringstream is(
+        "\n"
+        "\n"
+        "garbage\n");
+    const TraceParseResult result = readTrace(is);
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_EQ(result.errors[0].rfind("line 3:", 0), 0u);
+}
+
+TEST(TraceReaderErrors, MissingFileSetsOpenFailed)
+{
+    const TraceParseResult result =
+        readTraceFile("/nonexistent/grp-trace-reader-test.jsonl");
+    EXPECT_TRUE(result.openFailed);
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_NE(result.errors[0].find("cannot open"), std::string::npos);
+}
+
+TEST(TraceReaderErrors, AnalyzerReportsLineNumbersNotAborts)
+{
+    // A use without a fill and a double fill: both must surface as
+    // positioned violations, and the analysis must still complete.
+    std::istringstream is(
+        "{\"ev\": \"issue\", \"addr\": 64, \"hint\": \"spatial\"}\n"
+        "{\"ev\": \"firstUse\", \"addr\": 64}\n"
+        "{\"ev\": \"issue\", \"addr\": 128, \"hint\": \"spatial\"}\n"
+        "{\"ev\": \"fill\", \"addr\": 128, \"hint\": \"spatial\"}\n"
+        "{\"ev\": \"fill\", \"addr\": 128, \"hint\": \"spatial\"}\n");
+    const TraceParseResult parsed = readTrace(is);
+    ASSERT_TRUE(parsed.errors.empty());
+    const TraceAnalysis analysis = analyzeTrace(parsed.lines);
+
+    ASSERT_EQ(analysis.violations.size(), 2u);
+    EXPECT_EQ(analysis.violations[0].line, 2u);
+    EXPECT_NE(analysis.violations[0].message.find("in flight"),
+              std::string::npos);
+    EXPECT_EQ(analysis.violations[1].line, 5u);
+    EXPECT_NE(analysis.violations[1].message.find("filled twice"),
+              std::string::npos);
+    EXPECT_EQ(analysis.records, 5u);
+}
+
+} // namespace

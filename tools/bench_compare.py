@@ -99,7 +99,37 @@ TIMING_KEYS = {
     "threads",
     "benchThreads",
     "finishedAtUnix",
+    # Host-side self-profiling blocks and build/machine provenance:
+    # machine-dependent by definition (perf_compare.py owns gating
+    # on them).
+    "hostProf",
+    "hostPhases",
+    "provenance",
 }
+
+
+def provenance_warnings(baseline_dir, out_dir):
+    """Compare the two manifests' provenance blocks; mismatches are
+    warnings, not failures — timing baselines from another machine
+    are expected, perf numbers from one are not trustworthy."""
+    warnings = []
+    pair = []
+    for where in (baseline_dir, out_dir):
+        path = where / "manifest.json"
+        if not path.is_file():
+            return warnings
+        try:
+            pair.append(json.loads(path.read_text())
+                        .get("provenance") or {})
+        except (OSError, json.JSONDecodeError):
+            return warnings
+    base, out = pair
+    for key in sorted(base.keys() | out.keys()):
+        if base.get(key) != out.get(key):
+            warnings.append(
+                f"provenance.{key}: {out.get(key)!r} != baseline "
+                f"{base.get(key)!r}")
+    return warnings
 
 
 def leaf_matches(key, base, out):
@@ -196,6 +226,9 @@ def main():
         diff("", "", base, out, failures)
         status = "ok" if len(failures) == before else "FAIL"
         print(f"{base_path.name}: {status}")
+
+    for warning in provenance_warnings(args.baseline, args.out):
+        print(f"bench_compare: warning: {warning}", file=sys.stderr)
 
     for failure in failures:
         print(f"bench_compare: {failure}", file=sys.stderr)

@@ -13,11 +13,16 @@ silently shifts every baseline is visible in the artefact trail),
 the GRP_INSTRUCTIONS override in effect, and the run's wall-clock
 duration. Each bench binary also drops a timing sidecar into
 bench/out/timings/<bench>.json (threads used, per-job wall clock,
-simulated instructions per second); `finish` folds those into the
+simulated instructions per second, and — when GRP_HOST_PROF >= 1 —
+per-job host-phase breakdowns); `finish` folds those into the
 manifest under "benches" and sums them into aggregate throughput
-figures. bench_compare.py ignores the manifest and the sidecars
-(they have no baselines — timing is machine-dependent by nature); it
-exists for humans and dashboards reading bench/out/.
+figures. v3 adds host provenance (CPU model, compiler, build type
+and flags, thread count) so perf_compare.py can tell a regression
+from a machine change, plus per-bench "hostPhases" aggregates of
+the job-level host profiles. bench_compare.py ignores the manifest
+and the sidecars (they have no baselines — timing is
+machine-dependent by nature); perf_compare.py gates on the
+manifest's inst/s figures, and grpperf diffs two manifests.
 
 The manifest is published atomically (tmp + rename), matching the
 simulator's own JSON exporters.
@@ -52,6 +57,32 @@ def cmd_start(out_dir):
     return 0
 
 
+def cpu_model():
+    """First 'model name' line from /proc/cpuinfo (None elsewhere)."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return None
+
+
+def aggregate_host_phases(jobs):
+    """Sum the per-job hostProf phase tables into one bench-level
+    table (None when no job carried a profile)."""
+    phases = {}
+    for job in jobs:
+        prof = job.get("hostProf") or {}
+        for name, totals in (prof.get("phases") or {}).items():
+            agg = phases.setdefault(
+                name, {"totalNanos": 0, "selfNanos": 0, "calls": 0})
+            for key in agg:
+                agg[key] += totals.get(key, 0)
+    return phases or None
+
+
 def load_timings(out_dir):
     """Collect the per-bench timing sidecars the bench binaries wrote
     to out/timings/, keyed by bench name."""
@@ -64,16 +95,45 @@ def load_timings(out_dir):
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             continue
-        timings[data.get("bench", path.stem)] = {
+        jobs = data.get("jobs", [])
+        entry = {
             "threads": data.get("threads"),
             "wallSeconds": data.get("totalWallSeconds"),
             "simulatedInstructions": data.get(
                 "simulatedInstructions"),
             "instructionsPerSecond": data.get(
                 "instructionsPerSecond"),
-            "jobs": data.get("jobs", []),
+            "jobs": jobs,
         }
+        if "provenance" in data:
+            entry["provenance"] = data["provenance"]
+        host_phases = aggregate_host_phases(jobs)
+        if host_phases:
+            entry["hostPhases"] = host_phases
+        timings[data.get("bench", path.stem)] = entry
     return timings
+
+
+def run_provenance(timings):
+    """Host provenance for the manifest: the machine (CPU model,
+    thread env) plus the build identity the sidecars recorded. Mixed
+    sidecar provenance (a stale timings/ dir) is surfaced rather
+    than silently picking one."""
+    builds = []
+    for t in timings.values():
+        build = t.get("provenance")
+        if build and build not in builds:
+            builds.append(build)
+    provenance = {
+        "cpuModel": cpu_model(),
+        "benchThreads": os.environ.get("GRP_BENCH_THREADS"),
+        "hostProf": os.environ.get("GRP_HOST_PROF"),
+    }
+    if len(builds) == 1:
+        provenance.update(builds[0])
+    elif builds:
+        provenance["mixedBuilds"] = builds
+    return provenance
 
 
 def cmd_finish(out_dir, repo):
@@ -100,10 +160,11 @@ def cmd_finish(out_dir, repo):
         t["wallSeconds"] or 0.0 for t in timings.values())
 
     manifest = {
-        "schema": "grp-bench-manifest-v2",
+        "schema": "grp-bench-manifest-v3",
         "gitSha": git(repo, "rev-parse", "HEAD"),
         "gitDirty": bool(git(repo, "status", "--porcelain")),
         "configHash": config_hash,
+        "provenance": run_provenance(timings),
         "grpInstructions": os.environ.get("GRP_INSTRUCTIONS"),
         "benchThreads": os.environ.get("GRP_BENCH_THREADS"),
         "wallClockSeconds": wall,
