@@ -6,7 +6,8 @@
  *          [--policy default|conservative|aggressive]
  *          [--seed N] [--warmup N] [--dump-stats] [--list]
  *          [--stats-json PATH] [--stats-csv PATH]
- *          [--trace PATH] [--trace-level N]
+ *          [--trace PATH] [--trace-level N] [--trace-format FMT]
+ *          [--capture PATH] [--replay PATH]
  *          [--timeseries PATH] [--timeseries-bucket N]
  *          [--site-profile PATH] [--site-report N]
  *          [--shadow] [--cost-report] [--adaptive-report]
@@ -15,8 +16,14 @@
  * Runs one (workload, scheme) pair through the harness and prints
  * the headline metrics. The observability flags export the full
  * statistics registry as JSON/CSV, record the prefetch lifecycle
- * trace (JSONL), sample queue/channel/MSHR time series and profile
- * per-hint-site behaviour; --shadow runs the counterfactual shadow
+ * trace (JSONL, or the compact .grpbin flight-recorder format —
+ * chosen by extension or forced with --trace-format bin|jsonl;
+ * --trace - streams to stdout for piping into grptrace), sample
+ * queue/channel/MSHR time series and profile
+ * per-hint-site behaviour; --capture records the CPU's dynamic
+ * access stream to a .grpbin file and --replay re-drives a later
+ * run from such a recording (same workload + seed) instead of the
+ * interpreter; --shadow runs the counterfactual shadow
  * tags (pollution/coverage classification, mem.pollution* counters)
  * and --cost-report additionally prints the cost report (implies
  * --shadow). --host-prof writes the host-side self-profile (where
@@ -74,6 +81,18 @@ parsePolicy(const std::string &name)
     fatal("unknown policy '%s'", name.c_str());
 }
 
+obs::TraceFormat
+parseTraceFormat(const std::string &name)
+{
+    if (name == "auto")
+        return obs::TraceFormat::Auto;
+    if (name == "bin" || name == "binary")
+        return obs::TraceFormat::Binary;
+    if (name == "jsonl" || name == "json")
+        return obs::TraceFormat::Jsonl;
+    fatal("unknown trace format '%s' (auto, bin, jsonl)", name.c_str());
+}
+
 /** Reject an output path whose parent directory does not exist —
  *  otherwise a long simulation runs to completion and then silently
  *  (Tracer) or fatally (exports) fails to write its one artifact. */
@@ -100,6 +119,8 @@ usage()
         "              [--policy POLICY] [--dump-stats] [--list]\n"
         "              [--stats-json PATH] [--stats-csv PATH]\n"
         "              [--trace PATH] [--trace-level N]\n"
+        "              [--trace-format auto|bin|jsonl]\n"
+        "              [--capture PATH] [--replay PATH]\n"
         "              [--timeseries PATH] [--timeseries-bucket N]\n"
         "              [--site-profile PATH] [--site-report N]\n"
         "              [--shadow] [--cost-report] [--adaptive-report]\n"
@@ -164,6 +185,12 @@ try {
             options.obs.tracePath = outputPath(arg, value());
         } else if (arg == "--trace-level") {
             options.obs.traceLevel = static_cast<int>(number());
+        } else if (arg == "--trace-format") {
+            options.obs.traceFormat = parseTraceFormat(value());
+        } else if (arg == "--capture") {
+            options.capturePath = outputPath(arg, value());
+        } else if (arg == "--replay") {
+            options.replayPath = value();
         } else if (arg == "--timeseries") {
             options.obs.timeseriesPath = outputPath(arg, value());
         } else if (arg == "--timeseries-bucket") {
@@ -212,7 +239,8 @@ try {
     // sees a clean document.
     FILE *const out = (options.obs.statsJsonPath == "-" ||
                        options.obs.statsCsvPath == "-" ||
-                       options.obs.hostProfPath == "-")
+                       options.obs.hostProfPath == "-" ||
+                       options.obs.tracePath == "-")
                           ? stderr
                           : stdout;
     std::fprintf(out, "workload      %s (%s)\n", workload_name.c_str(),

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Recording and replaying the CPU's dynamic access stream.
+ *
+ * CaptureTraceSource tees the ops an inner TraceSource (normally the
+ * IR interpreter) produces into a kind-1 (Access) .grpbin container:
+ * every Load/Store/IndirectPrefetch with its RefId, with runs of
+ * Compute ops collapsed into one counted record — on pointer-chasing
+ * workloads most dynamic instructions are compute padding, so the
+ * run-length batching is what keeps captures compact. The container's
+ * meta block pins the (workload, seed) pair the stream came from.
+ *
+ * ReplayTraceSource is the inverse: it re-drives the simulated memory
+ * system from a recorded stream instead of the interpreter. Because
+ * the interpreter never writes functional memory during execution
+ * (Workload::build populates it up front), a replay against the same
+ * (workload, seed) reproduces the live run's mem.* counters exactly —
+ * and the stream is scheme-independent (IndirectPrefetch ops are
+ * always recorded; the CPU filters them by scheme), so one capture
+ * can drive sweeps across prefetch configurations.
+ */
+
+#ifndef GRP_HARNESS_CAPTURE_HH
+#define GRP_HARNESS_CAPTURE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "obs/bintrace.hh"
+
+namespace grp
+{
+
+/** Access-stream record tags (string table 0 of kind-1 containers). */
+enum class AccessTag : uint8_t
+{
+    ComputeRun = 0,       ///< payload: varint run length.
+    Load = 1,             ///< payload: varint refId, varint addr.
+    Store = 2,            ///< payload: varint refId, varint addr.
+    IndirectPrefetch = 3, ///< payload: varint refId, varint indexAddr,
+                          ///< varint base, varint elemSize.
+};
+
+/** Tees a TraceSource into a .grpbin access capture. */
+class CaptureTraceSource : public TraceSource
+{
+  public:
+    /**
+     * Capture @p inner's stream to @p path (written as "<path>.tmp",
+     * published by rename when the capture closes — a killed run
+     * leaves only the .tmp behind). @p workload and @p seed go into
+     * the container meta so replay can refuse mismatched configs.
+     * Failure to open the file is fatal: a silently dropped capture
+     * is worse than a stopped run.
+     */
+    CaptureTraceSource(TraceSource &inner, const std::string &path,
+                       const std::string &workload, uint64_t seed);
+    ~CaptureTraceSource() override;
+
+    CaptureTraceSource(const CaptureTraceSource &) = delete;
+    CaptureTraceSource &operator=(const CaptureTraceSource &) = delete;
+
+    bool next(TraceOp &op) override;
+
+    /** Flush, finalize and publish the capture (also runs on
+     *  destruction). No ops may be pulled afterwards. */
+    void close();
+
+    uint64_t opsCaptured() const { return ops_; }
+
+  private:
+    void flushComputeRun();
+
+    TraceSource &inner_;
+    std::string publishPath_;
+    std::FILE *out_ = nullptr;
+    std::unique_ptr<char[]> iobuf_;
+    std::unique_ptr<obs::bintrace::Writer> writer_;
+    uint64_t computeRun_ = 0; ///< Pending batched Compute ops.
+    uint64_t ops_ = 0;        ///< Ops seen (the stream's position key).
+};
+
+/** Replays a recorded .grpbin access capture as a TraceSource. */
+class ReplayTraceSource : public TraceSource
+{
+  public:
+    /** Loads and validates @p path. Fatal when the file is missing,
+     *  not an access capture, or truncated (unfinalized): replaying a
+     *  damaged stream would silently produce wrong statistics. */
+    explicit ReplayTraceSource(const std::string &path);
+
+    bool next(TraceOp &op) override;
+
+    /** The capture's recorded workload name / RNG seed. */
+    const std::string &workload() const { return workload_; }
+    uint64_t seed() const { return seed_; }
+
+    /** Total ops in the capture (from the finalize footer). */
+    uint64_t totalOps() const { return totalOps_; }
+
+  private:
+    std::string data_;
+    const uint8_t *cursor_ = nullptr;
+    const uint8_t *end_ = nullptr;
+    uint64_t pendingCompute_ = 0;
+    uint64_t decoded_ = 0; ///< Ops handed out (error reporting).
+    std::string workload_;
+    uint64_t seed_ = 0;
+    uint64_t totalOps_ = 0;
+};
+
+} // namespace grp
+
+#endif // GRP_HARNESS_CAPTURE_HH

@@ -1,16 +1,22 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <vector>
+
+#include <unistd.h>
 
 #include "adaptive/controller.hh"
 #include "core/engine_factory.hh"
 #include "core/grp_engine.hh"
 #include "cpu/cpu.hh"
+#include "harness/capture.hh"
 #include "mem/memory_system.hh"
 #include "obs/atomic_file.hh"
 #include "obs/host_prof.hh"
@@ -38,7 +44,8 @@ class ScopedTrace
         if (obs.tracePath.empty())
             return;
         obs::Tracer &tracer = obs::Tracer::instance();
-        if (!tracer.open(obs.tracePath)) // open() warns on failure
+        // open() warns on failure
+        if (!tracer.open(obs.tracePath, obs.traceFormat))
             return;
         active_ = true;
         tracer.setLevel(obs.traceLevel);
@@ -255,6 +262,36 @@ printCostReport(std::ostream &os, MemorySystem &mem,
     }
 }
 
+/**
+ * Environment-forced tracing for overhead measurement: with
+ * GRP_TRACE_ALL=<dir> set, every run that did not ask for a trace
+ * writes one into <dir> anyway — which is how the bench suite prices
+ * always-on flight recording without teaching every bench binary a
+ * trace flag. GRP_TRACE_FORMAT (bin | jsonl, default bin) picks the
+ * encoding and GRP_TRACE_LEVEL (default the ObsOptions default) the
+ * level. Filenames carry the pid plus a process-wide counter so
+ * concurrent sweep jobs and repeated runs never collide.
+ */
+void
+applyForcedTrace(ObsOptions &obs)
+{
+    const char *dir = std::getenv("GRP_TRACE_ALL");
+    if (!dir || !*dir || !obs.tracePath.empty())
+        return;
+    static std::atomic<uint64_t> counter{0};
+    const char *format = std::getenv("GRP_TRACE_FORMAT");
+    const bool jsonl = format && std::string(format) == "jsonl";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ostringstream path;
+    path << dir << "/trace-" << getpid() << '-'
+         << counter.fetch_add(1) << (jsonl ? ".jsonl" : ".grpbin");
+    obs.tracePath = path.str();
+    if (const char *level = std::getenv("GRP_TRACE_LEVEL");
+        level && *level)
+        obs.traceLevel = std::atoi(level);
+}
+
 } // namespace
 
 uint64_t
@@ -269,8 +306,10 @@ instructionBudget(uint64_t fallback)
 
 RunResult
 runWorkload(const std::string &workload_name, SimConfig config,
-            const RunOptions &options)
+            const RunOptions &options_in)
 {
+    RunOptions options = options_in;
+    applyForcedTrace(options.obs);
     ScopedHostProf host_prof(options.obs);
     GRP_HOST_SCOPE_NAMED(run_scope, 1, Run);
     GRP_HOST_SCOPE_NAMED(setup_scope, 1, Setup);
@@ -316,9 +355,43 @@ runWorkload(const std::string &workload_name, SimConfig config,
             grp_engine->setControlPlane(&controller->plane());
     }
 
-    Interpreter interp(prog, fmem, options.seed);
+    // The CPU's op source: the interpreter normally, a recorded
+    // capture under --replay, and a capturing tee around the
+    // interpreter under --capture. Replay rebuilds the same
+    // functional memory (the workload/seed check above the stream
+    // guarantees build() produced identical contents), so the
+    // recorded ops reproduce the live run exactly.
+    fatal_if(!options.capturePath.empty() &&
+                 !options.replayPath.empty(),
+             "--capture and --replay are mutually exclusive");
+    std::optional<Interpreter> interp;
+    std::optional<ReplayTraceSource> replay;
+    std::optional<CaptureTraceSource> capture;
+    TraceSource *source = nullptr;
+    if (!options.replayPath.empty()) {
+        replay.emplace(options.replayPath);
+        fatal_if(replay->workload() != workload_name,
+                 "capture '%s' records workload '%s', not '%s'",
+                 options.replayPath.c_str(),
+                 replay->workload().c_str(), workload_name.c_str());
+        fatal_if(replay->seed() != options.seed,
+                 "capture '%s' records seed %llu, not %llu (functional "
+                 "memory would differ)",
+                 options.replayPath.c_str(),
+                 (unsigned long long)replay->seed(),
+                 (unsigned long long)options.seed);
+        source = &*replay;
+    } else {
+        interp.emplace(prog, fmem, options.seed);
+        source = &*interp;
+    }
+    if (!options.capturePath.empty()) {
+        capture.emplace(*source, options.capturePath, workload_name,
+                        options.seed);
+        source = &*capture;
+    }
     const HintTable *cpu_hints = config.usesHints() ? &table : nullptr;
-    Cpu cpu(config, mem, events, interp, cpu_hints, registry);
+    Cpu cpu(config, mem, events, *source, cpu_hints, registry);
 
     const uint64_t warmup =
         options.warmupInstructions == ~0ull

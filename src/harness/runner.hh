@@ -14,6 +14,7 @@
 
 #include "compiler/hint_generator.hh"
 #include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
@@ -98,8 +99,11 @@ struct ObsOptions
 {
     std::string statsJsonPath;   ///< Registry JSON export.
     std::string statsCsvPath;    ///< Registry CSV export.
-    std::string tracePath;       ///< Prefetch lifecycle JSONL.
+    std::string tracePath;       ///< Prefetch lifecycle trace.
     int traceLevel = 1;          ///< Levels <= this are emitted.
+    /** Trace encoding; Auto picks .grpbin binary for a ".grpbin"
+     *  path, JSONL otherwise. */
+    obs::TraceFormat traceFormat = obs::TraceFormat::Auto;
     std::string timeseriesPath;  ///< Queue/channel/MSHR trajectories.
     uint64_t timeseriesBucket = 4096; ///< Cycles between samples.
     std::string siteProfilePath; ///< Per-hint-site profile JSON.
@@ -138,6 +142,14 @@ struct RunOptions
      *  maxInstructions / 4 when left at ~0. */
     uint64_t warmupInstructions = ~0ull;
     uint64_t seed = 42;
+    /** Record the CPU's dynamic access stream to this .grpbin file
+     *  (kind-1 container, see harness/capture.hh); empty disables. */
+    std::string capturePath;
+    /** Re-drive the run from a recorded access capture instead of
+     *  the interpreter. The capture's (workload, seed) meta must
+     *  match this run's, or the run aborts: replaying against a
+     *  different functional memory would silently produce garbage. */
+    std::string replayPath;
     ObsOptions obs;
 };
 

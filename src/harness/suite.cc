@@ -250,6 +250,19 @@ BenchSweep::writeTimings() const
     json.kv("cxxFlags", GRP_BUILD_FLAGS);
     json.kv("hostProfMaxLevel", GRP_HOST_PROF_MAX_LEVEL);
     json.kv("hostProfLevel", obs::HostProfiler::envLevel());
+    // Present only when GRP_TRACE_ALL forced tracing on (overhead
+    // measurement runs); absent means tracing-off, so committed
+    // baselines keep matching unforced runs byte-for-byte.
+    if (const char *forced = std::getenv("GRP_TRACE_ALL");
+        forced && *forced) {
+        const char *format = std::getenv("GRP_TRACE_FORMAT");
+        const bool jsonl = format && std::string(format) == "jsonl";
+        const char *level = std::getenv("GRP_TRACE_LEVEL");
+        std::string mode = jsonl ? "jsonl" : "bin";
+        mode += "-L";
+        mode += (level && *level) ? level : "1";
+        json.kv("traceMode", mode);
+    }
     json.endObject();
     json.kv("totalWallSeconds", totalWallSeconds_);
     json.kv("simulatedInstructions", instructions);

@@ -31,10 +31,17 @@ atomicWriteFile(const std::string &path,
             return false;
         }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return publishTempFile(tmp, path, what);
+}
+
+bool
+publishTempFile(const std::string &tmp_path, const std::string &path,
+                const char *what)
+{
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
         warn("cannot publish %s file '%s' (rename failed)", what,
              path.c_str());
-        std::remove(tmp.c_str());
+        std::remove(tmp_path.c_str());
         return false;
     }
     return true;

@@ -36,6 +36,17 @@ bool atomicWriteFile(const std::string &path,
                      const std::function<void(std::ostream &)> &emit,
                      const char *what);
 
+/**
+ * Publish an already-written temporary file: rename @p tmp_path over
+ * @p path. For writers that stream incrementally (the trace sinks)
+ * and so cannot use atomicWriteFile's callback shape — they write to
+ * "<path>.tmp" themselves and publish here on close.
+ *
+ * @return false (after a warn and tmp cleanup) when the rename fails.
+ */
+bool publishTempFile(const std::string &tmp_path,
+                     const std::string &path, const char *what);
+
 } // namespace obs
 } // namespace grp
 

@@ -2,7 +2,6 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <new>
 
 #include "obs/json_writer.hh"
@@ -121,10 +120,12 @@ hostPhaseParent(HostPhase phase)
 //
 // Scopes read the CPU's raw cycle counter (two register reads per
 // scope); nanoseconds only matter at snapshot time, when the tick
-// delta is converted through a process-wide ratio calibrated against
-// steady_clock. The calibration window is the process lifetime, so
-// accuracy improves as the run goes on; the first conversion widens a
-// too-small window by spinning briefly (sub-millisecond, once).
+// delta is converted through a process-wide ratio calibrated once
+// against steady_clock (the first conversion widens a too-small
+// window by spinning briefly — sub-millisecond, once). The ratio is
+// then fixed for the process lifetime: every conversion must use the
+// SAME ratio, or equal tick counts (a leaf phase's total vs. self)
+// convert to different nano values and snapshot deltas drift.
 
 namespace
 {
@@ -179,23 +180,24 @@ nanosPerTick()
 {
     if (kTicksAreNanos)
         return 1.0;
-    static std::mutex mutex;
-    std::lock_guard<std::mutex> lock(mutex);
-    const CalibBase &base = calibBase();
-    // Require a 1 ms window before trusting the ratio; processes
-    // snapshotting earlier (unit tests) pay one short spin.
-    for (;;) {
-        const auto now = std::chrono::steady_clock::now();
-        const auto window =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                now - base.when)
-                .count();
-        const uint64_t tick_window = rawTicks() - base.ticks;
-        if (window >= 1'000'000 && tick_window > 0) {
-            return static_cast<double>(window) /
-                   static_cast<double>(tick_window);
+    static const double ratio = [] {
+        const CalibBase &base = calibBase();
+        // Require a 1 ms window before trusting the ratio; processes
+        // snapshotting earlier (unit tests) pay one short spin.
+        for (;;) {
+            const auto now = std::chrono::steady_clock::now();
+            const auto window =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - base.when)
+                    .count();
+            const uint64_t tick_window = rawTicks() - base.ticks;
+            if (window >= 1'000'000 && tick_window > 0) {
+                return static_cast<double>(window) /
+                       static_cast<double>(tick_window);
+            }
         }
-    }
+    }();
+    return ratio;
 }
 
 uint64_t

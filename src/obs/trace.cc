@@ -1,5 +1,7 @@
 #include "obs/trace.hh"
 
+#include "obs/atomic_file.hh"
+#include "obs/bintrace.hh"
 #include "obs/host_prof.hh"
 
 #include "sim/event_queue.hh"
@@ -67,6 +69,60 @@ traceLevelOf(TraceEvent event)
     return 3;
 }
 
+TraceFormat
+resolveTraceFormat(const std::string &path, TraceFormat requested)
+{
+    if (requested != TraceFormat::Auto)
+        return requested;
+    const std::string suffix = ".grpbin";
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        return TraceFormat::Binary;
+    return TraceFormat::Jsonl;
+}
+
+size_t
+formatTraceLine(char *buf, size_t cap, Tick tick,
+                const TraceRecord &rec, bool warm)
+{
+    size_t n = (size_t)std::snprintf(
+        buf, cap, "{\"t\":%llu,\"ev\":\"%s\"",
+        (unsigned long long)tick, toString(rec.event));
+    const auto append = [&](const char *fmt, auto value) {
+        n += (size_t)std::snprintf(buf + n, cap - n, fmt, value);
+    };
+    if (rec.addr)
+        append(",\"addr\":%llu", (unsigned long long)rec.addr);
+    if (rec.hint != HintClass::None)
+        append(",\"hint\":\"%s\"", toString(rec.hint));
+    if (rec.channel >= 0)
+        append(",\"ch\":%d", rec.channel);
+    if (rec.extra >= 0)
+        append(",\"x\":%lld", (long long)rec.extra);
+    if (rec.site != kInvalidRefId)
+        append(",\"site\":%llu", (unsigned long long)rec.site);
+    if (warm)
+        append("%s", ",\"warm\":true");
+    if (rec.carryover)
+        append("%s", ",\"carry\":true");
+    append("%s", "}\n");
+    return n;
+}
+
+std::vector<std::vector<std::string>>
+lifecycleTables()
+{
+    std::vector<std::string> events;
+    for (int e = 0; e <= static_cast<int>(TraceEvent::CtrlTransition);
+         ++e)
+        events.push_back(toString(static_cast<TraceEvent>(e)));
+    std::vector<std::string> hints;
+    for (int h = 0; h <= static_cast<int>(HintClass::Stride); ++h)
+        hints.push_back(toString(static_cast<HintClass>(h)));
+    return {std::move(events), std::move(hints)};
+}
+
 Tracer &
 Tracer::instance()
 {
@@ -80,17 +136,33 @@ Tracer::~Tracer()
 }
 
 bool
-Tracer::open(const std::string &path)
+Tracer::open(const std::string &path, TraceFormat format)
 {
     close();
-    out_ = std::fopen(path.c_str(), "w");
-    if (!out_) {
-        warn("cannot open trace file '%s'", path.c_str());
-        return false;
+    format_ = resolveTraceFormat(path, format);
+    if (path == "-") {
+        out_ = stdout;
+        toStdout_ = true;
+        // No setvbuf: stdout may already have buffered output.
+    } else {
+        toStdout_ = false;
+        publishPath_ = path;
+        const std::string tmp = path + ".tmp";
+        out_ = std::fopen(tmp.c_str(), "wb");
+        if (!out_) {
+            warn("cannot open trace file '%s'", tmp.c_str());
+            return false;
+        }
+        if (!iobuf_)
+            iobuf_ = std::make_unique<char[]>(kStreamBufBytes);
+        std::setvbuf(out_, iobuf_.get(), _IOFBF, kStreamBufBytes);
     }
-    if (!iobuf_)
-        iobuf_ = std::make_unique<char[]>(kStreamBufBytes);
-    std::setvbuf(out_, iobuf_.get(), _IOFBF, kStreamBufBytes);
+    if (format_ == TraceFormat::Binary) {
+        bin_ = std::make_unique<bintrace::Writer>(
+            out_, bintrace::StreamKind::Lifecycle, lifecycleTables(),
+            std::vector<std::pair<std::string, std::string>>{},
+            checkpointInterval_);
+    }
     records_ = 0;
     return true;
 }
@@ -99,9 +171,20 @@ void
 Tracer::close()
 {
     if (out_) {
-        std::fclose(out_);
+        if (bin_) {
+            bin_->finalize();
+            bin_.reset();
+        }
+        if (toStdout_) {
+            std::fflush(out_);
+        } else {
+            std::fclose(out_);
+            publishTempFile(publishPath_ + ".tmp", publishPath_,
+                            "trace");
+        }
         out_ = nullptr;
     }
+    bin_.reset(); // Failed opens may have left a stale writer.
     level_ = 0;
     warmup_ = false;
 }
@@ -113,34 +196,19 @@ Tracer::record(const TraceRecord &rec)
     if (!out_)
         return;
     const Tick tick = clock_ ? clock_->curTick() : 0;
-    // Format the whole record into one stack buffer and hand it to
-    // stdio in a single fwrite; with the large stream buffer each
-    // record is one snprintf pass plus one memcpy. 256 bytes bounds
-    // the worst case (every optional field present, 64-bit values).
-    char line[256];
-    size_t n = (size_t)std::snprintf(
-        line, sizeof(line), "{\"t\":%llu,\"ev\":\"%s\"",
-        (unsigned long long)tick, toString(rec.event));
-    const auto append = [&](const char *fmt, auto value) {
-        n += (size_t)std::snprintf(line + n, sizeof(line) - n, fmt,
-                                   value);
-    };
-    if (rec.addr)
-        append(",\"addr\":%llu", (unsigned long long)rec.addr);
-    if (rec.hint != HintClass::None)
-        append(",\"hint\":\"%s\"", toString(rec.hint));
-    if (rec.channel >= 0)
-        append(",\"ch\":%d", rec.channel);
-    if (rec.extra >= 0)
-        append(",\"x\":%lld", (long long)rec.extra);
-    if (rec.site != kInvalidRefId)
-        append(",\"site\":%llu", (unsigned long long)rec.site);
-    if (warmup_)
-        append("%s", ",\"warm\":true");
-    if (rec.carryover)
-        append("%s", ",\"carry\":true");
-    append("%s", "}\n");
-    std::fwrite(line, 1, n, out_);
+    if (bin_) {
+        bin_->record(rec, tick, warmup_);
+    } else {
+        // Format the whole record into one stack buffer and hand it
+        // to stdio in a single fwrite; with the large stream buffer
+        // each record is one snprintf pass plus one memcpy. 256 bytes
+        // bounds the worst case (every optional field present, 64-bit
+        // values).
+        char line[256];
+        const size_t n =
+            formatTraceLine(line, sizeof(line), tick, rec, warmup_);
+        std::fwrite(line, 1, n, out_);
+    }
     ++records_;
 }
 

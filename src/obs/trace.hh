@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -44,6 +45,27 @@ class EventQueue;
 
 namespace obs
 {
+
+namespace bintrace
+{
+class Writer;
+}
+
+/** On-disk encoding of a lifecycle trace. */
+enum class TraceFormat : uint8_t
+{
+    Auto,   ///< By extension: ".grpbin" is binary, anything else JSONL.
+    Jsonl,  ///< One JSON object per line (human-greppable).
+    Binary, ///< .grpbin flight-recorder container (obs/bintrace).
+};
+
+/** Resolve Auto against @p path (see TraceFormat::Auto). */
+TraceFormat resolveTraceFormat(const std::string &path,
+                               TraceFormat requested);
+
+/** The lifecycle .grpbin string tables: table 0 maps tag bytes to
+ *  event names, table 1 maps hint indices to class names. */
+std::vector<std::vector<std::string>> lifecycleTables();
 
 /** Which prefetch source / hint class produced a candidate. */
 enum class HintClass : uint8_t
@@ -118,7 +140,18 @@ struct TraceRecord
     RefId site;
 };
 
-/** The per-thread JSONL trace sink. */
+/**
+ * Render one record as the canonical JSONL trace line (including the
+ * trailing newline). The Tracer's JSONL sink and the .grpbin-to-JSONL
+ * converter both use this, so a converted binary trace is
+ * byte-identical to a natively emitted one.
+ *
+ * @return Bytes written into @p buf (capacity @p cap).
+ */
+size_t formatTraceLine(char *buf, size_t cap, Tick tick,
+                       const TraceRecord &rec, bool warm);
+
+/** The per-thread trace sink (JSONL or .grpbin binary). */
 class Tracer
 {
   public:
@@ -135,16 +168,37 @@ class Tracer
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
 
-    /** Start writing to @p path (truncates); enables emission once a
-     *  level > 0 is set. Returns false when the file cannot be
-     *  opened. The stream gets a large (256 KB) output buffer so
-     *  records pay one memcpy, not one syscall, each. */
-    bool open(const std::string &path);
+    /**
+     * Start writing to @p path; enables emission once a level > 0 is
+     * set. Returns false when the file cannot be opened. The stream
+     * gets a large (256 KB) output buffer so records pay one memcpy,
+     * not one syscall, each.
+     *
+     * Crash safety: the trace is written to "<path>.tmp" and
+     * published with one rename when close() finalizes it, like
+     * every JSON artefact (obs/atomic_file) — readers never see a
+     * partial file at @p path, and a crashed run leaves only the
+     * .tmp behind. The sentinel path "-" streams to stdout instead
+     * (no rename; binary streams still carry their footer, so a
+     * piped consumer sees a finalized container).
+     */
+    bool open(const std::string &path,
+              TraceFormat format = TraceFormat::Auto);
 
-    /** Flush and close the sink; tracing reverts to disabled.
-     *  Also runs on destruction, so buffered records are never
-     *  lost. */
+    /** Flush, finalize (binary footer), close and publish the sink;
+     *  tracing reverts to disabled. Also runs on destruction, so
+     *  buffered records are never lost. */
     void close();
+
+    /** The resolved format of the open sink. */
+    TraceFormat format() const { return format_; }
+
+    /** Records between binary checkpoints for subsequently opened
+     *  sinks (0 disables checkpoints; default 8192). */
+    void setCheckpointInterval(uint64_t records)
+    {
+        checkpointInterval_ = records;
+    }
 
     void setLevel(int level) { level_ = level; }
     int level() const { return level_; }
@@ -178,6 +232,14 @@ class Tracer
     std::FILE *out_ = nullptr;
     /** Backing storage handed to setvbuf(); must outlive out_. */
     std::unique_ptr<char[]> iobuf_;
+    /** Binary encoder when format_ == Binary (owns no stream). */
+    std::unique_ptr<bintrace::Writer> bin_;
+    TraceFormat format_ = TraceFormat::Jsonl;
+    /** Writing to stdout ("-"): flush instead of close + publish. */
+    bool toStdout_ = false;
+    /** Publication target; the open stream writes publishPath_+".tmp". */
+    std::string publishPath_;
+    uint64_t checkpointInterval_ = 8192;
     int level_ = 0;
     const EventQueue *clock_ = nullptr;
     bool warmup_ = false;

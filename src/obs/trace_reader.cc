@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/bintrace.hh"
 #include "obs/json_reader.hh"
 
 namespace grp
@@ -121,16 +122,50 @@ readTrace(std::istream &is)
 }
 
 TraceParseResult
+readTraceData(const std::string &data)
+{
+    if (bintrace::isBinary(data))
+        return bintrace::readLifecycle(data);
+    std::istringstream is(data);
+    return readTrace(is);
+}
+
+TraceParseResult
 readTraceFile(const std::string &path)
 {
-    std::ifstream is(path);
+    std::ifstream is(path, std::ios::binary);
     if (!is) {
         TraceParseResult result;
         result.openFailed = true;
         result.errors.push_back("cannot open '" + path + "'");
         return result;
     }
-    return readTrace(is);
+    // Sniff the container magic: binary traces must be slurped (the
+    // decoder seeks into the checkpoint directory); JSONL can stream.
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    const bool binary = is.gcount() == 4 &&
+                        bintrace::isBinary(std::string(magic, 4));
+    is.clear();
+    is.seekg(0);
+    if (!binary)
+        return readTrace(is);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return bintrace::readLifecycle(buf.str());
+}
+
+std::string
+jsonlLine(const TraceLine &line)
+{
+    TraceRecord rec(line.event, line.addr, line.hint, line.channel,
+                    line.extra, line.carry,
+                    line.site < 0 ? kInvalidRefId
+                                  : static_cast<RefId>(line.site));
+    char buf[256];
+    const size_t n =
+        formatTraceLine(buf, sizeof(buf), line.t, rec, line.warm);
+    return std::string(buf, n);
 }
 
 TraceAnalysis

@@ -64,10 +64,27 @@ struct TraceParseResult
     std::vector<std::string> errors;
     /** The file itself could not be opened. */
     bool openFailed = false;
+    /** The input was a .grpbin binary trace. */
+    bool binary = false;
+    /** Binary input had no finalize footer: the writer never closed
+     *  it (crash / kill / stale .tmp). The intact prefix is still in
+     *  lines, and errors carries one distinct, actionable message. */
+    bool truncated = false;
 };
 
 TraceParseResult readTrace(std::istream &is);
+
+/** Parse an in-memory trace of either format (sniffs the .grpbin
+ *  magic, falls back to JSONL) — the stdin path of grptrace. */
+TraceParseResult readTraceData(const std::string &data);
+
+/** Read @p path in either format (magic-sniffed). */
 TraceParseResult readTraceFile(const std::string &path);
+
+/** Render one parsed line back to the canonical JSONL form (with
+ *  trailing newline) via the Tracer's own formatter, so a binary
+ *  trace converts to byte-identical JSONL. */
+std::string jsonlLine(const TraceLine &line);
 
 /** One lifecycle invariant violation found during replay. */
 struct InvariantViolation

@@ -1,0 +1,436 @@
+/** @file Tests for the .grpbin binary flight-recorder container:
+ *  JSONL <-> binary round-trip fidelity over every record type,
+ *  checkpoint-seek query equivalence against a full scan, and the
+ *  distinct truncated/unfinalized error reporting. */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "obs/bintrace.hh"
+#include "obs/trace.hh"
+#include "obs/trace_reader.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.is_open()) << path;
+    std::ostringstream text;
+    text << is.rdbuf();
+    return text.str();
+}
+
+/** Run one traced simulation; returns the trace path. */
+std::string
+runTraced(const char *name, obs::TraceFormat format, int level,
+          uint64_t checkpoint_interval = 0)
+{
+    setQuiet(true);
+    const std::string path = tempPath(name);
+    SimConfig config;
+    config.scheme = PrefetchScheme::GrpVar;
+    RunOptions opts;
+    opts.maxInstructions = 60'000;
+    opts.obs.tracePath = path;
+    opts.obs.traceFormat = format;
+    opts.obs.traceLevel = level;
+    if (checkpoint_interval)
+        obs::Tracer::instance().setCheckpointInterval(
+            checkpoint_interval);
+    runWorkload("mcf", config, opts);
+    return path;
+}
+
+/** Hand-drive a Tracer pair (JSONL + binary) over the same records
+ *  so every event type and field combination is covered regardless
+ *  of what a simulation happens to emit. */
+struct RecordedPair
+{
+    std::string jsonlPath;
+    std::string binPath;
+};
+
+RecordedPair
+writeAllRecordTypes(const char *stem)
+{
+    RecordedPair out;
+    out.jsonlPath = tempPath((std::string(stem) + ".jsonl").c_str());
+    out.binPath = tempPath((std::string(stem) + ".grpbin").c_str());
+
+    // Every event type once, plus field-presence variations:
+    // addresses that jump backwards (zigzag deltas), the None hint
+    // (omitted field), carry/warm flags, large extras and sites.
+    const std::vector<obs::TraceRecord> records = {
+        {obs::TraceEvent::HintTrigger, 0x40000000,
+         obs::HintClass::Spatial, -1, -1, false, 3},
+        {obs::TraceEvent::Enqueue, 0x40000000,
+         obs::HintClass::Spatial, -1, 63, false, 3},
+        {obs::TraceEvent::Drop, 0x3f000000, obs::HintClass::Pointer,
+         -1, 8, false, kInvalidRefId},
+        {obs::TraceEvent::Issue, 0x40000040,
+         obs::HintClass::Recursive, 2, 1, false, 7},
+        {obs::TraceEvent::Stall, 0, obs::HintClass::None, -1, -1,
+         false, kInvalidRefId},
+        {obs::TraceEvent::Filtered, 0x40000080,
+         obs::HintClass::Indirect, -1, -1, false, 12345},
+        {obs::TraceEvent::Fill, 0x40000040, obs::HintClass::Stride,
+         1, -1, true, kInvalidRefId},
+        {obs::TraceEvent::FirstUse, 0x40000040,
+         obs::HintClass::None, -1, 900, false, 7},
+        {obs::TraceEvent::EvictedUnused, 0x10, obs::HintClass::Spatial,
+         -1, -1, false, kInvalidRefId},
+        {obs::TraceEvent::EvictVictim, 0xdeadbeef00,
+         obs::HintClass::Pointer, -1, -1, false, 9},
+        {obs::TraceEvent::PollutionMiss, 0xdeadbeef00,
+         obs::HintClass::Pointer, -1, -1, false, 9},
+        {obs::TraceEvent::CtrlTransition, 0, obs::HintClass::Spatial,
+         2, 1, false, kInvalidRefId},
+    };
+    // Ticks exercise dt = 0 runs and large jumps.
+    const uint64_t ticks[] = {0,   0,   5,    5,    5,    1000,
+                              1000, 1000, 99999, 99999, 100000, 1u << 20};
+
+    for (const bool binary : {false, true}) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        EXPECT_TRUE(tracer.open(binary ? out.binPath : out.jsonlPath,
+                                binary ? obs::TraceFormat::Binary
+                                       : obs::TraceFormat::Jsonl))
+            << "open failed";
+        tracer.setLevel(3);
+        EventQueue clock;
+        tracer.setClock(&clock);
+        tracer.setWarmup(true);
+        for (size_t i = 0; i < records.size(); ++i) {
+            clock.advanceTo(ticks[i]);
+            if (i == records.size() / 2)
+                tracer.setWarmup(false);
+            tracer.record(records[i]);
+        }
+        tracer.setClock(nullptr);
+        tracer.close();
+    }
+    return out;
+}
+
+TEST(Bintrace, VarintRoundTrip)
+{
+    for (uint64_t value :
+         {0ull, 1ull, 127ull, 128ull, 300ull, (1ull << 32),
+          ~0ull, (1ull << 63)}) {
+        uint8_t buf[10];
+        const size_t n = obs::bintrace::putVarint(buf, value);
+        ASSERT_LE(n, 10u);
+        const uint8_t *p = buf;
+        uint64_t back = 0;
+        ASSERT_TRUE(obs::bintrace::readVarint(p, buf + n, back));
+        EXPECT_EQ(back, value);
+        EXPECT_EQ(p, buf + n);
+    }
+}
+
+TEST(Bintrace, ZigzagRoundTrip)
+{
+    const uint64_t deltas[] = {0,          1,         ~0ull /* -1 */,
+                               64,         (uint64_t)-64,
+                               1ull << 40, (uint64_t)-(1ll << 40)};
+    for (uint64_t delta : deltas) {
+        EXPECT_EQ(obs::bintrace::unzigzag(obs::bintrace::zigzag(delta)),
+                  delta);
+    }
+    // Small magnitudes stay small on the wire.
+    EXPECT_LE(obs::bintrace::zigzag((uint64_t)-2), 4u);
+}
+
+TEST(Bintrace, AllRecordTypesFieldEqual)
+{
+    const RecordedPair pair = writeAllRecordTypes("grp_bt_all");
+    const obs::TraceParseResult jsonl =
+        obs::readTraceFile(pair.jsonlPath);
+    const obs::TraceParseResult bin = obs::readTraceFile(pair.binPath);
+
+    EXPECT_FALSE(jsonl.binary);
+    EXPECT_TRUE(bin.binary);
+    EXPECT_FALSE(bin.truncated);
+    EXPECT_TRUE(jsonl.errors.empty());
+    EXPECT_TRUE(bin.errors.empty());
+    ASSERT_EQ(jsonl.lines.size(), bin.lines.size());
+    ASSERT_EQ(bin.lines.size(), 12u); // One per event type.
+
+    for (size_t i = 0; i < bin.lines.size(); ++i) {
+        const obs::TraceLine &a = jsonl.lines[i];
+        const obs::TraceLine &b = bin.lines[i];
+        EXPECT_EQ(a.t, b.t) << i;
+        EXPECT_EQ(a.event, b.event) << i;
+        EXPECT_EQ(a.addr, b.addr) << i;
+        EXPECT_EQ(a.hint, b.hint) << i;
+        EXPECT_EQ(a.channel, b.channel) << i;
+        EXPECT_EQ(a.extra, b.extra) << i;
+        EXPECT_EQ(a.site, b.site) << i;
+        EXPECT_EQ(a.warm, b.warm) << i;
+        EXPECT_EQ(a.carry, b.carry) << i;
+    }
+}
+
+TEST(Bintrace, ConversionIsByteIdentical)
+{
+    const RecordedPair pair = writeAllRecordTypes("grp_bt_bytes");
+    const obs::TraceParseResult bin = obs::readTraceFile(pair.binPath);
+    std::string converted;
+    for (const obs::TraceLine &line : bin.lines)
+        converted += obs::jsonlLine(line);
+    EXPECT_EQ(converted, slurp(pair.jsonlPath));
+}
+
+TEST(Bintrace, SimulationRoundTripByteIdentical)
+{
+    // The real emitters, not hand-built records: a level-2 grp-var
+    // run in both formats must convert to the same bytes.
+    const std::string jsonl =
+        runTraced("grp_bt_sim.jsonl", obs::TraceFormat::Auto, 2);
+    const std::string bin =
+        runTraced("grp_bt_sim.grpbin", obs::TraceFormat::Auto, 2);
+    const obs::TraceParseResult parsed = obs::readTraceFile(bin);
+    EXPECT_TRUE(parsed.binary);
+    EXPECT_TRUE(parsed.errors.empty());
+    ASSERT_FALSE(parsed.lines.empty());
+    std::string converted;
+    for (const obs::TraceLine &line : parsed.lines)
+        converted += obs::jsonlLine(line);
+    EXPECT_EQ(converted, slurp(jsonl));
+}
+
+TEST(Bintrace, AnalyzeEquivalentAcrossFormats)
+{
+    const std::string jsonl =
+        runTraced("grp_bt_an.jsonl", obs::TraceFormat::Auto, 2);
+    const std::string bin =
+        runTraced("grp_bt_an.grpbin", obs::TraceFormat::Auto, 2);
+    const obs::TraceAnalysis a =
+        obs::analyzeTrace(obs::readTraceFile(jsonl).lines);
+    const obs::TraceAnalysis b =
+        obs::analyzeTrace(obs::readTraceFile(bin).lines);
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.warmupRecords, b.warmupRecords);
+    EXPECT_EQ(a.violations.size(), b.violations.size());
+    EXPECT_TRUE(b.violations.empty());
+    ASSERT_EQ(a.byClass.size(), b.byClass.size());
+    for (const auto &[hint, funnel] : a.byClass) {
+        const auto it = b.byClass.find(hint);
+        ASSERT_NE(it, b.byClass.end());
+        EXPECT_EQ(funnel.fills, it->second.fills);
+        EXPECT_EQ(funnel.useful, it->second.useful);
+        EXPECT_EQ(funnel.issued, it->second.issued);
+    }
+}
+
+TEST(Bintrace, QuerySeekMatchesFullScan)
+{
+    // A small checkpoint interval guarantees several checkpoints
+    // even in a short run.
+    const std::string bin = runTraced(
+        "grp_bt_seek.grpbin", obs::TraceFormat::Auto, 2, 256);
+    obs::Tracer::instance().setCheckpointInterval(8192); // Restore.
+    const std::string data = slurp(bin);
+
+    obs::bintrace::Container container;
+    ASSERT_TRUE(
+        obs::bintrace::parseContainer(data, container, nullptr));
+    ASSERT_TRUE(container.finalized);
+    ASSERT_GT(container.checkpoints.size(), 1u);
+
+    // Query the second half of the tick range, every event type.
+    const obs::TraceParseResult all = obs::readTraceFile(bin);
+    ASSERT_FALSE(all.lines.empty());
+    obs::bintrace::QueryFilter filter;
+    filter.fromTick = all.lines[all.lines.size() / 2].t;
+
+    const obs::bintrace::QueryResult indexed =
+        obs::bintrace::query(data, filter, true);
+    const obs::bintrace::QueryResult scanned =
+        obs::bintrace::query(data, filter, false);
+
+    EXPECT_TRUE(indexed.seeked);
+    EXPECT_FALSE(scanned.seeked);
+    EXPECT_LT(indexed.recordsScanned, scanned.recordsScanned);
+    ASSERT_EQ(indexed.lines.size(), scanned.lines.size());
+    for (size_t i = 0; i < indexed.lines.size(); ++i) {
+        EXPECT_EQ(obs::jsonlLine(indexed.lines[i]),
+                  obs::jsonlLine(scanned.lines[i]))
+            << i;
+    }
+}
+
+TEST(Bintrace, QueryFiltersSiteAndEvent)
+{
+    const std::string bin =
+        runTraced("grp_bt_filter.grpbin", obs::TraceFormat::Auto, 2);
+    const std::string data = slurp(bin);
+
+    obs::bintrace::QueryFilter filter;
+    filter.event = obs::TraceEvent::Fill;
+    const obs::bintrace::QueryResult fills =
+        obs::bintrace::query(data, filter, true);
+    ASSERT_FALSE(fills.lines.empty());
+    for (const obs::TraceLine &line : fills.lines)
+        EXPECT_EQ(line.event, obs::TraceEvent::Fill);
+
+    // Cross-check the count against a full parse.
+    const obs::TraceParseResult all = obs::readTraceFile(bin);
+    size_t expected = 0;
+    for (const obs::TraceLine &line : all.lines)
+        expected += line.event == obs::TraceEvent::Fill;
+    EXPECT_EQ(fills.lines.size(), expected);
+}
+
+TEST(Bintrace, TruncatedFileReportsDistinctError)
+{
+    const std::string bin =
+        runTraced("grp_bt_trunc.grpbin", obs::TraceFormat::Auto, 1);
+    const std::string data = slurp(bin);
+    ASSERT_GT(data.size(), 400u);
+
+    // Chop the trailer + some records off: the reader must flag
+    // truncation distinctly while still scanning the prefix.
+    const std::string damaged = data.substr(0, data.size() - 200);
+    const obs::TraceParseResult parsed = obs::readTraceData(damaged);
+    EXPECT_TRUE(parsed.binary);
+    EXPECT_TRUE(parsed.truncated);
+    EXPECT_FALSE(parsed.lines.empty());
+    ASSERT_FALSE(parsed.errors.empty());
+    EXPECT_NE(parsed.errors.back().find("truncated or unfinalized"),
+              std::string::npos);
+
+    // The intact file parses clean.
+    const obs::TraceParseResult intact = obs::readTraceData(data);
+    EXPECT_FALSE(intact.truncated);
+    EXPECT_TRUE(intact.errors.empty());
+
+    // A truncated prefix holds a prefix of the intact lines.
+    ASSERT_LT(parsed.lines.size(), intact.lines.size());
+    for (size_t i = 0; i < parsed.lines.size(); ++i) {
+        EXPECT_EQ(obs::jsonlLine(parsed.lines[i]),
+                  obs::jsonlLine(intact.lines[i]))
+            << i;
+    }
+}
+
+TEST(Bintrace, StdoutSinkProducesFinalizedContainer)
+{
+    // "-" streams to stdout; redirect fd 1 to a file and check the
+    // container still carries its finalize footer (piped consumers
+    // must see a complete document).
+    const std::string path = tempPath("grp_bt_stdout.grpbin");
+    std::fflush(stdout);
+    const int saved = dup(STDOUT_FILENO);
+    ASSERT_GE(saved, 0);
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_GE(dup2(fd, STDOUT_FILENO), 0);
+    ::close(fd);
+
+    obs::Tracer &tracer = obs::Tracer::instance();
+    const bool opened = tracer.open("-", obs::TraceFormat::Binary);
+    if (opened) {
+        tracer.setLevel(1);
+        tracer.record({obs::TraceEvent::Issue, 0x1000,
+                       obs::HintClass::Spatial, 0, -1, false, 1});
+        tracer.record({obs::TraceEvent::Fill, 0x1000,
+                       obs::HintClass::Spatial, -1, -1, false, 1});
+        tracer.close();
+    }
+    std::fflush(stdout);
+    dup2(saved, STDOUT_FILENO);
+    ::close(saved);
+    ASSERT_TRUE(opened);
+
+    const obs::TraceParseResult parsed = obs::readTraceFile(path);
+    EXPECT_TRUE(parsed.binary);
+    EXPECT_FALSE(parsed.truncated);
+    ASSERT_EQ(parsed.lines.size(), 2u);
+    EXPECT_EQ(parsed.lines[1].event, obs::TraceEvent::Fill);
+}
+
+TEST(Bintrace, CrashSafetyPublishesOnlyOnClose)
+{
+    // While the sink is open, only "<path>.tmp" exists; close()
+    // finalizes and renames. A reader therefore never sees a partial
+    // file at the published path.
+    const std::string path = tempPath("grp_bt_crash.grpbin");
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+
+    obs::Tracer &tracer = obs::Tracer::instance();
+    ASSERT_TRUE(tracer.open(path, obs::TraceFormat::Binary));
+    tracer.setLevel(1);
+    for (uint32_t i = 0; i < 100; ++i) {
+        tracer.record({obs::TraceEvent::Issue, 0x1000 + 64ull * i,
+                       obs::HintClass::Spatial, 0, -1, false, 1});
+    }
+    EXPECT_FALSE(std::ifstream(path).is_open())
+        << "trace published before finalize";
+    EXPECT_TRUE(std::ifstream(path + ".tmp").is_open())
+        << "no .tmp while the sink is open";
+    tracer.close();
+    EXPECT_TRUE(std::ifstream(path).is_open());
+    EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+
+    const obs::TraceParseResult parsed = obs::readTraceFile(path);
+    EXPECT_FALSE(parsed.truncated);
+    EXPECT_EQ(parsed.lines.size(), 100u);
+}
+
+TEST(Bintrace, FormatResolution)
+{
+    using obs::TraceFormat;
+    EXPECT_EQ(obs::resolveTraceFormat("x.grpbin", TraceFormat::Auto),
+              TraceFormat::Binary);
+    EXPECT_EQ(obs::resolveTraceFormat("x.jsonl", TraceFormat::Auto),
+              TraceFormat::Jsonl);
+    EXPECT_EQ(obs::resolveTraceFormat("-", TraceFormat::Auto),
+              TraceFormat::Jsonl);
+    EXPECT_EQ(obs::resolveTraceFormat("x.jsonl", TraceFormat::Binary),
+              TraceFormat::Binary);
+    EXPECT_EQ(obs::resolveTraceFormat("x.grpbin", TraceFormat::Jsonl),
+              TraceFormat::Jsonl);
+}
+
+TEST(Bintrace, BinarySmallerThanJsonl)
+{
+    const std::string jsonl =
+        runTraced("grp_bt_size.jsonl", obs::TraceFormat::Auto, 2);
+    const std::string bin =
+        runTraced("grp_bt_size.grpbin", obs::TraceFormat::Auto, 2);
+    const size_t jsonl_size = slurp(jsonl).size();
+    const size_t bin_size = slurp(bin).size();
+    ASSERT_GT(jsonl_size, 0u);
+    ASSERT_GT(bin_size, 0u);
+    // The tentpole claim: ten-fold smaller on real traces.
+    EXPECT_GE(jsonl_size, 10u * bin_size)
+        << jsonl_size << " vs " << bin_size;
+}
+
+} // namespace
+} // namespace grp

@@ -203,7 +203,10 @@ def main():
               f"{DEFAULT_TOLERANCE[1]}")
         return 0
 
-    baselines = sorted(args.baseline.glob("*.json"))
+    # perf_manifest.json is the perf gate's baseline (perf_compare.py),
+    # not a bench artefact — there is no bench/out counterpart to diff.
+    baselines = sorted(path for path in args.baseline.glob("*.json")
+                       if path.name != "perf_manifest.json")
     if not baselines:
         print(f"bench_compare: no baselines under {args.baseline}",
               file=sys.stderr)

@@ -36,7 +36,8 @@ from pathlib import Path
 
 # Provenance fields that make throughput numbers comparable at all.
 PROVENANCE_KEYS = (
-    "cpuModel", "compiler", "buildType", "cxxFlags", "benchThreads")
+    "cpuModel", "compiler", "buildType", "cxxFlags", "benchThreads",
+    "traceMode")
 
 
 def load(path):
