@@ -12,9 +12,19 @@
  *          [--site-profile PATH] [--site-report N]
  *          [--shadow] [--cost-report] [--adaptive-report]
  *          [--host-prof PATH] [--host-prof-level N]
+ *          [--pulse PATH] [--pulse-interval N] [--provenance]
  *
  * Runs one (workload, scheme) pair through the harness and prints
- * the headline metrics. The observability flags export the full
+ * the headline metrics. --pulse appends live progress beats
+ * (obs/pulse.hh JSONL) that `grpmon PATH --follow` can tail while
+ * the run is alive; --pulse-interval overrides the beat cadence
+ * (default ~1% of the instruction budget). SIGINT/SIGTERM stop the
+ * run cleanly at the next beat boundary: every requested artefact is
+ * still exported, marked "partial": true, and grpsim exits 130 (a
+ * second signal aborts immediately). --provenance prints the build
+ * identity (git SHA, compiler, build type, flags) plus the config
+ * hash for the parsed command line and exits; the same block is
+ * embedded in every --stats-json export. The observability flags export the full
  * statistics registry as JSON/CSV, record the prefetch lifecycle
  * trace (JSONL, or the compact .grpbin flight-recorder format —
  * chosen by extension or forced with --trace-format bin|jsonl;
@@ -37,13 +47,18 @@
  * --host-prof).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <iostream>
 #include <string>
 
+#include "harness/provenance.hh"
 #include "harness/runner.hh"
 #include "obs/host_prof.hh"
+#include "obs/json_writer.hh"
+#include "obs/pulse.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
 
@@ -51,6 +66,17 @@ using namespace grp;
 
 namespace
 {
+
+/** First SIGINT/SIGTERM: request a clean stop at the next beat
+ *  boundary (partial artefacts still get exported). A second signal
+ *  means the wind-down itself is stuck — exit immediately. */
+extern "C" void
+onStopSignal(int)
+{
+    if (obs::stopRequested())
+        std::_Exit(130);
+    obs::requestStop();
+}
 
 PrefetchScheme
 parseScheme(const std::string &name)
@@ -125,6 +151,8 @@ usage()
         "              [--site-profile PATH] [--site-report N]\n"
         "              [--shadow] [--cost-report] [--adaptive-report]\n"
         "              [--host-prof PATH] [--host-prof-level N]\n"
+        "              [--pulse PATH] [--pulse-interval N]\n"
+        "              [--provenance]\n"
         "schemes: none stride srp grp-fix grp-var grp-adaptive ptr-hw "
         "ptr-hw-rec srp+ptr srp-throttled\n"
         "policies: conservative default aggressive\n");
@@ -140,6 +168,10 @@ try {
     config.scheme = PrefetchScheme::GrpVar;
     RunOptions options;
     options.obs.traceLevel = 2;
+    // Ad-hoc CLI artefacts always record what produced them; bench
+    // baselines keep the flag off to stay byte-comparable.
+    options.obs.statsProvenance = true;
+    bool show_provenance = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -209,6 +241,12 @@ try {
             options.obs.hostProfPath = outputPath(arg, value());
         } else if (arg == "--host-prof-level") {
             options.obs.hostProfLevel = static_cast<int>(number());
+        } else if (arg == "--pulse") {
+            options.obs.pulsePath = outputPath(arg, value());
+        } else if (arg == "--pulse-interval") {
+            options.obs.pulse.intervalInstructions = number();
+        } else if (arg == "--provenance") {
+            show_provenance = true;
         } else if (arg == "--list") {
             for (const auto &name : workloadNames())
                 std::printf("%s\n", name.c_str());
@@ -227,6 +265,22 @@ try {
         obs::HostProfiler::envLevel() == 0) {
         options.obs.hostProfLevel = 2;
     }
+
+    if (show_provenance) {
+        // Reflects the full command line (scheme/policy feed the
+        // config hash), so parse first, print, and skip the run.
+        obs::JsonWriter json(std::cout);
+        json.beginObject();
+        json.kv("schema", "grp-provenance-v1");
+        json.key("provenance");
+        writeProvenance(json, config);
+        json.endObject();
+        std::cout << "\n";
+        return 0;
+    }
+
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
 
     const RunResult result = runWorkload(workload_name, config, options);
     const uint64_t warmup =
@@ -281,6 +335,12 @@ try {
                      (unsigned long long)result.usefulPrefetches,
                      (unsigned long long)result.prefetchFills,
                      (unsigned long long)result.warmupUsefulPrefetches);
+    }
+    if (result.partial) {
+        std::fprintf(out,
+                     "PARTIAL       stopped early on request; "
+                     "exported artefacts carry \"partial\": true\n");
+        return 130;
     }
     return 0;
 } catch (const std::exception &) {

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Build/run provenance for machine-readable artefacts.
+ *
+ * A stats export or bench sidecar is only comparable to another when
+ * the code, toolchain and configuration behind them are known.
+ * bench_manifest.py stamps this for committed bench artefacts from
+ * the outside (git + config.hh bytes); this helper is the in-binary
+ * equivalent, so `grpsim --provenance` and the `provenance` block of
+ * `--stats-json` can answer "what exactly produced this file?" for
+ * ad-hoc runs that never pass through the manifest tooling.
+ *
+ * The git SHA is stamped at CMake configure time (GRP_GIT_SHA); a
+ * stale build directory can therefore lag the working tree, which is
+ * exactly the situation the field exists to expose. The config hash
+ * is FNV-1a over a canonical serialisation of the *runtime*
+ * SimConfig values — it changes when any knob differs between two
+ * runs, unlike the manifest's hash of the config.hh source bytes.
+ */
+
+#ifndef GRP_HARNESS_PROVENANCE_HH
+#define GRP_HARNESS_PROVENANCE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace grp
+{
+
+namespace obs
+{
+class JsonWriter;
+}
+
+/** Compile-time identity of this binary. */
+struct BuildProvenance
+{
+    std::string gitSha;    ///< Configure-time HEAD (may lag the tree).
+    std::string compiler;  ///< "GNU 13.2.0"-style id + version.
+    std::string buildType; ///< CMAKE_BUILD_TYPE.
+    std::string cxxFlags;  ///< Effective optimisation flags.
+};
+
+BuildProvenance buildProvenance();
+
+/** FNV-1a over every runtime SimConfig field, in a fixed canonical
+ *  order. Two runs with equal hashes simulated the same machine. */
+uint64_t configHash(const SimConfig &config);
+
+/** Emit the provenance object (build identity + config hash +
+ *  scheme/policy) as the *value* for an already-written key. */
+void writeProvenance(obs::JsonWriter &json, const SimConfig &config);
+
+} // namespace grp
+
+#endif // GRP_HARNESS_PROVENANCE_HH

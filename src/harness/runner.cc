@@ -17,12 +17,16 @@
 #include "core/grp_engine.hh"
 #include "cpu/cpu.hh"
 #include "harness/capture.hh"
+#include "harness/provenance.hh"
 #include "mem/memory_system.hh"
 #include "obs/atomic_file.hh"
 #include "obs/host_prof.hh"
+#include "obs/json_writer.hh"
+#include "obs/pulse.hh"
 #include "obs/site_profile.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
+#include "sim/env.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "workloads/interpreter.hh"
@@ -287,9 +291,8 @@ applyForcedTrace(ObsOptions &obs)
     path << dir << "/trace-" << getpid() << '-'
          << counter.fetch_add(1) << (jsonl ? ".jsonl" : ".grpbin");
     obs.tracePath = path.str();
-    if (const char *level = std::getenv("GRP_TRACE_LEVEL");
-        level && *level)
-        obs.traceLevel = std::atoi(level);
+    obs.traceLevel = static_cast<int>(envInt(
+        "GRP_TRACE_LEVEL", static_cast<uint64_t>(obs.traceLevel)));
 }
 
 } // namespace
@@ -297,11 +300,8 @@ applyForcedTrace(ObsOptions &obs)
 uint64_t
 instructionBudget(uint64_t fallback)
 {
-    const char *env = std::getenv("GRP_INSTRUCTIONS");
-    if (!env || !*env)
-        return fallback;
-    const long long parsed = std::atoll(env);
-    return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+    const uint64_t budget = envInt("GRP_INSTRUCTIONS", 0);
+    return budget > 0 ? budget : fallback;
 }
 
 RunResult
@@ -398,6 +398,60 @@ runWorkload(const std::string &workload_name, SimConfig config,
             ? options.maxInstructions / 4
             : options.warmupInstructions;
 
+    // Live telemetry: a run-owned sidecar (--pulse) or the shared
+    // process-wide stream ($GRP_PULSE) that multiplexes every sweep
+    // job. With neither, the optional stays empty and the sim loop
+    // pays one branch per cycle.
+    std::shared_ptr<obs::PulseSink> pulse_sink;
+    bool owns_pulse = false;
+    if (!options.obs.pulsePath.empty()) {
+        pulse_sink =
+            std::make_shared<obs::PulseSink>(options.obs.pulsePath);
+        owns_pulse = true;
+    } else {
+        pulse_sink = obs::PulseSink::process();
+    }
+    std::optional<obs::PulseMeter> pulse;
+    if (pulse_sink && pulse_sink->ok()) {
+        obs::PulseRunMeta meta;
+        if (!owns_pulse) {
+            meta.job = !obs::pulseJobLabel().empty()
+                           ? obs::pulseJobLabel()
+                           : workload_name + "/" +
+                                 toString(config.scheme);
+        }
+        meta.workload = workload_name;
+        meta.scheme = toString(config.scheme);
+        meta.seed = options.seed;
+        meta.targetInstructions = options.maxInstructions + warmup;
+        pulse.emplace(pulse_sink, owns_pulse, options.obs.pulse,
+                      std::move(meta));
+    }
+    // Beat-cadence snapshot of the run's key rates; string stat
+    // lookups are fine here — this runs a few hundred times per run,
+    // not per cycle.
+    const auto sample_pulse = [&](Tick now) {
+        obs::PulseSample s;
+        s.instructions = cpu.retiredInstructions();
+        s.cycles = now;
+        const StatGroup &ms = mem.stats();
+        s.prefetchesIssued = ms.value("prefetchesIssued");
+        s.prefetchFills = ms.value("prefetchFills");
+        s.usefulPrefetches = ms.value("usefulPrefetches");
+        s.pollutionMisses = ms.value("pollutionMisses");
+        if (engine) {
+            s.queueDepth = engine->queueDepth();
+            s.queueCapacity = config.region.queueEntries;
+        }
+        const StatGroup &ds = mem.dram().stats();
+        s.dramIdleCycles = ds.value("contentionIdleCycles");
+        s.dramTotalCycles = s.dramIdleCycles +
+                            ds.value("contentionDemandCycles") +
+                            ds.value("contentionPrefetchCycles") +
+                            ds.value("contentionWritebackCycles");
+        return s;
+    };
+
     ScopedTrace trace(options.obs, events, warmup > 0);
     ScopedSiteProfile site_profile(options.obs, registry);
     if (site_profile.active()) {
@@ -417,6 +471,7 @@ runWorkload(const std::string &workload_name, SimConfig config,
     uint64_t warm_instructions = 0;
     uint64_t warm_cycles = 0;
     bool measuring = warmup == 0;
+    bool stopped = false;
     while (!cpu.done() &&
            cpu.retiredInstructions() <
                options.maxInstructions + warmup) {
@@ -480,14 +535,34 @@ runWorkload(const std::string &workload_name, SimConfig config,
             warm_cycles = cycle;
             measuring = true;
         }
+        // Telemetry beats: the instruction trigger is a single
+        // compare per cycle; the wall-clock floor and the clean-stop
+        // flag read a clock/atomic, so they poll on a coarse cycle
+        // mask. The stop check is deliberately independent of pulse
+        // enablement — SIGINT winds down cleanly with telemetry off.
+        if (pulse && pulse->due(cpu.retiredInstructions()))
+            pulse->beat(sample_pulse(cycle));
+        if ((cycle & 0x3FFF) == 0) {
+            if (obs::stopRequested()) {
+                stopped = true;
+                break;
+            }
+            if (pulse && pulse->wallFloorDue())
+                pulse->beat(sample_pulse(cycle));
+        }
     }
     loop_scope.stop();
+    if (pulse) {
+        pulse->finish(sample_pulse(cycle), stopped,
+                      stopped ? "interrupted" : "completed");
+    }
 
     GRP_HOST_SCOPE_NAMED(finish_scope, 1, Finish);
     RunResult result;
     result.workload = workload_name;
     result.scheme = config.scheme;
     result.perfection = config.perfection;
+    result.partial = stopped;
     result.info = info;
     result.instructions = cpu.retiredInstructions() - warm_instructions;
     result.cycles = cpu.cycles() - warm_cycles;
@@ -548,8 +623,24 @@ runWorkload(const std::string &workload_name, SimConfig config,
 
     GRP_HOST_SCOPE_NAMED(export_scope, 1, StatsExport);
     const ObsOptions &obs = options.obs;
+    // Top-level additions to the stats JSON: the partial-run marker
+    // (only on interrupted runs) and the provenance block (only when
+    // asked). When neither fires the lambda emits nothing and the
+    // document is byte-identical to the historical format.
+    const auto stats_extra = [&](obs::JsonWriter &json) {
+        if (result.partial)
+            json.kv("partial", true);
+        if (obs.statsProvenance) {
+            json.key("provenance");
+            writeProvenance(json, config);
+        }
+    };
+    const auto partial_extra = [&](obs::JsonWriter &json) {
+        if (result.partial)
+            json.kv("partial", true);
+    };
     if (!obs.statsJsonPath.empty())
-        registry.exportJsonFile(obs.statsJsonPath);
+        registry.exportJsonFile(obs.statsJsonPath, stats_extra);
     if (!obs.statsCsvPath.empty())
         registry.exportCsvFile(obs.statsCsvPath);
     if (series)
@@ -557,7 +648,7 @@ runWorkload(const std::string &workload_name, SimConfig config,
     if (site_profile.active()) {
         obs::SiteProfiler &prof = obs::SiteProfiler::instance();
         if (!obs.siteProfilePath.empty())
-            prof.exportJsonFile(obs.siteProfilePath);
+            prof.exportJsonFile(obs.siteProfilePath, partial_extra);
         if (obs.siteReportTop > 0)
             prof.writeReport(std::cout,
                              static_cast<size_t>(obs.siteReportTop));

@@ -33,6 +33,11 @@ struct RunResult
     uint64_t cycles = 0;
     double ipc = 0.0;
 
+    /** The run stopped early at a beat boundary (SIGINT/SIGTERM via
+     *  obs::requestStop()); every exported artefact carries a
+     *  matching partial marker. */
+    bool partial = false;
+
     uint64_t trafficBytes = 0;     ///< Fills + writebacks, in bytes.
     uint64_t l2DemandAccesses = 0;
     uint64_t l2MissesTotal = 0;    ///< All L2 demand misses.
@@ -131,6 +136,17 @@ struct ObsOptions
      *  lifecycle, 2 adds the hot-loop phases); -1 inherits the
      *  thread's level, seeded from GRP_HOST_PROF. */
     int hostProfLevel = -1;
+    /** Live-telemetry sidecar (obs/pulse.hh) owned by this run;
+     *  empty disables it. Independent of $GRP_PULSE, which instead
+     *  multiplexes every run in the process onto one shared
+     *  stream. */
+    std::string pulsePath;
+    /** Beat cadence and watchdog thresholds for the pulse stream. */
+    PulseConfig pulse;
+    /** Append a provenance block (harness/provenance.hh) to the
+     *  stats JSON export. Off by default so existing artefacts stay
+     *  byte-identical; grpsim turns it on. */
+    bool statsProvenance = false;
 };
 
 /** Options for a run. */

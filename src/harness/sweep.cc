@@ -7,6 +7,9 @@
 #include <exception>
 #include <thread>
 
+#include "obs/pulse.hh"
+#include "sim/env.hh"
+
 namespace grp
 {
 
@@ -24,6 +27,9 @@ executeJob(const SweepJob &job)
     if (profiling)
         prof_base = host_prof.snapshot();
     const auto start = std::chrono::steady_clock::now();
+    // With $GRP_PULSE multiplexing the whole sweep onto one stream,
+    // the runner tags this worker's records with the job label.
+    obs::setPulseJobLabel(job.label);
     try {
         outcome.result = job.run();
     } catch (const std::exception &e) {
@@ -33,6 +39,7 @@ executeJob(const SweepJob &job)
         outcome.failed = true;
         outcome.error = "unknown exception";
     }
+    obs::setPulseJobLabel(std::string());
     outcome.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -92,11 +99,11 @@ runSweep(std::vector<SweepJob> jobs)
 unsigned
 defaultSweepThreads()
 {
-    if (const char *env = std::getenv("GRP_BENCH_THREADS")) {
-        const long parsed = std::atol(env);
-        if (parsed > 0)
-            return static_cast<unsigned>(parsed);
-    }
+    // 0 (and unset) defer to the machine's concurrency; anything
+    // non-numeric is a fatal diagnostic, not a silent serial run.
+    const uint64_t parsed = envInt("GRP_BENCH_THREADS", 0);
+    if (parsed > 0)
+        return static_cast<unsigned>(parsed);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }

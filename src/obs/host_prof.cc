@@ -5,6 +5,7 @@
 #include <new>
 
 #include "obs/json_writer.hh"
+#include "sim/env.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -391,12 +392,7 @@ int
 HostProfiler::envLevel()
 {
     static const int level = [] {
-        const char *env = std::getenv("GRP_HOST_PROF");
-        if (!env || !*env)
-            return 0;
-        const long parsed = std::atol(env);
-        if (parsed <= 0)
-            return 0;
+        const uint64_t parsed = envInt("GRP_HOST_PROF", 0);
         return parsed > 3 ? 3 : static_cast<int>(parsed);
     }();
     return level;

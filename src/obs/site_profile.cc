@@ -163,7 +163,9 @@ SiteProfiler::ranked() const
 }
 
 void
-SiteProfiler::exportJson(std::ostream &os) const
+SiteProfiler::exportJson(
+    std::ostream &os,
+    const std::function<void(JsonWriter &)> &extra) const
 {
     JsonWriter w(os);
     w.beginObject();
@@ -205,14 +207,19 @@ SiteProfiler::exportJson(std::ostream &os) const
         w.endObject();
     }
     w.endArray();
+    if (extra)
+        extra(w);
     w.endObject();
 }
 
 bool
-SiteProfiler::exportJsonFile(const std::string &path) const
+SiteProfiler::exportJsonFile(
+    const std::string &path,
+    const std::function<void(JsonWriter &)> &extra) const
 {
     return atomicWriteFile(
-        path, [this](std::ostream &os) { exportJson(os); },
+        path,
+        [this, &extra](std::ostream &os) { exportJson(os, extra); },
         "site-profile");
 }
 

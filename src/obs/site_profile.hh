@@ -31,6 +31,7 @@
 #define GRP_OBS_SITE_PROFILE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -38,6 +39,14 @@
 
 #include "obs/trace.hh"
 #include "sim/stats.hh"
+
+namespace grp
+{
+namespace obs
+{
+class JsonWriter;
+}
+}
 #include "sim/types.hh"
 
 namespace grp
@@ -181,9 +190,16 @@ class SiteProfiler
     ranked() const;
 
     /** One JSON document (schema grp-site-profile-v1): ranked site
-     *  array plus the aggregate totals. */
-    void exportJson(std::ostream &os) const;
-    bool exportJsonFile(const std::string &path) const;
+     *  array plus the aggregate totals. @p extra, when set, appends
+     *  top-level members (the harness adds the partial-run marker);
+     *  absent, the document matches the historical format
+     *  byte-for-byte. */
+    void exportJson(std::ostream &os,
+                    const std::function<void(JsonWriter &)> &extra =
+                        {}) const;
+    bool exportJsonFile(const std::string &path,
+                        const std::function<void(JsonWriter &)>
+                            &extra = {}) const;
 
     /** Human-readable worst-offenders table (top @p top_n sites). */
     void writeReport(std::ostream &os, size_t top_n) const;

@@ -150,7 +150,9 @@ writeGroupJson(JsonWriter &w, const StatGroup &group)
 } // namespace
 
 void
-StatRegistry::exportJson(std::ostream &os) const
+StatRegistry::exportJson(
+    std::ostream &os,
+    const std::function<void(JsonWriter &)> &extra) const
 {
     JsonWriter w(os);
     w.beginObject();
@@ -162,6 +164,8 @@ StatRegistry::exportJson(std::ostream &os) const
         writeGroupJson(w, *groups_[i]);
     }
     w.endObject();
+    if (extra)
+        extra(w);
     w.endObject();
 }
 
@@ -193,15 +197,18 @@ StatRegistry::exportCsv(std::ostream &os) const
 }
 
 bool
-StatRegistry::exportJsonFile(const std::string &path) const
+StatRegistry::exportJsonFile(
+    const std::string &path,
+    const std::function<void(JsonWriter &)> &extra) const
 {
     if (path == "-") {
-        exportJson(std::cout);
+        exportJson(std::cout, extra);
         std::cout << "\n";
         return static_cast<bool>(std::cout);
     }
     return atomicWriteFile(
-        path, [this](std::ostream &os) { exportJson(os); },
+        path,
+        [this, &extra](std::ostream &os) { exportJson(os, extra); },
         "stats JSON");
 }
 

@@ -25,6 +25,7 @@
 #define GRP_OBS_STAT_REGISTRY_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -36,6 +37,8 @@ namespace grp
 {
 namespace obs
 {
+
+class JsonWriter;
 
 /** Summary of one Distribution at snapshot time. */
 struct DistSummary
@@ -99,8 +102,14 @@ class StatRegistry
 
     /** Emit every group (older duplicates suffixed "#N") as one JSON
      *  document: {"schema": ..., "groups": {name: {counters,
-     *  distributions}}}. */
-    void exportJson(std::ostream &os) const;
+     *  distributions}}}. @p extra, when set, appends additional
+     *  top-level members after "groups" (the harness uses it for the
+     *  partial-run marker and the provenance block); an absent or
+     *  no-op @p extra leaves the document byte-identical to the
+     *  historical format. */
+    void exportJson(std::ostream &os,
+                    const std::function<void(JsonWriter &)> &extra =
+                        {}) const;
 
     /** Emit "group,stat,value" CSV rows (distributions expand to
      *  .samples/.sum/.mean/.max/.p50/.p90/.p99 rows). */
@@ -109,7 +118,9 @@ class StatRegistry
     /** Write exportJson()/exportCsv() output to @p path ("-" streams
      *  to stdout); returns false (with a warn) when the file cannot
      *  be opened. */
-    bool exportJsonFile(const std::string &path) const;
+    bool exportJsonFile(const std::string &path,
+                        const std::function<void(JsonWriter &)>
+                            &extra = {}) const;
     bool exportCsvFile(const std::string &path) const;
 
     /** Text dump of every group in the classic "group.stat value"

@@ -65,6 +65,15 @@ validateCache(const CacheConfig &cache, const char *what)
 } // namespace
 
 void
+PulseConfig::validate() const
+{
+    fatal_if(dropPct < 0.0 || dropPct >= 100.0,
+             "pulse drop threshold must be in [0, 100) percent");
+    fatal_if(dropSustainBeats == 0,
+             "pulse drop streak must be at least one beat");
+}
+
+void
 SimConfig::validate() const
 {
     validateCache(l1d, "L1D");

@@ -141,6 +141,34 @@ struct AdaptiveConfig
     uint64_t minEpochFills = 8;
 };
 
+/**
+ * Live run telemetry (src/obs/pulse): beat cadence and the stall
+ * watchdog's thresholds. Enablement and the sidecar path live in
+ * ObsOptions (harness/runner.hh); off by default, and a pulse-off
+ * run carries zero telemetry residue.
+ */
+struct PulseConfig
+{
+    /** Simulated instructions between beats; 0 derives one from the
+     *  run's instruction budget (~1% of it, minimum 1000). */
+    uint64_t intervalInstructions = 0;
+    /** Force a beat when this many wall-clock milliseconds pass
+     *  without the instruction interval elapsing, so a stalled run
+     *  keeps pulsing and the watchdog can see it (0 disables the
+     *  floor — beats then fire on instruction count only). */
+    uint64_t wallFloorMillis = 250;
+    /** Watchdog: a beat whose host inst/s falls more than this many
+     *  percent below the rolling baseline counts toward a collapse
+     *  streak... */
+    double dropPct = 50.0;
+    /** ...and a streak this many consecutive beats long emits a
+     *  `pulse.warn` record (and a nonzero `grpmon --check`). */
+    unsigned dropSustainBeats = 3;
+
+    /** Throws (fatal) on nonsensical thresholds. */
+    void validate() const;
+};
+
 /** Stride prefetcher (PDSB stride component) parameters. */
 struct StrideConfig
 {

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared parsing for the simulator's numeric environment knobs.
+ *
+ * Every GRP_* integer variable (GRP_INSTRUCTIONS, GRP_BENCH_THREADS,
+ * GRP_TRACE_LEVEL, GRP_HOST_PROF, ...) historically went through
+ * atoi-family parsing, which silently turns "200M", "4x" or "-1"
+ * into something the user did not ask for — at paper-scale budgets a
+ * mistyped instruction count quietly runs the wrong experiment for
+ * hours. envInt() centralises the parsing: unset or empty means the
+ * fallback, anything that is not a plain non-negative decimal
+ * integer is a fatal diagnostic naming the variable.
+ */
+
+#ifndef GRP_SIM_ENV_HH
+#define GRP_SIM_ENV_HH
+
+#include <cstdint>
+
+namespace grp
+{
+
+/**
+ * Read the integer environment variable @p name.
+ *
+ * @return @p fallback when the variable is unset or empty, its value
+ *         otherwise. Malformed values — non-digit characters, a sign,
+ *         trailing garbage, or overflow past uint64 — are a user
+ *         error: fatal() with the variable name and offending text.
+ */
+uint64_t envInt(const char *name, uint64_t fallback);
+
+} // namespace grp
+
+#endif // GRP_SIM_ENV_HH

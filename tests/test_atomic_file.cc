@@ -1,0 +1,146 @@
+/** @file Error-path tests for atomic artefact publication. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/atomic_file.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream file(path);
+    std::stringstream ss;
+    ss << file.rdbuf();
+    return ss.str();
+}
+
+class AtomicFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_F(AtomicFileTest, WritesAndPublishes)
+{
+    const std::string path = tempPath("atomic_ok.txt");
+    EXPECT_TRUE(obs::atomicWriteFile(
+        path, [](std::ostream &os) { os << "payload"; }, "test"));
+    EXPECT_EQ(slurp(path), "payload");
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, MissingParentFailsWithoutResidue)
+{
+    // (Not an unwritable-permissions test: these tests run as root,
+    // where mode bits don't deny.) A nonexistent parent is the
+    // portable "cannot open the temporary" failure.
+    const std::string path =
+        tempPath("no_such_dir/deeper/atomic.txt");
+    EXPECT_FALSE(obs::atomicWriteFile(
+        path, [](std::ostream &os) { os << "payload"; }, "test"));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, EmitFailureCleansTmpAndKeepsOldFile)
+{
+    const std::string path = tempPath("atomic_emitfail.txt");
+    ASSERT_TRUE(obs::atomicWriteFile(
+        path, [](std::ostream &os) { os << "original"; }, "test"));
+    // A failing emit (stream error mid-write) must not publish and
+    // must not leave "<path>.tmp" behind — and the previously
+    // published content must survive untouched.
+    EXPECT_FALSE(obs::atomicWriteFile(
+        path,
+        [](std::ostream &os) {
+            os << "partial garbage";
+            os.setstate(std::ios::failbit);
+        },
+        "test"));
+    EXPECT_EQ(slurp(path), "original");
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, RenameTargetCollisionFailsCleanly)
+{
+    // A directory squatting on the target path makes the final
+    // rename fail after a successful tmp write; the tmp must be
+    // cleaned up rather than stranded next to the artefact.
+    const std::string path = tempPath("atomic_dir_target");
+    fs::create_directory(path);
+    ASSERT_TRUE(fs::is_directory(path));
+    EXPECT_FALSE(obs::atomicWriteFile(
+        path, [](std::ostream &os) { os << "payload"; }, "test"));
+    EXPECT_TRUE(fs::is_directory(path)); // Victim left alone.
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    fs::remove(path);
+}
+
+TEST_F(AtomicFileTest, PublishTempFileMovesContent)
+{
+    const std::string tmp = tempPath("atomic_pub.tmp");
+    const std::string path = tempPath("atomic_pub.txt");
+    {
+        std::ofstream os(tmp);
+        os << "streamed";
+    }
+    EXPECT_TRUE(obs::publishTempFile(tmp, path, "test"));
+    EXPECT_EQ(slurp(path), "streamed");
+    EXPECT_FALSE(fs::exists(tmp));
+    std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, PublishTempFileFailureCleansTmp)
+{
+    const std::string tmp = tempPath("atomic_pubfail.tmp");
+    const std::string path = tempPath("atomic_pubfail_target");
+    {
+        std::ofstream os(tmp);
+        os << "streamed";
+    }
+    fs::create_directory(path); // Rename over a directory fails.
+    EXPECT_FALSE(obs::publishTempFile(tmp, path, "test"));
+    EXPECT_FALSE(fs::exists(tmp));
+    fs::remove(path);
+}
+
+TEST_F(AtomicFileTest, PublishAfterFailureLeavesNoPartialFile)
+{
+    // The sequence a crashing exporter would produce: a failed
+    // atomic write followed by a retry must behave as if the failure
+    // never happened — no partial artefact visible in between.
+    const std::string path = tempPath("atomic_retry.txt");
+    EXPECT_FALSE(obs::atomicWriteFile(
+        path,
+        [](std::ostream &os) { os.setstate(std::ios::badbit); },
+        "test"));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(obs::atomicWriteFile(
+        path, [](std::ostream &os) { os << "second try"; }, "test"));
+    EXPECT_EQ(slurp(path), "second try");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace grp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 
 #include "harness/runner.hh"
 #include "sim/logging.hh"
@@ -35,13 +36,20 @@ TEST_F(RunnerTest, InstructionBudgetReadsEnvironment)
     EXPECT_EQ(instructionBudget(123), 777'000u);
 }
 
-TEST_F(RunnerTest, BadEnvironmentFallsBack)
+TEST_F(RunnerTest, MalformedEnvironmentIsFatal)
 {
+    // Silent atoi-style fallback ran the wrong experiment for hours
+    // at paper-scale budgets; malformed knobs now abort up front.
     setenv("GRP_INSTRUCTIONS", "nonsense", 1);
-    EXPECT_EQ(instructionBudget(123), 123u);
+    EXPECT_THROW(instructionBudget(123), std::runtime_error);
     setenv("GRP_INSTRUCTIONS", "-5", 1);
-    EXPECT_EQ(instructionBudget(123), 123u);
+    EXPECT_THROW(instructionBudget(123), std::runtime_error);
+    setenv("GRP_INSTRUCTIONS", "20k", 1);
+    EXPECT_THROW(instructionBudget(123), std::runtime_error);
+    // Empty still means unset; zero still defers to the fallback.
     setenv("GRP_INSTRUCTIONS", "", 1);
+    EXPECT_EQ(instructionBudget(123), 123u);
+    setenv("GRP_INSTRUCTIONS", "0", 1);
     EXPECT_EQ(instructionBudget(123), 123u);
 }
 

@@ -128,6 +128,11 @@ def run_provenance(timings):
         "cpuModel": cpu_model(),
         "benchThreads": os.environ.get("GRP_BENCH_THREADS"),
         "hostProf": os.environ.get("GRP_HOST_PROF"),
+        # Live telemetry multiplexing, when it was on for this run:
+        # pulse beats cost (a little) host time, so a manifest that
+        # recorded GRP_PULSE explains a slightly slower inst/s figure
+        # the same way hostProf does.
+        "pulse": os.environ.get("GRP_PULSE"),
     }
     if len(builds) == 1:
         provenance.update(builds[0])
