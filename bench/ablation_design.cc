@@ -37,23 +37,18 @@ enqueue(BenchSweep &sweep, PrefetchScheme scheme,
     size_t first = 0;
     bool have_first = false;
     for (const std::string &name : names) {
-        const size_t base_job = sweep.add(name + "/base", [name,
-                                                           opts] {
-            SimConfig config;
-            return runWorkload(name, config, opts);
-        });
+        const size_t base_job =
+            sweep.addConfig(name + "/base", name, SimConfig{}, opts);
         if (!have_first) {
             first = base_job;
             have_first = true;
         }
         for (const Variant &variant : variants) {
-            sweep.add(name + "/" + variant.label,
-                      [name, scheme, apply = variant.apply, opts] {
-                          SimConfig config;
-                          config.scheme = scheme;
-                          apply(config);
-                          return runWorkload(name, config, opts);
-                      });
+            SimConfig config;
+            config.scheme = scheme;
+            variant.apply(config);
+            sweep.addConfig(name + "/" + variant.label, name, config,
+                            opts);
         }
     }
     return first;

@@ -17,7 +17,12 @@ Cpu::Cpu(const SimConfig &config, MemorySystem &mem, EventQueue &events,
       stats_("cpu"),
       statReg_(stats_, registry)
 {
-    robEntries_.resize(config.cpu.robEntries);
+    robCapacity_ = config.cpu.robEntries;
+    size_t storage = 1;
+    while (storage < robCapacity_)
+        storage <<= 1;
+    robEntries_.resize(storage);
+    robMask_ = storage - 1;
     mem_.setLoadCallback([this](uint64_t token) { loadDone(token); });
     robFullStalls_ = &stats_.counter("robFullStalls");
     loads_ = &stats_.counter("loads");
@@ -44,14 +49,18 @@ bool
 Cpu::fetchNext()
 {
     while (!havePending_) {
-        if (traceDone_)
-            return false;
-        GRP_HOST_SCOPE(2, Interp);
-        TraceOp op;
-        if (!trace_.next(op)) {
-            traceDone_ = true;
-            return false;
+        if (batchPos_ == batchLen_) {
+            if (traceDone_)
+                return false;
+            GRP_HOST_SCOPE(2, Interp);
+            batchLen_ = trace_.nextBatch(&batch_);
+            batchPos_ = 0;
+            if (batchLen_ == 0) {
+                traceDone_ = true;
+                return false;
+            }
         }
+        const TraceOp &op = batch_[batchPos_++];
         // An unhinted binary contains no indirect prefetch
         // instructions at all, so they cost nothing there.
         if (op.kind == OpKind::IndirectPrefetch &&
@@ -77,7 +86,7 @@ Cpu::tick()
         if (head.waitingOnLoad || head.readyAt > now)
             break;
         head.busy = false;
-        robHead_ = (robHead_ + 1) % robEntries_.size();
+        robHead_ = (robHead_ + 1) & robMask_;
         --robCount_;
         ++retired_;
         ++retired_now;
@@ -102,9 +111,6 @@ Cpu::tick()
         ++entry.generation;
         const uint64_t token =
             (static_cast<uint64_t>(entry.generation) << 32) | slot;
-        static const LoadHints kNoHints{};
-        const LoadHints &hints =
-            hints_ ? hints_->get(pendingOp_.refId) : kNoHints;
 
         bool accepted = true;
         bool waiting = false;
@@ -113,16 +119,26 @@ Cpu::tick()
         switch (pendingOp_.kind) {
           case OpKind::Compute:
             break;
-          case OpKind::Load:
+          case OpKind::Load: {
+            // An L1 hit completes synchronously (hit_ready is the
+            // completion tick); only misses round-trip through the
+            // event queue and the loadDone callback.
+            Tick hit_ready = kMaxTick;
             accepted = mem_.load(pendingOp_.addr, pendingOp_.refId,
-                                 hints, token);
-            waiting = accepted;
-            if (accepted)
+                                 hintsFor(pendingOp_.refId), token,
+                                 &hit_ready);
+            if (accepted) {
                 ++*loads_;
+                if (hit_ready != kMaxTick)
+                    ready = hit_ready;
+                else
+                    waiting = true;
+            }
             break;
+          }
           case OpKind::Store:
             accepted = mem_.store(pendingOp_.addr, pendingOp_.refId,
-                                  hints);
+                                  hintsFor(pendingOp_.refId));
             if (accepted)
                 ++*stores_;
             break;
@@ -143,7 +159,7 @@ Cpu::tick()
         entry.busy = true;
         entry.waitingOnLoad = waiting;
         entry.readyAt = ready;
-        robTail_ = (robTail_ + 1) % robEntries_.size();
+        robTail_ = (robTail_ + 1) & robMask_;
         ++robCount_;
         havePending_ = false;
     }
@@ -153,6 +169,39 @@ bool
 Cpu::done() const
 {
     return traceDone_ && !havePending_ && robCount_ == 0;
+}
+
+Cpu::StallState
+Cpu::stallState(Tick now) const
+{
+    StallState st;
+    if (robCount_ == 0)
+        return st; // Empty pipeline issues or finishes; not a stall.
+    const RobEntry &head = robEntries_[robHead_];
+    if (!head.waitingOnLoad && head.readyAt <= now)
+        return st; // tick() would retire.
+    if (robFull()) {
+        // Blocked head, full ROB: tick() only counts a robFullStalls.
+        st.stalled = true;
+        st.robFullPath = true;
+    } else if (traceDone_ && !havePending_) {
+        // Blocked head, nothing left to issue: tick() is a pure wait.
+        st.stalled = true;
+    }
+    // Otherwise tick() would fetch/issue (or retry a memory-rejected
+    // op, whose per-attempt counters must accrue cycle by cycle) —
+    // not skippable.
+    if (st.stalled && !head.waitingOnLoad)
+        st.readyTick = head.readyAt;
+    return st;
+}
+
+void
+Cpu::fastForward(uint64_t cycles, bool robFullPath)
+{
+    cycles_ += cycles;
+    if (robFullPath)
+        *robFullStalls_ += cycles;
 }
 
 } // namespace grp

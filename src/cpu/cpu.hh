@@ -45,6 +45,35 @@ class Cpu
     /** Trace exhausted and pipeline drained. */
     bool done() const;
 
+    /** What tick() would do at @p now, for the runner's stall
+     *  fast-forward (see docs/PERFORMANCE.md). */
+    struct StallState
+    {
+        /** tick() can neither retire nor change any state other than
+         *  the per-cycle stall accounting — the cycle is skippable. */
+        bool stalled = false;
+        /** Stalled with a full ROB (one robFullStalls per cycle);
+         *  false means the trace is drained and nothing is pending. */
+        bool robFullPath = false;
+        /** When the ROB head retires on its own (kMaxTick while it
+         *  waits on a load — the completion event supplies the tick). */
+        Tick readyTick = kMaxTick;
+    };
+
+    StallState stallState(Tick now) const;
+
+    /** Apply @p cycles skipped stall cycles in one batch: the cycle
+     *  count and (on the full-ROB path) one robFullStalls per cycle,
+     *  exactly what per-cycle ticking would have accumulated. */
+    void fastForward(uint64_t cycles, bool robFullPath);
+
+    /** First tick at which the deadlock watchdog would fire. */
+    Tick
+    deadlockTick() const
+    {
+        return lastRetireTick_ + config_.deadlockCycles + 1;
+    }
+
     uint64_t retiredInstructions() const { return retired_; }
     uint64_t cycles() const { return cycles_; }
 
@@ -69,7 +98,16 @@ class Cpu
     void loadDone(uint64_t token);
 
     bool fetchNext();
-    bool robFull() const { return robCount_ == robEntries_.size(); }
+    bool robFull() const { return robCount_ == robCapacity_; }
+
+    /** Hints for @p ref: the table's entry, or all-zero hints when
+     *  running an unhinted binary. */
+    const LoadHints &
+    hintsFor(RefId ref) const
+    {
+        static const LoadHints kNoHints{};
+        return hints_ ? hints_->get(ref) : kNoHints;
+    }
 
     SimConfig config_;
     MemorySystem &mem_;
@@ -77,7 +115,12 @@ class Cpu
     TraceSource &trace_;
     const HintTable *hints_;
 
+    // Storage is robEntries rounded up to a power of two so the ring
+    // indices advance with a mask instead of a modulo; robCapacity_
+    // (robCount_'s ceiling) keeps the architectural ROB size.
     std::vector<RobEntry> robEntries_;
+    size_t robMask_ = 0;
+    size_t robCapacity_ = 0;
     size_t robHead_ = 0;
     size_t robTail_ = 0;
     size_t robCount_ = 0;
@@ -85,6 +128,12 @@ class Cpu
     TraceOp pendingOp_;
     bool havePending_ = false;
     bool traceDone_ = false;
+
+    /** Current trace batch (fetchNext consumes it op by op; the
+     *  source keeps the storage valid until the next refill). */
+    const TraceOp *batch_ = nullptr;
+    size_t batchPos_ = 0;
+    size_t batchLen_ = 0;
 
     uint64_t retired_ = 0;
     uint64_t cycles_ = 0;

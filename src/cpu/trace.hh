@@ -82,6 +82,29 @@ class TraceSource
 
     /** Produce the next op; returns false at end of trace. */
     virtual bool next(TraceOp &op) = 0;
+
+    /**
+     * Produce a run of consecutive ops at once: points @p ops at an
+     * internal buffer that stays valid until the next nextBatch()/
+     * next() call and returns the run length (0 at end of trace).
+     * The concatenation of batches is element-for-element the next()
+     * stream — sources that can expose runs cheaply (the decoded
+     * interpreter's compute runs, the sweep replay buffer) override
+     * this so the CPU pays one virtual call per run instead of per
+     * op. The default forwards to next(), so wrappers that only
+     * intercept next() (trace capture) still see every op.
+     */
+    virtual size_t
+    nextBatch(const TraceOp **ops)
+    {
+        if (!next(one_))
+            return 0;
+        *ops = &one_;
+        return 1;
+    }
+
+  private:
+    TraceOp one_;
 };
 
 } // namespace grp

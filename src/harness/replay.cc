@@ -1,0 +1,149 @@
+#include "harness/replay.hh"
+
+#include <algorithm>
+
+#include "workloads/predecode.hh"
+#include "workloads/workload.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+/** A per-job cursor over a shared recording. Reads are borrowed
+ *  spans of the recording's chunk storage — no per-reader buffer and
+ *  no copy; a handful of lock acquisitions per simulated run. */
+class RecordingReader : public TraceSource
+{
+  public:
+    explicit RecordingReader(std::shared_ptr<SweepRecording> rec)
+        : rec_(std::move(rec))
+    {
+    }
+
+    bool
+    next(TraceOp &op) override
+    {
+        if (pos_ == len_ && !refill())
+            return false; // End of the recorded stream.
+        op = span_[pos_++];
+        return true;
+    }
+
+    size_t
+    nextBatch(const TraceOp **ops) override
+    {
+        if (pos_ == len_ && !refill())
+            return 0;
+        *ops = span_ + pos_;
+        const size_t run = len_ - pos_;
+        pos_ = len_;
+        return run;
+    }
+
+  private:
+    bool
+    refill()
+    {
+        len_ = rec_->fetchSpan(cursor_, &span_);
+        cursor_ += len_;
+        pos_ = 0;
+        return len_ != 0;
+    }
+    std::shared_ptr<SweepRecording> rec_;
+    uint64_t cursor_ = 0; ///< Absolute position of the next refill.
+    const TraceOp *span_ = nullptr;
+    size_t pos_ = 0;
+    size_t len_ = 0;
+};
+
+} // namespace
+
+SweepRecording::SweepRecording(std::string workload, uint64_t seed,
+                               CompilerPolicy policy, uint64_t l2_bytes)
+    : workload_(std::move(workload)), seed_(seed), policy_(policy),
+      l2Bytes_(l2_bytes)
+{
+}
+
+void
+SweepRecording::ensureBuilt()
+{
+    std::call_once(buildOnce_, [this] {
+        prog_.emplace(makeWorkload(workload_)->build(fmem_, seed_));
+        HintGenerator generator(policy_, l2Bytes_);
+        stats_ = generator.run(*prog_, table_);
+        source_ = makeTraceSource(*prog_, fmem_, seed_);
+    });
+}
+
+FunctionalMemory &
+SweepRecording::memory()
+{
+    ensureBuilt();
+    return fmem_;
+}
+
+const HintTable &
+SweepRecording::hints()
+{
+    ensureBuilt();
+    return table_;
+}
+
+const HintStats &
+SweepRecording::hintStats()
+{
+    ensureBuilt();
+    return stats_;
+}
+
+std::unique_ptr<TraceSource>
+SweepRecording::makeReader(std::shared_ptr<SweepRecording> self)
+{
+    return std::make_unique<RecordingReader>(std::move(self));
+}
+
+size_t
+SweepRecording::fetchSpan(uint64_t begin, const TraceOp **ops)
+{
+    ensureBuilt();
+    std::lock_guard<std::mutex> lock(mu_);
+    // Extend the recording until it covers the chunk holding @p begin
+    // (the generation cost is paid once across all readers; whoever
+    // asks first generates for everyone). Readers still holding spans
+    // are safe: appends land only past every span handed out so far.
+    const uint64_t chunk_end = (begin / kChunkOps + 1) * kChunkOps;
+    while (recorded_ < chunk_end && !exhausted_) {
+        if (genPos_ == genLen_) {
+            genLen_ = source_->nextBatch(&gen_);
+            genPos_ = 0;
+            if (genLen_ == 0) {
+                exhausted_ = true;
+                break;
+            }
+        }
+        if (recorded_ == chunks_.size() * kChunkOps)
+            chunks_.push_back(std::make_unique<TraceOp[]>(kChunkOps));
+        const size_t at = recorded_ % kChunkOps;
+        const size_t n =
+            std::min(kChunkOps - at, genLen_ - genPos_);
+        std::copy_n(gen_ + genPos_, n, chunks_.back().get() + at);
+        genPos_ += n;
+        recorded_ += n;
+    }
+    if (begin >= recorded_)
+        return 0;
+    *ops = chunks_[begin / kChunkOps].get() + begin % kChunkOps;
+    return std::min<uint64_t>(recorded_, chunk_end) - begin;
+}
+
+uint64_t
+SweepRecording::opsRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+}
+
+} // namespace grp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * In-memory sweep replay: the shared once-per-(workload, seed,
+ * policy) run context that lets a bench sweep re-drive every scheme
+ * point from one recorded access stream.
+ *
+ * A sweep's grid typically crosses a handful of workloads with many
+ * scheme/perfection points, and at bench-sized instruction windows
+ * the per-job cost is dominated by setup — Workload::build populating
+ * functional memory, the compiler pipeline, and interpreter-driven op
+ * generation — all of which are pure functions of (workload, seed,
+ * policy) and independent of the simulated hardware configuration.
+ * SweepRecording computes each of them exactly once and shares the
+ * results across every job in the grid:
+ *
+ *  - the built Program and FunctionalMemory (read-only after build:
+ *    the interpreter and the prefetch engines only ever read values,
+ *    so concurrent jobs can share one copy),
+ *  - the hint table and static hint statistics for the recording's
+ *    compiler policy,
+ *  - the dynamic access stream, recorded lazily from one interpreter
+ *    and replayed to every job through cheap cursor TraceSources.
+ *
+ * The stream is scheme-independent (IndirectPrefetch ops are always
+ * emitted; the CPU filters them by scheme), so one recording drives
+ * the whole grid, exactly like an on-disk --capture/--replay pair —
+ * but with no file, no serialization, and shared setup. Jobs pulling
+ * past the recorded end extend the recording on demand under a lock;
+ * replayed results are byte-identical to interpreter-driven runs at
+ * any thread count because the recorded stream is deterministic.
+ */
+
+#ifndef GRP_HARNESS_REPLAY_HH
+#define GRP_HARNESS_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/hint_generator.hh"
+#include "compiler/ir.hh"
+#include "core/hint_table.hh"
+#include "cpu/trace.hh"
+#include "mem/functional_memory.hh"
+#include "sim/config.hh"
+
+namespace grp
+{
+
+/** Shared workload context + recorded access stream for one
+ *  (workload, seed, policy, l2 size) sweep key. Thread-safe: any
+ *  number of sweep jobs may read concurrently. */
+class SweepRecording
+{
+  public:
+    /**
+     * Declare the recording's key. Construction is cheap: the
+     * workload build, compiler pipeline and interpreter are created
+     * lazily by the first accessor, so recordings can be handed out
+     * while a bench queues jobs and the (one-time) setup cost lands
+     * on whichever worker thread first needs it.
+     *
+     * @param l2_bytes L2 capacity the compiler pipeline targets; part
+     *        of the key because reuse-distance analysis depends on it.
+     */
+    SweepRecording(std::string workload, uint64_t seed,
+                   CompilerPolicy policy, uint64_t l2_bytes);
+
+    SweepRecording(const SweepRecording &) = delete;
+    SweepRecording &operator=(const SweepRecording &) = delete;
+
+    const std::string &workload() const { return workload_; }
+    uint64_t seed() const { return seed_; }
+    CompilerPolicy policy() const { return policy_; }
+    uint64_t l2Bytes() const { return l2Bytes_; }
+
+    /** The shared functional memory (builds on first use). Read-only
+     *  by contract: nothing writes functional memory after
+     *  Workload::build, which is what makes sharing sound. */
+    FunctionalMemory &memory();
+
+    /** Hint table for the recording's policy (builds on first use). */
+    const HintTable &hints();
+
+    /** Static compiler statistics (Table 3 row; builds on first
+     *  use). */
+    const HintStats &hintStats();
+
+    /**
+     * A cursor over the recorded stream, replaying it op-for-op from
+     * the beginning. Each job gets its own reader; readers share the
+     * recording through @p self and extend it on demand when they
+     * pull past the recorded end.
+     */
+    static std::unique_ptr<TraceSource>
+    makeReader(std::shared_ptr<SweepRecording> self);
+
+    /**
+     * Borrow a read-only span of the recorded stream starting at
+     * absolute position @p begin, generating more ops from the
+     * interpreter if the recording is shorter. Sets @p *ops and
+     * returns the run length (0 only at end of stream). The span
+     * stays valid for the recording's lifetime even while other
+     * readers extend it: chunk storage never moves, and writers only
+     * append past the returned run. (Readers call this in batches;
+     * exposed for tests.)
+     */
+    size_t fetchSpan(uint64_t begin, const TraceOp **ops);
+
+    /** Ops recorded so far (monotone; for tests/telemetry). */
+    uint64_t opsRecorded() const;
+
+  private:
+    void ensureBuilt();
+
+    const std::string workload_;
+    const uint64_t seed_;
+    const CompilerPolicy policy_;
+    const uint64_t l2Bytes_;
+
+    std::once_flag buildOnce_;
+    FunctionalMemory fmem_;
+    /** Kept alive for the interpreter (the tree walker holds a
+     *  reference into it). */
+    std::optional<Program> prog_;
+    HintTable table_;
+    HintStats stats_;
+    std::unique_ptr<TraceSource> source_;
+
+    /** Chunk granularity of the recorded stream (ops per chunk). */
+    static constexpr size_t kChunkOps = 4096;
+
+    mutable std::mutex mu_;
+    /** Recorded stream in fixed-size chunks (guarded by mu_). Chunk
+     *  storage never moves once allocated, which is what lets
+     *  fetchSpan hand out stable pointers instead of copying. */
+    std::vector<std::unique_ptr<TraceOp[]>> chunks_;
+    uint64_t recorded_ = 0;  ///< Ops recorded so far (guarded by mu_).
+    bool exhausted_ = false; ///< source_ returned end-of-trace.
+    /** Leftover interpreter batch carried across fetchSpan calls. */
+    const TraceOp *gen_ = nullptr;
+    size_t genPos_ = 0;
+    size_t genLen_ = 0;
+};
+
+} // namespace grp
+
+#endif // GRP_HARNESS_REPLAY_HH

@@ -18,6 +18,7 @@
 #include "cpu/cpu.hh"
 #include "harness/capture.hh"
 #include "harness/provenance.hh"
+#include "harness/replay.hh"
 #include "mem/memory_system.hh"
 #include "obs/atomic_file.hh"
 #include "obs/host_prof.hh"
@@ -29,7 +30,7 @@
 #include "sim/env.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
-#include "workloads/interpreter.hh"
+#include "workloads/predecode.hh"
 
 namespace grp
 {
@@ -319,12 +320,44 @@ runWorkload(const std::string &workload_name, SimConfig config,
         config.region.recursiveDepth = info.recursiveDepthOverride;
     config.validate();
 
-    FunctionalMemory fmem;
-    Program prog = workload->build(fmem, options.seed);
-
-    HintTable table;
-    HintGenerator generator(config.policy, config.l2.sizeBytes);
-    const HintStats hint_stats = generator.run(prog, table);
+    // Workload context: built fresh for standalone runs, shared
+    // through the sweep recording for grid jobs (harness/replay.hh).
+    // The recording's key must match this run exactly — its program,
+    // memory image and hint table were computed for that key.
+    SweepRecording *rec = options.recording.get();
+    if (rec) {
+        fatal_if(rec->workload() != workload_name,
+                 "sweep recording is for workload '%s', not '%s'",
+                 rec->workload().c_str(), workload_name.c_str());
+        fatal_if(rec->seed() != options.seed,
+                 "sweep recording is for seed %llu, not %llu",
+                 (unsigned long long)rec->seed(),
+                 (unsigned long long)options.seed);
+        fatal_if(rec->policy() != config.policy,
+                 "sweep recording is for policy %s, not %s",
+                 toString(rec->policy()), toString(config.policy));
+        fatal_if(rec->l2Bytes() != config.l2.sizeBytes,
+                 "sweep recording targets a %llu-byte L2, not %llu",
+                 (unsigned long long)rec->l2Bytes(),
+                 (unsigned long long)config.l2.sizeBytes);
+        fatal_if(!options.capturePath.empty() ||
+                     !options.replayPath.empty(),
+                 "an in-memory sweep recording is mutually exclusive "
+                 "with --capture/--replay");
+    }
+    FunctionalMemory own_fmem;
+    std::optional<Program> own_prog;
+    HintTable own_table;
+    HintStats hint_stats;
+    if (rec) {
+        hint_stats = rec->hintStats();
+    } else {
+        own_prog.emplace(workload->build(own_fmem, options.seed));
+        HintGenerator generator(config.policy, config.l2.sizeBytes);
+        hint_stats = generator.run(*own_prog, own_table);
+    }
+    FunctionalMemory &fmem = rec ? rec->memory() : own_fmem;
+    const HintTable &table = rec ? rec->hints() : own_table;
 
     // Every component of this run registers into a run-local registry,
     // so concurrent sweep jobs (and same-thread nested runs) never
@@ -364,7 +397,7 @@ runWorkload(const std::string &workload_name, SimConfig config,
     fatal_if(!options.capturePath.empty() &&
                  !options.replayPath.empty(),
              "--capture and --replay are mutually exclusive");
-    std::optional<Interpreter> interp;
+    std::unique_ptr<TraceSource> interp;
     std::optional<ReplayTraceSource> replay;
     std::optional<CaptureTraceSource> capture;
     TraceSource *source = nullptr;
@@ -381,9 +414,12 @@ runWorkload(const std::string &workload_name, SimConfig config,
                  (unsigned long long)replay->seed(),
                  (unsigned long long)options.seed);
         source = &*replay;
+    } else if (rec) {
+        interp = SweepRecording::makeReader(options.recording);
+        source = interp.get();
     } else {
-        interp.emplace(prog, fmem, options.seed);
-        source = &*interp;
+        interp = makeTraceSource(*own_prog, fmem, options.seed);
+        source = interp.get();
     }
     if (!options.capturePath.empty()) {
         capture.emplace(*source, options.capturePath, workload_name,
@@ -464,6 +500,16 @@ runWorkload(const std::string &workload_name, SimConfig config,
     if (!options.obs.timeseriesPath.empty())
         series.emplace(options.obs.timeseriesBucket);
     const uint64_t bucket = options.obs.timeseriesBucket;
+
+    // Stall fast-forward (see docs/PERFORMANCE.md): when the CPU is
+    // provably stalled and the memory system has no per-cycle work,
+    // jump time straight to the next tick at which anything can
+    // change, batch-applying the skipped cycles' accounting. Level-3
+    // tracing records a Stall event per throttled cycle, which cannot
+    // be batched, so it forces per-cycle stepping.
+    const bool fast_forward =
+        envInt("GRP_FAST_FORWARD", 1) != 0 &&
+        !obs::Tracer::instance().enabled(3);
     setup_scope.stop();
 
     GRP_HOST_SCOPE_NAMED(loop_scope, 1, SimLoop);
@@ -549,6 +595,43 @@ runWorkload(const std::string &workload_name, SimConfig config,
             }
             if (pulse && pulse->wallFloorDue())
                 pulse->beat(sample_pulse(cycle));
+        }
+        if (fast_forward) {
+            // The iteration for tick (cycle-1) just completed; the
+            // next iterations handle ticks cycle, cycle+1, ... Every
+            // skipped tick must be one where (a) the CPU can only
+            // repeat its stall accounting, (b) no event fires, (c)
+            // the memory system only repeats its per-cycle
+            // accounting, and (d) no observable (epoch, timeseries
+            // bucket, stop/wall poll, deadlock panic) would trigger.
+            const Cpu::StallState st = cpu.stallState(cycle - 1);
+            if (st.stalled) {
+                GRP_HOST_SCOPE(2, Events);
+                Tick target =
+                    std::min(events.nextEventTick(), st.readyTick);
+                target =
+                    std::min(target, mem.nextWorkTick(cycle - 1));
+                target = std::min(target, cpu.deadlockTick());
+                if (controller) {
+                    const uint64_t e = config.adaptive.epochCycles;
+                    target = std::min(target,
+                                      (cycle + e - 1) / e * e);
+                }
+                if (series) {
+                    target = std::min(
+                        target, (cycle + bucket - 1) / bucket * bucket);
+                }
+                // The stop/wall poll fires when the post-increment
+                // counter hits a 0x4000 multiple, i.e. during the
+                // iteration for tick B-1: never skip past it.
+                const Tick poll = ((cycle + 1 + 0x3FFF) & ~0x3FFFull);
+                target = std::min(target, poll - 1);
+                if (target > cycle) {
+                    cpu.fastForward(target - cycle, st.robFullPath);
+                    mem.fastForwardTicks(cycle, target);
+                    cycle = target;
+                }
+            }
         }
     }
     loop_scope.stop();

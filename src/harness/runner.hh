@@ -10,6 +10,7 @@
 #define GRP_HARNESS_RUNNER_HH
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "compiler/hint_generator.hh"
@@ -21,6 +22,8 @@
 
 namespace grp
 {
+
+class SweepRecording;
 
 /** Metrics from one simulation run. */
 struct RunResult
@@ -166,6 +169,16 @@ struct RunOptions
      *  match this run's, or the run aborts: replaying against a
      *  different functional memory would silently produce garbage. */
     std::string replayPath;
+    /**
+     * Shared in-memory run context (harness/replay.hh): the run
+     * reuses the recording's built workload, functional memory, hint
+     * table and recorded access stream instead of rebuilding them.
+     * The recording's (workload, seed, policy, L2 size) key must
+     * match this run's, or the run aborts. Mutually exclusive with
+     * capturePath / replayPath. BenchSweep injects this for grid
+     * jobs; null preserves the standalone build-everything path.
+     */
+    std::shared_ptr<SweepRecording> recording;
     ObsOptions obs;
 };
 

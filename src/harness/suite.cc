@@ -5,8 +5,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "harness/replay.hh"
 #include "obs/host_prof.hh"
 #include "obs/json_writer.hh"
+#include "sim/env.hh"
 #include "sim/logging.hh"
 
 // Build provenance baked in by src/CMakeLists.txt; the fallbacks keep
@@ -148,8 +150,28 @@ benchOutPath(const std::string &name)
 }
 
 BenchSweep::BenchSweep(std::string bench_name)
-    : name_(std::move(bench_name))
+    : name_(std::move(bench_name)),
+      replayEnabled_(envInt("GRP_SWEEP_REPLAY", 1) != 0)
 {
+}
+
+std::shared_ptr<SweepRecording>
+BenchSweep::recordingFor(const std::string &name, uint64_t seed,
+                         CompilerPolicy policy)
+{
+    if (!replayEnabled_)
+        return nullptr;
+    auto key = std::make_tuple(name, seed, static_cast<int>(policy));
+    auto it = recordings_.find(key);
+    if (it != recordings_.end())
+        return it->second;
+    // addScheme/addPerfect always run under the default SimConfig
+    // cache geometry, so the recording targets the default L2; the
+    // runner re-validates the match per job.
+    auto rec = std::make_shared<SweepRecording>(
+        name, seed, policy, SimConfig{}.l2.sizeBytes);
+    recordings_.emplace(std::move(key), rec);
+    return rec;
 }
 
 size_t
@@ -166,18 +188,42 @@ BenchSweep::addScheme(const std::string &name, PrefetchScheme scheme,
     std::string label = name + "/" + toString(scheme);
     if (policy != CompilerPolicy::Default)
         label += std::string("/") + toString(policy);
-    return add(std::move(label), [name, scheme, options, policy] {
-        return runScheme(name, scheme, options, policy);
-    });
+    RunOptions opts = options;
+    if (opts.capturePath.empty() && opts.replayPath.empty())
+        opts.recording = recordingFor(name, opts.seed, policy);
+    return add(std::move(label),
+               [name, scheme, opts = std::move(opts), policy] {
+                   return runScheme(name, scheme, opts, policy);
+               });
 }
 
 size_t
 BenchSweep::addPerfect(const std::string &name, Perfection perfection,
                        const RunOptions &options)
 {
+    RunOptions opts = options;
+    if (opts.capturePath.empty() && opts.replayPath.empty()) {
+        opts.recording =
+            recordingFor(name, opts.seed, CompilerPolicy::Default);
+    }
     return add(name + "/" + toString(perfection),
-               [name, perfection, options] {
-                   return runPerfect(name, perfection, options);
+               [name, perfection, opts = std::move(opts)] {
+                   return runPerfect(name, perfection, opts);
+               });
+}
+
+size_t
+BenchSweep::addConfig(std::string label, const std::string &name,
+                      const SimConfig &config,
+                      const RunOptions &options)
+{
+    RunOptions opts = options;
+    if (opts.capturePath.empty() && opts.replayPath.empty() &&
+        config.l2.sizeBytes == SimConfig{}.l2.sizeBytes)
+        opts.recording = recordingFor(name, opts.seed, config.policy);
+    return add(std::move(label),
+               [name, config, opts = std::move(opts)] {
+                   return runWorkload(name, config, opts);
                });
 }
 
@@ -192,6 +238,7 @@ BenchSweep::run()
                                       start)
             .count();
     jobs_.clear();
+    recordings_.clear(); // Drop the shared streams' memory.
     for (size_t i = 0; i < outcomes_.size(); ++i) {
         fatal_if(outcomes_[i].failed, "bench %s job %zu failed: %s",
                  name_.c_str(), i, outcomes_[i].error.c_str());

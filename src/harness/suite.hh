@@ -8,7 +8,10 @@
 #define GRP_HARNESS_SUITE_HH
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "harness/runner.hh"
@@ -64,6 +67,15 @@ std::string benchOutPath(const std::string &name);
  * clock changes. run() also writes a per-job timing sidecar to
  * $GRP_BENCH_OUT/timings/<bench>.json (ignored by bench_compare.py,
  * embedded into manifest.json by bench_manifest.py finish).
+ *
+ * Jobs queued through addScheme()/addPerfect() share one in-memory
+ * sweep recording per (workload, seed, policy) key (harness/
+ * replay.hh): the workload build, compiler pipeline and access
+ * stream are computed once and every scheme point replays them,
+ * which is what makes dense grids cheap. Results are byte-identical
+ * to per-job interpretation; set GRP_SWEEP_REPLAY=0 to fall back to
+ * fully independent jobs (differential testing). Jobs queued through
+ * raw add() never share state.
  */
 class BenchSweep
 {
@@ -83,6 +95,14 @@ class BenchSweep
     size_t addPerfect(const std::string &name, Perfection perfection,
                       const RunOptions &options);
 
+    /** Queue runWorkload(name, config, options) under @p label,
+     *  sharing the sweep recording when @p config's compiler policy
+     *  and L2 geometry match the recording key (ablation benches
+     *  varying only hardware knobs reuse one stream per workload). */
+    size_t addConfig(std::string label, const std::string &name,
+                     const SimConfig &config,
+                     const RunOptions &options);
+
     /** Execute every queued job and write the timing sidecar.
      *  Aborts (fatal) if any job threw. */
     void run();
@@ -96,11 +116,21 @@ class BenchSweep
   private:
     void writeTimings() const;
 
+    /** The shared run context for (name, seed, policy), created on
+     *  first use; null when GRP_SWEEP_REPLAY=0 disables sharing. */
+    std::shared_ptr<SweepRecording>
+    recordingFor(const std::string &name, uint64_t seed,
+                 CompilerPolicy policy);
+
     std::string name_;
     std::vector<SweepJob> jobs_;
     std::vector<SweepOutcome> outcomes_;
     unsigned threads_ = 0;
     double totalWallSeconds_ = 0.0;
+    bool replayEnabled_ = true;
+    std::map<std::tuple<std::string, uint64_t, int>,
+             std::shared_ptr<SweepRecording>>
+        recordings_;
 };
 
 } // namespace grp

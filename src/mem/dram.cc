@@ -123,6 +123,8 @@ DramSystem::serve(Addr addr, Tick now, ReqClass cls, RefId ref,
     // bandwidth.
     const Tick done = now + access + config_.transferCycles;
     channel.busyUntil = now + config_.transferCycles;
+    if (channel.busyUntil > maxBusyUntil_)
+        maxBusyUntil_ = channel.busyUntil;
     channel.occupantCls = cls;
     channel.occupantRef = ref;
     channel.occupantHint = hint;
@@ -147,6 +149,39 @@ DramSystem::noteChannelCycle(unsigned channel, Tick now)
     ++*counters.slots[slot];
     ++*counters.slots[4]; // Accounted cycles for this channel.
     ++*contentionCounters_[slot];
+}
+
+void
+DramSystem::noteChannelCycles(unsigned channel, uint64_t busy_cycles,
+                              uint64_t idle_cycles)
+{
+    const Channel &ch = channels_[channel];
+    ChannelCycleCounters &counters = cycleCounters_[channel];
+    if (busy_cycles) {
+        unsigned slot = 0;
+        switch (ch.occupantCls) {
+          case ReqClass::Demand:    slot = 0; break;
+          case ReqClass::Prefetch:  slot = 1; break;
+          case ReqClass::Writeback: slot = 2; break;
+        }
+        *counters.slots[slot] += busy_cycles;
+        *contentionCounters_[slot] += busy_cycles;
+    }
+    if (idle_cycles) {
+        *counters.slots[3] += idle_cycles;
+        *contentionCounters_[3] += idle_cycles;
+    }
+    *counters.slots[4] += busy_cycles + idle_cycles;
+}
+
+void
+DramSystem::noteAllIdleCycle()
+{
+    for (ChannelCycleCounters &counters : cycleCounters_) {
+        ++*counters.slots[3]; // Idle.
+        ++*counters.slots[4]; // Accounted cycles for this channel.
+    }
+    *contentionCounters_[3] += channels_.size();
 }
 
 void
@@ -196,6 +231,7 @@ DramSystem::reset()
         for (Bank &bank : channel.banks)
             bank.openRow = -1;
     }
+    maxBusyUntil_ = 0;
     transfers_ = 0;
     stats_.reset();
 }

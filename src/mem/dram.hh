@@ -42,6 +42,17 @@ class DramSystem
     /** True when the channel can accept a request at @p now. */
     bool channelIdle(unsigned channel, Tick now) const;
 
+    /** First tick at which @p channel is idle (stall fast-forward). */
+    Tick channelBusyUntil(unsigned channel) const
+    {
+        return channels_[channel].busyUntil;
+    }
+
+    /** Every channel is idle at @p now (one compare against the
+     *  high-water mark of all busyUntil times — the quiet-cycle fast
+     *  path's gate). */
+    bool allIdle(Tick now) const { return maxBusyUntil_ <= now; }
+
     /** True when @p addr's row is open in its bank (bank-aware
      *  prefetch scheduling queries this). */
     bool rowOpen(Addr addr) const;
@@ -81,6 +92,21 @@ class DramSystem
      * accounted cycles by construction.
      */
     void noteChannelCycle(unsigned channel, Tick now);
+
+    /**
+     * Batched form of noteChannelCycle for the stall fast-forward: in
+     * a window where the channel's occupant cannot change, @p
+     * busy_cycles cycles attribute to the current occupant's class and
+     * @p idle_cycles to idle — byte-identical to calling
+     * noteChannelCycle once per cycle across the window.
+     */
+    void noteChannelCycles(unsigned channel, uint64_t busy_cycles,
+                           uint64_t idle_cycles);
+
+    /** One all-channels-idle cycle: equivalent to noteChannelCycle on
+     *  every (idle) channel, minus the per-channel dispatch — the
+     *  accounting arm of the memory system's quiet-cycle fast path. */
+    void noteAllIdleCycle();
 
     /** Demand requests spent @p waiting request-cycles stalled behind
      *  an in-flight prefetch transfer the prioritizer could not
@@ -150,6 +176,8 @@ class DramSystem
     };
 
     std::vector<Channel> channels_;
+    /** High-water mark of every channel's busyUntil (allIdle()). */
+    Tick maxBusyUntil_ = 0;
     std::vector<ChannelCycleCounters> cycleCounters_;
     /** Aggregate demand/prefetch/writeback/idle cycle counters. */
     std::array<Counter *, 4> contentionCounters_{};

@@ -102,21 +102,23 @@ MemorySystem::demandPtrDepth(const LoadHints &hints) const
 
 bool
 MemorySystem::load(Addr addr, RefId ref, const LoadHints &hints,
-                   uint64_t token)
+                   uint64_t token, Tick *hit_ready)
 {
     GRP_HOST_SCOPE(2, MemAccess);
-    if (config_.perfection == Perfection::PerfectL1) {
+    // An L1 hit completes at a fixed latency with no further side
+    // effects, so a caller that passes @p hit_ready takes the
+    // completion tick back synchronously; legacy callers keep the
+    // scheduled-callback behavior. Both deliver the completion at
+    // exactly curTick + l1d.latency.
+    if (config_.perfection == Perfection::PerfectL1 ||
+        l1d_->accessIfPresent(addr, false).hit) {
         ++*hot_.l1DemandAccesses;
-        events_.scheduleIn(config_.l1d.latency,
-                           [this, token] { loadDone_(token); });
-        return true;
-    }
-
-    // Single tag walk: probe and (on a hit) touch in one pass.
-    if (l1d_->accessIfPresent(addr, false).hit) {
-        ++*hot_.l1DemandAccesses;
-        events_.scheduleIn(config_.l1d.latency,
-                           [this, token] { loadDone_(token); });
+        if (hit_ready) {
+            *hit_ready = events_.curTick() + config_.l1d.latency;
+        } else {
+            events_.scheduleIn(config_.l1d.latency,
+                               [this, token] { loadDone_(token); });
+        }
         return true;
     }
 
@@ -273,6 +275,7 @@ MemorySystem::handleL1Miss(Addr addr, RefId ref, const LoadHints &hints,
     req.ptrDepth = depth;
     req.enqueued = events_.curTick();
     demandQueues_[dram_->channelOf(block)].push_back(req);
+    ++queuedDemand_;
 
     if (engine_)
         engine_->onL2DemandMiss(block, ref, hints);
@@ -396,6 +399,7 @@ MemorySystem::insertIntoL2(Addr block_addr, bool as_prefetch, bool dirty,
         wb.cls = ReqClass::Writeback;
         wb.enqueued = events_.curTick();
         writebackQueues_[dram_->channelOf(wb.blockAddr)].push_back(wb);
+        ++queuedWriteback_;
         ++*hot_.writebacksQueued;
     }
 }
@@ -473,6 +477,26 @@ MemorySystem::tick()
         return;
 
     const Tick now = events_.curTick();
+
+    // Quiet-cycle fast path: nothing queued, every channel idle, and
+    // tryIssuePrefetch provably touches no counter — either there is
+    // no engine, or the issue gates are open with an empty engine
+    // queue, where the draw loop returns without side effects. All
+    // the per-channel walk would do is attribute one idle cycle per
+    // channel, so do exactly that in one batched call. Any throttled
+    // idle state (a closed gate bumps prefetch*Throttled every idle
+    // cycle) must take the slow path to keep stats byte-identical.
+    if (queuedDemand_ == 0 && queuedWriteback_ == 0 &&
+        dram_->allIdle(now) &&
+        (!engine_ ||
+         (l2Mshrs_->demandInFlight() == 0 &&
+          l2Mshrs_->capacity() - l2Mshrs_->inFlight() >
+              kDemandReservedMshrs &&
+          engine_->queueDepth() == 0))) {
+        dram_->noteAllIdleCycle();
+        return;
+    }
+
     for (unsigned ch = 0; ch < config_.dram.channels; ++ch) {
         if (dram_->channelIdle(ch, now)) {
             auto &demand = demandQueues_[ch];
@@ -480,12 +504,15 @@ MemorySystem::tick()
             if (wb.size() > kWritebackHighWater) {
                 startDramAccess(ch, wb.front());
                 wb.pop_front();
+                --queuedWriteback_;
             } else if (!demand.empty()) {
                 startDramAccess(ch, demand.front());
                 demand.pop_front();
+                --queuedDemand_;
             } else if (!wb.empty()) {
                 startDramAccess(ch, wb.front());
                 wb.pop_front();
+                --queuedWriteback_;
             } else {
                 tryIssuePrefetch(ch);
             }
@@ -503,6 +530,87 @@ MemorySystem::tick()
             GRP_PROFILE(noteContention(dram_->occupantRef(ch),
                                        dram_->occupantHint(ch),
                                        waiting));
+        }
+    }
+}
+
+Tick
+MemorySystem::nextWorkTick(Tick now) const
+{
+    if (config_.perfection != Perfection::None)
+        return kMaxTick; // tick() is a no-op under perfection.
+
+    // The prefetch gates tryIssuePrefetch would test this cycle; they
+    // cannot change inside a stall window (the CPU is frozen and no
+    // DRAM completion events fire before the skip target).
+    const bool gates_open =
+        engine_ && engine_->queueDepth() > 0 &&
+        l2Mshrs_->demandInFlight() == 0 &&
+        l2Mshrs_->capacity() - l2Mshrs_->inFlight() >
+            kDemandReservedMshrs &&
+        queuedDemand_ == 0;
+
+    Tick next = kMaxTick;
+    for (unsigned ch = 0; ch < config_.dram.channels; ++ch) {
+        // A channel does new work at its first idle cycle, when it
+        // either starts a queued access or (gates open, candidates
+        // pending) may draw a prefetch.
+        if (demandQueues_[ch].empty() && writebackQueues_[ch].empty() &&
+            !gates_open) {
+            continue;
+        }
+        const Tick first_idle =
+            std::max(dram_->channelBusyUntil(ch), now + 1);
+        next = std::min(next, first_idle);
+    }
+    return next;
+}
+
+void
+MemorySystem::fastForwardTicks(Tick from, Tick to)
+{
+    if (config_.perfection != Perfection::None || to <= from)
+        return;
+    const uint64_t span = to - from;
+
+    // The throttle counter an idle channel's tryIssuePrefetch would
+    // bump each cycle. The "else" branch means the gates are open: the
+    // runner only skips such cycles when the engine's queue is empty,
+    // where the draw loop returns without touching any counter.
+    enum class IdleCount { None, DemandThrottled, MshrThrottled };
+    IdleCount idle_count = IdleCount::None;
+    if (engine_) {
+        const bool any_demand =
+            l2Mshrs_->demandInFlight() > 0 || queuedDemand_ != 0;
+        if (any_demand) {
+            idle_count = IdleCount::DemandThrottled;
+        } else if (l2Mshrs_->capacity() - l2Mshrs_->inFlight() <=
+                   kDemandReservedMshrs) {
+            idle_count = IdleCount::MshrThrottled;
+        }
+    }
+
+    for (unsigned ch = 0; ch < config_.dram.channels; ++ch) {
+        const Tick busy_until = dram_->channelBusyUntil(ch);
+        const uint64_t busy =
+            busy_until <= from
+                ? 0
+                : std::min<uint64_t>(busy_until - from, span);
+        const uint64_t idle = span - busy;
+        dram_->noteChannelCycles(ch, busy, idle);
+        if (idle) {
+            if (idle_count == IdleCount::DemandThrottled)
+                *hot_.prefetchDemandThrottled += idle;
+            else if (idle_count == IdleCount::MshrThrottled)
+                *hot_.prefetchMshrThrottled += idle;
+        }
+        if (busy && dram_->occupantClass(ch) == ReqClass::Prefetch &&
+            !demandQueues_[ch].empty()) {
+            const uint64_t waiting = demandQueues_[ch].size();
+            dram_->noteDemandStall(waiting * busy);
+            GRP_PROFILE(noteContention(dram_->occupantRef(ch),
+                                       dram_->occupantHint(ch),
+                                       waiting * busy));
         }
     }
 }
@@ -589,13 +697,11 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
                   static_cast<int>(channel), 0);
         return false;
     }
-    for (const auto &queue : demandQueues_) {
-        if (!queue.empty()) {
-            ++*hot_.prefetchDemandThrottled;
-            GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
-                      static_cast<int>(channel), 1);
-            return false;
-        }
+    if (queuedDemand_ != 0) {
+        ++*hot_.prefetchDemandThrottled;
+        GRP_TRACE(3, obs::TraceEvent::Stall, 0, obs::HintClass::None,
+                  static_cast<int>(channel), 1);
+        return false;
     }
     if (l2Mshrs_->capacity() - l2Mshrs_->inFlight() <=
         kDemandReservedMshrs) {
@@ -644,13 +750,7 @@ MemorySystem::tryIssuePrefetch(unsigned channel)
 bool
 MemorySystem::quiesced() const
 {
-    if (l1Mshrs_->inFlight() != 0)
-        return false;
-    for (const auto &queue : demandQueues_) {
-        if (!queue.empty())
-            return false;
-    }
-    return true;
+    return l1Mshrs_->inFlight() == 0 && queuedDemand_ == 0;
 }
 
 uint64_t
@@ -671,19 +771,13 @@ MemorySystem::l2DemandMisses() const
 size_t
 MemorySystem::demandQueueDepth() const
 {
-    size_t depth = 0;
-    for (const auto &queue : demandQueues_)
-        depth += queue.size();
-    return depth;
+    return queuedDemand_;
 }
 
 size_t
 MemorySystem::writebackQueueDepth() const
 {
-    size_t depth = 0;
-    for (const auto &queue : writebackQueues_)
-        depth += queue.size();
-    return depth;
+    return queuedWriteback_;
 }
 
 void
@@ -715,6 +809,8 @@ MemorySystem::reset()
         queue.clear();
     for (auto &queue : writebackQueues_)
         queue.clear();
+    queuedDemand_ = 0;
+    queuedWriteback_ = 0;
     livePrefetches_.clear();
     boundaryTick_ = 0;
     if (shadow_)

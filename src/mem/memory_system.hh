@@ -83,10 +83,16 @@ class MemorySystem
      * Issue a load.
      *
      * @param token Opaque value handed back via the load callback.
+     * @param hit_ready When non-null and the load completes with a
+     *        fixed L1-hit latency, receives the completion tick and
+     *        the load callback is NOT scheduled — the caller absorbs
+     *        the hit synchronously instead of paying for a heap
+     *        event per hit. Left untouched on a miss (the callback
+     *        fires as usual) and on a structural stall.
      * @return false on a structural stall (MSHRs full); retry later.
      */
     bool load(Addr addr, RefId ref, const LoadHints &hints,
-              uint64_t token);
+              uint64_t token, Tick *hit_ready = nullptr);
 
     /**
      * Issue a store (write-allocate, write-back). Stores complete
@@ -104,6 +110,25 @@ class MemorySystem
     /** Per-cycle channel arbitration; call once per CPU cycle after
      *  the CPU has issued. */
     void tick();
+
+    /**
+     * First tick after @p now at which tick() could do more than
+     * repeat this cycle's accounting: start a queued demand/writeback
+     * access, or draw a prefetch candidate (kMaxTick when nothing is
+     * queued anywhere). Until then every cycle's work is a fixed
+     * increment, which fastForwardTicks() applies in one batch.
+     */
+    Tick nextWorkTick(Tick now) const;
+
+    /**
+     * Replicate tick()'s per-cycle accounting for the skipped cycles
+     * [@p from, @p to): channel busy/idle attribution, prefetch
+     * throttle counters and demand-behind-prefetch contention, each
+     * scaled by the cycle count — byte-identical to ticking the
+     * window cycle by cycle (the runner guarantees no queue, MSHR or
+     * event state can change inside the window).
+     */
+    void fastForwardTicks(Tick from, Tick to);
 
     /** No demand request is outstanding anywhere. */
     bool quiesced() const;
@@ -195,6 +220,10 @@ class MemorySystem
 
     std::vector<std::deque<MemRequest>> demandQueues_;
     std::vector<std::deque<MemRequest>> writebackQueues_;
+    /** Cached sums of the per-channel queue sizes, maintained at every
+     *  push/pop so tick()'s quiet-cycle fast path is two compares. */
+    size_t queuedDemand_ = 0;
+    size_t queuedWriteback_ = 0;
     /** Writeback queue depth beyond which writebacks pre-empt
      *  demand to bound queue growth. */
     static constexpr size_t kWritebackHighWater = 16;

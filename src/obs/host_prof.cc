@@ -376,6 +376,24 @@ HostProfile::writeJson(std::ostream &os) const
 // ---------------------------------------------------------------------
 // HostProfiler.
 
+std::atomic<int> hostProfCeiling{0};
+
+namespace
+{
+
+/** Seed the ceiling from the environment at process start: scope
+ *  sites consult the ceiling before ever touching the thread-local
+ *  profiler, so without this a thread's very first sites would skip
+ *  even under GRP_HOST_PROF. */
+const int hostProfCeilingSeed = [] {
+    const int level = HostProfiler::envLevel();
+    const int capped = GRP_HOST_PROF_MAX_LEVEL > 0 ? level : 0;
+    hostProfCeiling.store(capped, std::memory_order_relaxed);
+    return capped;
+}();
+
+} // namespace
+
 HostProfiler &
 HostProfiler::instance()
 {

@@ -49,6 +49,7 @@
 #define GRP_OBS_HOST_PROF_HH
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <ostream>
@@ -147,6 +148,18 @@ struct HostProfile
     void writeJson(std::ostream &os) const;
 };
 
+/**
+ * Process-wide high-water mark of every thread's profiling level: a
+ * scope site first compares its level against this plain shared load
+ * and only touches the thread-local profiler (a function call plus a
+ * TLS access) when some thread could want it. The mark only rises —
+ * lowering a thread's level keeps sites at the slower exact check —
+ * so the fast path can use a relaxed load with no downward races.
+ * With profiling off (the perf-gate default is level 1) this is what
+ * makes the per-op/per-cycle level-2 sites nearly free.
+ */
+extern std::atomic<int> hostProfCeiling;
+
 /** The per-thread host profiler. */
 class HostProfiler
 {
@@ -168,6 +181,13 @@ class HostProfiler
     setLevel(int level)
     {
         level_ = GRP_HOST_PROF_MAX_LEVEL > 0 ? level : 0;
+        // Raise (never lower) the process-wide ceiling so scope
+        // sites on every thread notice the new level.
+        int ceiling = hostProfCeiling.load(std::memory_order_relaxed);
+        while (ceiling < level_ &&
+               !hostProfCeiling.compare_exchange_weak(
+                   ceiling, level_, std::memory_order_relaxed)) {
+        }
     }
 
     /** Parse GRP_HOST_PROF once per process (0 when unset). */
@@ -264,6 +284,8 @@ class HostScope<true>
   public:
     HostScope(HostPhase phase, int lvl)
     {
+        if (lvl > hostProfCeiling.load(std::memory_order_relaxed))
+            return;
         HostProfiler &prof = HostProfiler::instance();
         if (lvl > prof.level())
             return;

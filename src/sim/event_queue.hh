@@ -10,9 +10,9 @@
 #ifndef GRP_SIM_EVENT_QUEUE_HH
 #define GRP_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -34,7 +34,8 @@ class EventQueue
         panic_if(when < curTick_, "scheduling event in the past "
                  "(%llu < %llu)", (unsigned long long)when,
                  (unsigned long long)curTick_);
-        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+        heap_.push_back(Event{when, nextSeq_++, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
     }
 
     /** Schedule @p cb to run @p delay ticks from now. */
@@ -57,7 +58,7 @@ class EventQueue
     Tick
     nextEventTick() const
     {
-        return heap_.empty() ? kMaxTick : heap_.top().when;
+        return heap_.empty() ? kMaxTick : heap_.front().when;
     }
 
     /**
@@ -68,10 +69,11 @@ class EventQueue
     advanceTo(Tick now)
     {
         panic_if(now < curTick_, "time cannot move backwards");
-        while (!heap_.empty() && heap_.top().when <= now) {
-            // Copy out before popping: the callback may schedule more.
-            Event ev = heap_.top();
-            heap_.pop();
+        while (!heap_.empty() && heap_.front().when <= now) {
+            // Move out before popping: the callback may schedule more.
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            Event ev = std::move(heap_.back());
+            heap_.pop_back();
             curTick_ = ev.when;
             ev.cb();
         }
@@ -83,7 +85,7 @@ class EventQueue
     drain()
     {
         while (!heap_.empty())
-            advanceTo(heap_.top().when);
+            advanceTo(heap_.front().when);
         return curTick_;
     }
 
@@ -91,7 +93,7 @@ class EventQueue
     void
     reset()
     {
-        heap_ = {};
+        heap_.clear();
         curTick_ = 0;
         nextSeq_ = 0;
     }
@@ -115,7 +117,11 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    // A hand-rolled binary heap (std::push_heap/std::pop_heap) rather
+    // than std::priority_queue: top() on the adapter is const, which
+    // forces a copy of the Event (and its std::function) per pop;
+    // here the hot path moves events out instead.
+    std::vector<Event> heap_;
     Tick curTick_ = 0;
     uint64_t nextSeq_ = 0;
 };

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The pre-decoded interpreter: lowers a kernel Program once into a
+ * flat, cache-friendly array of fixed-size micro-ops, then executes
+ * that array with a tight fetch-dispatch loop.
+ *
+ * The tree-walking Interpreter (workloads/interpreter.hh) re-derives
+ * everything per dynamic statement: it chases std::vector<Node>
+ * bodies through a frame stack, switches on Subscript kinds, walks
+ * AffineTerm vectors, recomputes dimStrideElems() per dimension and
+ * buffers results through a std::deque. DecodedProgram::lower() does
+ * all of that exactly once: loop bounds become backward-branch ops,
+ * affine subscripts become (coeff, stride) tables indexed by flat
+ * slot, and per-dimension strides are folded to bytes. The decoded
+ * executor is a program counter over one contiguous op array plus a
+ * small power-of-two ring buffer in place of the deque.
+ *
+ * Equivalence contract: for any (Program, FunctionalMemory, seed,
+ * passes), DecodedInterpreter emits a TraceOp stream element-for-
+ * element identical to Interpreter — including the order of RNG
+ * draws, the per-dimension wrap-into-extent semantics, null-pointer
+ * statement skips and the pass/reset lifecycle. tests/
+ * test_predecode.cc asserts this across every registered kernel; the
+ * tree walker stays available behind GRP_INTERP=tree so the check
+ * can run forever.
+ */
+
+#ifndef GRP_WORKLOADS_PREDECODE_HH
+#define GRP_WORKLOADS_PREDECODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "cpu/trace.hh"
+#include "mem/functional_memory.hh"
+#include "sim/rng.hh"
+
+namespace grp
+{
+
+/** Flat affine expression: constant + sum of terms in the shared
+ *  term pool [termBegin, termBegin + termCount). */
+struct DecodedAffine
+{
+    int64_t constant = 0;
+    uint32_t termBegin = 0;
+    uint32_t termCount = 0;
+};
+
+/** One coeff * var term of a DecodedAffine. */
+struct DecodedTerm
+{
+    uint32_t var = 0;
+    int64_t coeff = 0;
+};
+
+/** One lowered subscript dimension. extent is the wrap modulus and
+ *  strideBytes the address multiplier, both resolved at decode time
+ *  (dimStrideElems * elemSize folded together). */
+struct DecodedSub
+{
+    enum class Kind : uint8_t { Affine, Indirect, Random };
+
+    Kind kind = Kind::Affine;
+    DecodedAffine expr; ///< Affine value / Indirect index expression.
+    uint64_t extent = 1;
+    uint64_t strideBytes = 0;
+
+    // Indirect payload: value = scale * b[index] + offset.
+    Addr indexBase = 0;
+    uint32_t indexElemSize = 0;
+    uint64_t indexElems = 0;
+    int64_t scale = 1;
+    int64_t offset = 0;
+    RefId indexRefId = kInvalidRefId;
+
+    // Random payload.
+    uint64_t randomRange = 0;
+};
+
+/** Lowered IndirectPf statement: everything the GRP indirect
+ *  prefetch op needs, with the target base and element size
+ *  pre-multiplied at decode time. */
+struct DecodedIndirectPf
+{
+    DecodedAffine index;
+    int64_t everyN = 16;
+    Addr indexBase = 0;
+    uint32_t indexElemSize = 0;
+    uint64_t indexElems = 0;
+    Addr targetBase = 0; ///< target.base + indexOffset * elemSize.
+    uint32_t elem = 0;   ///< scale * target.elemSize.
+    RefId refId = kInvalidRefId;
+};
+
+/** Decoded micro-op kinds: the statement kinds plus explicit loop
+ *  head/tail branch ops (the lowering of Loop nodes). */
+enum class DecodedOpKind : uint8_t
+{
+    ArrayRef1A,      ///< 1-D affine array ref (hot-path special case).
+    ArrayRef,        ///< General N-D array ref.
+    PtrLoadFromArray,
+    PtrAddrOfArray,
+    PtrRef,
+    PtrArrayRef,
+    PtrUpdateField,
+    PtrSelectField,
+    PtrUpdateConst,
+    ComputeRun,      ///< A run of `count` compute ops.
+    IndirectPf,
+    LoopHeadCounted, ///< Enter test; initialises the induction var.
+    LoopTailCounted, ///< Step + backward branch to the body.
+    LoopHeadChase,   ///< Null/zero-trip test; resets the iter counter.
+    LoopTailChase,   ///< Advance test + backward branch.
+};
+
+/**
+ * One fixed-size decoded micro-op. Field roles by kind:
+ *
+ *  ArrayRef1A        a=sub index        base, isWrite, refId
+ *  ArrayRef          a=subBegin, n=subCount, base, isWrite, refId
+ *  PtrLoadFromArray  a=sub index, b=dst ptr, base, refId
+ *  PtrAddrOfArray    a=sub index, b=dst ptr, base
+ *  PtrRef            a=ptr, p0=offset, isWrite, refId
+ *  PtrArrayRef       a=ptr, sub fields inline via b=sub index,
+ *                    p0=elemSize, isWrite, refId
+ *  PtrUpdateField    a=ptr, p0=offset, refId
+ *  PtrSelectField    a=src ptr, b=dst ptr, p0=choiceBegin,
+ *                    n=choiceCount, refId
+ *  PtrUpdateConst    a=ptr, p0=stride
+ *  ComputeRun        p0=count
+ *  IndirectPf        a=index into the IndirectPf pool
+ *  LoopHeadCounted   a=var, b=exit pc, p0=lower, p1=upper, p2=step
+ *  LoopTailCounted   a=var, b=body pc, p1=upper, p2=step
+ *  LoopHeadChase     a=ptr, b=exit pc, p0=maxIter, p1=counter index
+ *  LoopTailChase     a=ptr, b=body pc, p0=maxIter, p1=counter index
+ */
+struct DecodedOp
+{
+    DecodedOpKind kind = DecodedOpKind::ComputeRun;
+    bool isWrite = false;
+    uint16_t n = 0;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    RefId refId = kInvalidRefId;
+    Addr base = 0;
+    int64_t p0 = 0;
+    int64_t p1 = 0;
+    int64_t p2 = 0;
+};
+
+/** A Program lowered to flat pools; immutable and shareable across
+ *  interpreters (decode once, execute per run). */
+class DecodedProgram
+{
+  public:
+    /** Lower @p prog. The result is self-contained: it copies every
+     *  bound, base and stride it needs out of the IR. */
+    static DecodedProgram lower(const Program &prog);
+
+    const std::vector<DecodedOp> &ops() const { return ops_; }
+
+    uint32_t numVars() const { return numVars_; }
+    uint32_t numChaseLoops() const { return numChaseLoops_; }
+    const std::vector<Addr> &initialPtrs() const { return initialPtrs_; }
+
+  private:
+    friend class DecodedInterpreter;
+
+    void lowerBody(const Program &prog, const std::vector<Node> &body);
+    void lowerStmt(const Program &prog, const Stmt &stmt);
+    void lowerLoop(const Program &prog, const Loop &loop);
+    uint32_t addAffine(DecodedAffine &out, const Affine &expr);
+    uint32_t addSub(const Program &prog, const ArrayDecl &array,
+                    const Subscript &sub, uint64_t extent,
+                    uint64_t stride_bytes);
+
+    std::vector<DecodedOp> ops_;
+    std::vector<DecodedSub> subs_;
+    std::vector<DecodedTerm> terms_;
+    std::vector<int64_t> choices_;
+    std::vector<DecodedIndirectPf> indirects_;
+    std::vector<Addr> initialPtrs_;
+    uint32_t numVars_ = 0;
+    uint32_t numChaseLoops_ = 0;
+};
+
+/** Executes a DecodedProgram into TraceOps (see the equivalence
+ *  contract above). */
+class DecodedInterpreter : public TraceSource
+{
+  public:
+    /** Execute @p prog (must outlive the interpreter). */
+    DecodedInterpreter(const DecodedProgram &prog, FunctionalMemory &mem,
+                       uint64_t seed = 1, uint64_t passes = ~0ull);
+
+    /** Owning variant: decodes @p prog internally. */
+    DecodedInterpreter(const Program &prog, FunctionalMemory &mem,
+                       uint64_t seed = 1, uint64_t passes = ~0ull);
+
+    bool next(TraceOp &op) override;
+
+    /** Ring ops in place and compute runs as spans of a shared
+     *  all-compute array — same stream as next(), far fewer virtual
+     *  calls on compute-padded kernels. */
+    size_t nextBatch(const TraceOp **ops) override;
+
+    /** Restart from the beginning (same seed). Mirrors
+     *  Interpreter::reset(), including its quirk of leaving stale
+     *  induction-variable values in place. */
+    void reset();
+
+    uint64_t opsEmitted() const { return emitted_; }
+
+  private:
+    /** Ring capacity; decode rejects statements that could emit more
+     *  ops than this in one dispatch (deepest kernels use 4). */
+    static constexpr uint32_t kRingSize = 8;
+    static constexpr uint32_t kRingMask = kRingSize - 1;
+
+    void startPass();
+    void execUntilEmit();
+    int64_t evalAffine(const DecodedAffine &expr) const;
+    uint64_t evalSub(const DecodedSub &sub);
+    void emitLoad(Addr addr, RefId ref);
+    void emitStore(Addr addr, RefId ref);
+
+    std::unique_ptr<const DecodedProgram> owned_;
+    const DecodedProgram &prog_;
+    FunctionalMemory &mem_;
+    uint64_t seed_;
+    uint64_t maxPasses_;
+    uint64_t passesDone_ = 0;
+
+    Rng rng_;
+    std::vector<int64_t> vars_;
+    std::vector<Addr> ptrs_;
+    std::vector<uint64_t> chaseIters_;
+    size_t pc_ = 0;
+
+    TraceOp ring_[kRingSize];
+    uint32_t ringHead_ = 0;
+    uint32_t ringCount_ = 0;
+    uint64_t computeRun_ = 0;
+
+    bool finished_ = false;
+    uint64_t emitted_ = 0;
+};
+
+/** Which interpreter implementation GRP_INTERP selects. */
+enum class InterpMode
+{
+    Decoded, ///< Pre-decoded op stream (default).
+    Tree,    ///< Tree-walking reference interpreter.
+};
+
+/** Parse GRP_INTERP ("decoded" | "tree", default decoded; anything
+ *  else is fatal). */
+InterpMode interpMode();
+
+/** Build the TraceSource for one run: a DecodedInterpreter normally,
+ *  the tree-walking Interpreter under GRP_INTERP=tree. */
+std::unique_ptr<TraceSource> makeTraceSource(const Program &prog,
+                                             FunctionalMemory &mem,
+                                             uint64_t seed,
+                                             uint64_t passes = ~0ull);
+
+} // namespace grp
+
+#endif // GRP_WORKLOADS_PREDECODE_HH
