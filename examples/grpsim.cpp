@@ -56,6 +56,7 @@
 
 #include "harness/provenance.hh"
 #include "harness/runner.hh"
+#include "mem/dram_backend/factory.hh"
 #include "obs/host_prof.hh"
 #include "obs/json_writer.hh"
 #include "obs/pulse.hh"
@@ -142,7 +143,8 @@ usage()
     std::printf(
         "usage: grpsim [--workload NAME] [--scheme SCHEME]\n"
         "              [--instructions N] [--warmup N] [--seed N]\n"
-        "              [--policy POLICY] [--dump-stats] [--list]\n"
+        "              [--policy POLICY] [--dram BACKEND]\n"
+        "              [--dump-stats] [--list]\n"
         "              [--stats-json PATH] [--stats-csv PATH]\n"
         "              [--trace PATH] [--trace-level N]\n"
         "              [--trace-format auto|bin|jsonl]\n"
@@ -155,7 +157,8 @@ usage()
         "              [--provenance]\n"
         "schemes: none stride srp grp-fix grp-var grp-adaptive ptr-hw "
         "ptr-hw-rec srp+ptr srp-throttled\n"
-        "policies: conservative default aggressive\n");
+        "policies: conservative default aggressive\n"
+        "dram backends: legacy ddr4-2400 hbm2 lpddr4 (or GRP_DRAM)\n");
 }
 
 } // namespace
@@ -201,6 +204,11 @@ try {
             config.scheme = parseScheme(value());
         } else if (arg == "--policy") {
             config.policy = parsePolicy(value());
+        } else if (arg == "--dram") {
+            // Validated (and preset geometry applied) by the run's
+            // resolveDramBackend; fatal early on an unknown name so
+            // the error names the flag, not the config field.
+            config.dram.backend = resolveDramBackendName(value());
         } else if (arg == "--instructions") {
             options.maxInstructions = number();
         } else if (arg == "--warmup") {
@@ -302,6 +310,8 @@ try {
     std::fprintf(out, "scheme        %s, policy %s, seed %llu\n",
                  toString(config.scheme), toString(config.policy),
                  (unsigned long long)options.seed);
+    std::fprintf(out, "dram          %s\n",
+                 resolveDramBackendName(config.dram.backend).c_str());
     std::fprintf(out,
                  "hints         %u refs: %u spatial, %u pointer, %u "
                  "recursive, %u indirect\n",

@@ -10,13 +10,19 @@
 namespace grp
 {
 
+unsigned
+HintGenerator::transform(Program &prog)
+{
+    IndirectAnalysis indirect;
+    return indirect.run(prog);
+}
+
 HintStats
-HintGenerator::run(Program &prog, HintTable &table) const
+HintGenerator::analyze(const Program &prog, HintTable &table,
+                       unsigned indirect) const
 {
     HintStats stats;
-
-    IndirectAnalysis indirect;
-    stats.indirect = indirect.run(prog);
+    stats.indirect = indirect;
 
     InductionAnalysis induction;
     induction.run(prog);

@@ -42,11 +42,34 @@ class HintGenerator
     }
 
     /**
-     * Analyse (and transform) @p prog, writing hints into @p table.
-     * Every statically allocated RefId receives an entry (possibly
-     * with no flags set).
+     * The IR-mutating half of the pipeline: indirect detection
+     * rewrites gather subscripts into IndirectPrefetch ops. It is the
+     * only pass that writes the Program, and it does not depend on
+     * the compiler policy — so a transformed program (and any op
+     * stream interpreted from it) can be shared across policies,
+     * which is what lets a policy sweep record the workload once.
+     * Returns the indirect-instruction count (Table 3, col 5).
+     * Idempotent only in the trivial sense that it must run exactly
+     * once per program — run()/analyze() enforce the split.
      */
-    HintStats run(Program &prog, HintTable &table) const;
+    static unsigned transform(Program &prog);
+
+    /**
+     * The read-only half: every policy-dependent analysis, writing
+     * hints into @p table. @p prog must already be transformed;
+     * @p indirect is transform()'s return value (it only feeds the
+     * stats row). Every statically allocated RefId receives an entry
+     * (possibly with no flags set).
+     */
+    HintStats analyze(const Program &prog, HintTable &table,
+                      unsigned indirect) const;
+
+    /** transform() + analyze(): the standalone single-run path. */
+    HintStats
+    run(Program &prog, HintTable &table) const
+    {
+        return analyze(prog, table, transform(prog));
+    }
 
   private:
     CompilerPolicy policy_;

@@ -135,7 +135,7 @@ GrpEngine::indirectPrefetch(Addr base, unsigned elem_size,
 }
 
 std::optional<PrefetchCandidate>
-GrpEngine::dequeuePrefetch(const DramSystem &dram, unsigned channel)
+GrpEngine::dequeuePrefetch(const DramBackend &dram, unsigned channel)
 {
     GRP_HOST_SCOPE(2, EngineDequeue);
     auto candidate = queue_.dequeue(dram, channel);

@@ -56,7 +56,7 @@ class GrpEngine : public PrefetchEngine
     void onFill(Addr block_addr, uint8_t ptr_depth,
                 ReqClass cls) override;
     std::optional<PrefetchCandidate>
-    dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
+    dequeuePrefetch(const DramBackend &dram, unsigned channel) override;
     void indirectPrefetch(Addr base, unsigned elem_size,
                           Addr index_addr, RefId ref) override;
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "mem/dram_backend/factory.hh"
 #include "obs/json_writer.hh"
 
 // Build provenance baked in by src/CMakeLists.txt; the fallbacks keep
@@ -88,6 +89,18 @@ configHash(const SimConfig &config)
     h.mix(uint64_t(config.dram.rowHitCycles));
     h.mix(uint64_t(config.dram.rowConflictCycles));
     h.mix(uint64_t(config.dram.transferCycles));
+    // The backend name participates only when it is not the default
+    // legacy model (resolve it before hashing), so every pre-backend
+    // hash — and with it every committed baseline — is unchanged.
+    {
+        const std::string resolved =
+            resolveDramBackendName(config.dram.backend);
+        if (resolved != "legacy") {
+            for (const char c : resolved) {
+                h.mix(uint64_t(static_cast<unsigned char>(c)));
+            }
+        }
+    }
     h.mix(uint64_t(config.cpu.issueWidth));
     h.mix(uint64_t(config.cpu.retireWidth));
     h.mix(uint64_t(config.cpu.robEntries));

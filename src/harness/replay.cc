@@ -61,9 +61,8 @@ class RecordingReader : public TraceSource
 } // namespace
 
 SweepRecording::SweepRecording(std::string workload, uint64_t seed,
-                               CompilerPolicy policy, uint64_t l2_bytes)
-    : workload_(std::move(workload)), seed_(seed), policy_(policy),
-      l2Bytes_(l2_bytes)
+                               uint64_t l2_bytes)
+    : workload_(std::move(workload)), seed_(seed), l2Bytes_(l2_bytes)
 {
 }
 
@@ -72,10 +71,30 @@ SweepRecording::ensureBuilt()
 {
     std::call_once(buildOnce_, [this] {
         prog_.emplace(makeWorkload(workload_)->build(fmem_, seed_));
-        HintGenerator generator(policy_, l2Bytes_);
-        stats_ = generator.run(*prog_, table_);
+        // Only the policy-independent IR transform runs here; the
+        // per-policy analyses build lazily in policyHints(), so the
+        // program — and the op stream interpreted from it — is
+        // shared by every policy in the sweep.
+        indirect_ = HintGenerator::transform(*prog_);
         source_ = makeTraceSource(*prog_, fmem_, seed_);
     });
+}
+
+SweepRecording::PolicyHints &
+SweepRecording::policyHints(CompilerPolicy policy)
+{
+    ensureBuilt();
+    PolicyHints *entry;
+    {
+        std::lock_guard<std::mutex> lock(hintsMu_);
+        entry = &hintsByPolicy_[static_cast<int>(policy)];
+    }
+    std::call_once(entry->once, [this, entry, policy] {
+        HintGenerator generator(policy, l2Bytes_);
+        entry->stats =
+            generator.analyze(*prog_, entry->table, indirect_);
+    });
+    return *entry;
 }
 
 FunctionalMemory &
@@ -86,17 +105,15 @@ SweepRecording::memory()
 }
 
 const HintTable &
-SweepRecording::hints()
+SweepRecording::hints(CompilerPolicy policy)
 {
-    ensureBuilt();
-    return table_;
+    return policyHints(policy).table;
 }
 
 const HintStats &
-SweepRecording::hintStats()
+SweepRecording::hintStats(CompilerPolicy policy)
 {
-    ensureBuilt();
-    return stats_;
+    return policyHints(policy).stats;
 }
 
 std::unique_ptr<TraceSource>

@@ -34,6 +34,7 @@
 #define GRP_HARNESS_REPLAY_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -51,8 +52,12 @@ namespace grp
 {
 
 /** Shared workload context + recorded access stream for one
- *  (workload, seed, policy, l2 size) sweep key. Thread-safe: any
- *  number of sweep jobs may read concurrently. */
+ *  (workload, seed, l2 size) sweep key. The op stream is also
+ *  compiler-policy-independent — only the policy-blind IR transform
+ *  (HintGenerator::transform) writes the Program — so one recording
+ *  drives a policy sweep too; per-policy hint tables build lazily on
+ *  the side. Thread-safe: any number of sweep jobs may read
+ *  concurrently. */
 class SweepRecording
 {
   public:
@@ -67,14 +72,13 @@ class SweepRecording
      *        of the key because reuse-distance analysis depends on it.
      */
     SweepRecording(std::string workload, uint64_t seed,
-                   CompilerPolicy policy, uint64_t l2_bytes);
+                   uint64_t l2_bytes);
 
     SweepRecording(const SweepRecording &) = delete;
     SweepRecording &operator=(const SweepRecording &) = delete;
 
     const std::string &workload() const { return workload_; }
     uint64_t seed() const { return seed_; }
-    CompilerPolicy policy() const { return policy_; }
     uint64_t l2Bytes() const { return l2Bytes_; }
 
     /** The shared functional memory (builds on first use). Read-only
@@ -82,12 +86,13 @@ class SweepRecording
      *  Workload::build, which is what makes sharing sound. */
     FunctionalMemory &memory();
 
-    /** Hint table for the recording's policy (builds on first use). */
-    const HintTable &hints();
+    /** Hint table for @p policy (builds on first use; cached per
+     *  policy so a policy sweep pays each analysis once). */
+    const HintTable &hints(CompilerPolicy policy);
 
-    /** Static compiler statistics (Table 3 row; builds on first
-     *  use). */
-    const HintStats &hintStats();
+    /** Static compiler statistics for @p policy (Table 3 row; builds
+     *  with the table on first use). */
+    const HintStats &hintStats(CompilerPolicy policy);
 
     /**
      * A cursor over the recorded stream, replaying it op-for-op from
@@ -116,9 +121,17 @@ class SweepRecording
   private:
     void ensureBuilt();
 
+    /** One policy's lazily built analysis products. */
+    struct PolicyHints
+    {
+        HintTable table;
+        HintStats stats;
+        std::once_flag once;
+    };
+    PolicyHints &policyHints(CompilerPolicy policy);
+
     const std::string workload_;
     const uint64_t seed_;
-    const CompilerPolicy policy_;
     const uint64_t l2Bytes_;
 
     std::once_flag buildOnce_;
@@ -126,8 +139,15 @@ class SweepRecording
     /** Kept alive for the interpreter (the tree walker holds a
      *  reference into it). */
     std::optional<Program> prog_;
-    HintTable table_;
-    HintStats stats_;
+    /** HintGenerator::transform's indirect count (feeds every
+     *  policy's stats row). */
+    unsigned indirect_ = 0;
+    /** Per-policy hint tables, built on first request. Guarded by
+     *  hintsMu_ for the map itself; each entry's once flag serializes
+     *  its build. Entries are stable (std::map) so returned
+     *  references outlive later insertions. */
+    std::map<int, PolicyHints> hintsByPolicy_;
+    std::mutex hintsMu_;
     std::unique_ptr<TraceSource> source_;
 
     /** Chunk granularity of the recorded stream (ops per chunk). */

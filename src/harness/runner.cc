@@ -19,6 +19,7 @@
 #include "harness/capture.hh"
 #include "harness/provenance.hh"
 #include "harness/replay.hh"
+#include "mem/dram_backend/factory.hh"
 #include "mem/memory_system.hh"
 #include "obs/atomic_file.hh"
 #include "obs/host_prof.hh"
@@ -228,7 +229,7 @@ printCostReport(std::ostream &os, MemorySystem &mem,
 
     os << "  channel cycles (demand/prefetch/writeback/idle):\n";
     for (unsigned ch = 0; ch < config.dram.channels; ++ch) {
-        const DramSystem::ChannelCycles c = mem.dram().channelCycles(ch);
+        const DramBackend::ChannelCycles c = mem.dram().channelCycles(ch);
         os << "    ch" << ch << ": " << c.demand << " / " << c.prefetch
            << " / " << c.writeback << " / " << c.idle << " (total "
            << c.total() << ")\n";
@@ -318,6 +319,11 @@ runWorkload(const std::string &workload_name, SimConfig config,
     const WorkloadInfo info = workload->info();
     if (info.recursiveDepthOverride != 0)
         config.region.recursiveDepth = info.recursiveDepthOverride;
+    // Resolve the DRAM backend up front so everything downstream —
+    // the provenance config hash, the cost report's channel walk and
+    // the memory system's queue sizing — sees the same resolved name
+    // and preset geometry.
+    resolveDramBackend(config.dram);
     config.validate();
 
     // Workload context: built fresh for standalone runs, shared
@@ -333,9 +339,6 @@ runWorkload(const std::string &workload_name, SimConfig config,
                  "sweep recording is for seed %llu, not %llu",
                  (unsigned long long)rec->seed(),
                  (unsigned long long)options.seed);
-        fatal_if(rec->policy() != config.policy,
-                 "sweep recording is for policy %s, not %s",
-                 toString(rec->policy()), toString(config.policy));
         fatal_if(rec->l2Bytes() != config.l2.sizeBytes,
                  "sweep recording targets a %llu-byte L2, not %llu",
                  (unsigned long long)rec->l2Bytes(),
@@ -350,14 +353,15 @@ runWorkload(const std::string &workload_name, SimConfig config,
     HintTable own_table;
     HintStats hint_stats;
     if (rec) {
-        hint_stats = rec->hintStats();
+        hint_stats = rec->hintStats(config.policy);
     } else {
         own_prog.emplace(workload->build(own_fmem, options.seed));
         HintGenerator generator(config.policy, config.l2.sizeBytes);
         hint_stats = generator.run(*own_prog, own_table);
     }
     FunctionalMemory &fmem = rec ? rec->memory() : own_fmem;
-    const HintTable &table = rec ? rec->hints() : own_table;
+    const HintTable &table =
+        rec ? rec->hints(config.policy) : own_table;
 
     // Every component of this run registers into a run-local registry,
     // so concurrent sweep jobs (and same-thread nested runs) never
@@ -546,6 +550,13 @@ runWorkload(const std::string &workload_name, SimConfig config,
                                   : 0.0);
             series->record("busyChannels", cycle,
                            mem.dram().busyChannels(cycle));
+            // Bank prep visibility exists only on queued backends;
+            // gating the track keeps legacy time-series artefacts
+            // byte-identical.
+            if (mem.dram().queued()) {
+                series->record("activeBanks", cycle,
+                               mem.dram().activeBanks(cycle));
+            }
             series->record("l2MshrInFlight", cycle,
                            mem.l2Mshrs().inFlight());
             series->record("demandQueueDepth", cycle,

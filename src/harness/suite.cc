@@ -156,20 +156,23 @@ BenchSweep::BenchSweep(std::string bench_name)
 }
 
 std::shared_ptr<SweepRecording>
-BenchSweep::recordingFor(const std::string &name, uint64_t seed,
-                         CompilerPolicy policy)
+BenchSweep::recordingFor(const std::string &name, uint64_t seed)
 {
     if (!replayEnabled_)
         return nullptr;
-    auto key = std::make_tuple(name, seed, static_cast<int>(policy));
+    auto key = std::make_pair(name, seed);
     auto it = recordings_.find(key);
     if (it != recordings_.end())
         return it->second;
     // addScheme/addPerfect always run under the default SimConfig
     // cache geometry, so the recording targets the default L2; the
-    // runner re-validates the match per job.
+    // runner re-validates the match per job. The compiler policy is
+    // deliberately not part of the key: the op stream is
+    // policy-independent and the recording builds per-policy hint
+    // tables on demand, so a policy sweep (sens_compiler) interprets
+    // each workload once instead of once per policy.
     auto rec = std::make_shared<SweepRecording>(
-        name, seed, policy, SimConfig{}.l2.sizeBytes);
+        name, seed, SimConfig{}.l2.sizeBytes);
     recordings_.emplace(std::move(key), rec);
     return rec;
 }
@@ -190,7 +193,7 @@ BenchSweep::addScheme(const std::string &name, PrefetchScheme scheme,
         label += std::string("/") + toString(policy);
     RunOptions opts = options;
     if (opts.capturePath.empty() && opts.replayPath.empty())
-        opts.recording = recordingFor(name, opts.seed, policy);
+        opts.recording = recordingFor(name, opts.seed);
     return add(std::move(label),
                [name, scheme, opts = std::move(opts), policy] {
                    return runScheme(name, scheme, opts, policy);
@@ -203,8 +206,7 @@ BenchSweep::addPerfect(const std::string &name, Perfection perfection,
 {
     RunOptions opts = options;
     if (opts.capturePath.empty() && opts.replayPath.empty()) {
-        opts.recording =
-            recordingFor(name, opts.seed, CompilerPolicy::Default);
+        opts.recording = recordingFor(name, opts.seed);
     }
     return add(name + "/" + toString(perfection),
                [name, perfection, opts = std::move(opts)] {
@@ -220,7 +222,7 @@ BenchSweep::addConfig(std::string label, const std::string &name,
     RunOptions opts = options;
     if (opts.capturePath.empty() && opts.replayPath.empty() &&
         config.l2.sizeBytes == SimConfig{}.l2.sizeBytes)
-        opts.recording = recordingFor(name, opts.seed, config.policy);
+        opts.recording = recordingFor(name, opts.seed);
     return add(std::move(label),
                [name, config, opts = std::move(opts)] {
                    return runWorkload(name, config, opts);

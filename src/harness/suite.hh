@@ -69,10 +69,11 @@ std::string benchOutPath(const std::string &name);
  * embedded into manifest.json by bench_manifest.py finish).
  *
  * Jobs queued through addScheme()/addPerfect() share one in-memory
- * sweep recording per (workload, seed, policy) key (harness/
- * replay.hh): the workload build, compiler pipeline and access
- * stream are computed once and every scheme point replays them,
- * which is what makes dense grids cheap. Results are byte-identical
+ * sweep recording per (workload, seed) key (harness/replay.hh): the
+ * workload build, IR transform and access stream are computed once
+ * and every scheme point — across every compiler policy — replays
+ * them, which is what makes dense grids cheap. Results are
+ * byte-identical
  * to per-job interpretation; set GRP_SWEEP_REPLAY=0 to fall back to
  * fully independent jobs (differential testing). Jobs queued through
  * raw add() never share state.
@@ -96,9 +97,9 @@ class BenchSweep
                       const RunOptions &options);
 
     /** Queue runWorkload(name, config, options) under @p label,
-     *  sharing the sweep recording when @p config's compiler policy
-     *  and L2 geometry match the recording key (ablation benches
-     *  varying only hardware knobs reuse one stream per workload). */
+     *  sharing the sweep recording when @p config's L2 geometry
+     *  matches the recording key (ablation benches varying hardware
+     *  knobs or compiler policy reuse one stream per workload). */
     size_t addConfig(std::string label, const std::string &name,
                      const SimConfig &config,
                      const RunOptions &options);
@@ -116,11 +117,12 @@ class BenchSweep
   private:
     void writeTimings() const;
 
-    /** The shared run context for (name, seed, policy), created on
-     *  first use; null when GRP_SWEEP_REPLAY=0 disables sharing. */
+    /** The shared run context for (name, seed), created on first
+     *  use; null when GRP_SWEEP_REPLAY=0 disables sharing. The
+     *  compiler policy is not part of the key — recordings build
+     *  per-policy hint tables on demand over one shared op stream. */
     std::shared_ptr<SweepRecording>
-    recordingFor(const std::string &name, uint64_t seed,
-                 CompilerPolicy policy);
+    recordingFor(const std::string &name, uint64_t seed);
 
     std::string name_;
     std::vector<SweepJob> jobs_;
@@ -128,7 +130,7 @@ class BenchSweep
     unsigned threads_ = 0;
     double totalWallSeconds_ = 0.0;
     bool replayEnabled_ = true;
-    std::map<std::tuple<std::string, uint64_t, int>,
+    std::map<std::pair<std::string, uint64_t>,
              std::shared_ptr<SweepRecording>>
         recordings_;
 };

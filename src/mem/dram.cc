@@ -8,90 +8,8 @@ namespace grp
 
 DramSystem::DramSystem(const DramConfig &config,
                        obs::StatRegistry &registry)
-    : config_(config),
-      channelShift_(floorLog2(config.channels)),
-      blocksPerRow_(config.rowBytes / kBlockBytes),
-      blocksPerRowShift_(floorLog2(config.rowBytes / kBlockBytes)),
-      bankShift_(floorLog2(config.banksPerChannel)),
-      stats_("dram"),
-      statReg_(stats_, registry)
+    : DramBackend(config, registry)
 {
-    fatal_if(!isPowerOfTwo(config.channels) ||
-             !isPowerOfTwo(config.banksPerChannel) ||
-             !isPowerOfTwo(blocksPerRow_),
-             "DRAM geometry must be powers of two");
-    channels_.resize(config.channels);
-    for (Channel &channel : channels_)
-        channel.banks.resize(config.banksPerChannel);
-
-    // Registered up front (and cached as references: Counter storage
-    // is stable across reset()) so the per-cycle accounting costs a
-    // pointer increment, and healthy runs export explicit zeros.
-    contentionCounters_ = {
-        &stats_.counter("contentionDemandCycles"),
-        &stats_.counter("contentionPrefetchCycles"),
-        &stats_.counter("contentionWritebackCycles"),
-        &stats_.counter("contentionIdleCycles"),
-    };
-    demandStallCounter_ = &stats_.counter("contentionDemandStallCycles");
-    rowHitCounter_ = &stats_.counter("rowHits");
-    rowConflictCounter_ = &stats_.counter("rowConflicts");
-    transferCounter_ = &stats_.counter("transfers");
-    cycleCounters_.resize(config.channels);
-    for (unsigned ch = 0; ch < config.channels; ++ch) {
-        const std::string prefix = "ch" + std::to_string(ch);
-        cycleCounters_[ch].slots = {
-            &stats_.counter(prefix + "DemandCycles"),
-            &stats_.counter(prefix + "PrefetchCycles"),
-            &stats_.counter(prefix + "WritebackCycles"),
-            &stats_.counter(prefix + "IdleCycles"),
-            &stats_.counter(prefix + "Cycles"),
-        };
-    }
-}
-
-unsigned
-DramSystem::channelOf(Addr addr) const
-{
-    return static_cast<unsigned>(blockNumber(addr) &
-                                 (config_.channels - 1));
-}
-
-unsigned
-DramSystem::bankOf(Addr addr) const
-{
-    const uint64_t channel_block = blockNumber(addr) >> channelShift_;
-    return static_cast<unsigned>((channel_block >> blocksPerRowShift_) &
-                                 (config_.banksPerChannel - 1));
-}
-
-uint64_t
-DramSystem::rowOf(Addr addr) const
-{
-    const uint64_t channel_block = blockNumber(addr) >> channelShift_;
-    return channel_block >> (blocksPerRowShift_ + bankShift_);
-}
-
-bool
-DramSystem::channelIdle(unsigned channel, Tick now) const
-{
-    return channels_[channel].busyUntil <= now;
-}
-
-unsigned
-DramSystem::busyChannels(Tick now) const
-{
-    unsigned busy = 0;
-    for (const Channel &channel : channels_)
-        busy += channel.busyUntil > now ? 1 : 0;
-    return busy;
-}
-
-bool
-DramSystem::rowOpen(Addr addr) const
-{
-    const Bank &bank = channels_[channelOf(addr)].banks[bankOf(addr)];
-    return bank.openRow == static_cast<int64_t>(rowOf(addr));
 }
 
 Tick
@@ -131,109 +49,6 @@ DramSystem::serve(Addr addr, Tick now, ReqClass cls, RefId ref,
     ++transfers_;
     ++*transferCounter_;
     return done;
-}
-
-void
-DramSystem::noteChannelCycle(unsigned channel, Tick now)
-{
-    const Channel &ch = channels_[channel];
-    ChannelCycleCounters &counters = cycleCounters_[channel];
-    unsigned slot = 3; // Idle.
-    if (ch.busyUntil > now) {
-        switch (ch.occupantCls) {
-          case ReqClass::Demand:    slot = 0; break;
-          case ReqClass::Prefetch:  slot = 1; break;
-          case ReqClass::Writeback: slot = 2; break;
-        }
-    }
-    ++*counters.slots[slot];
-    ++*counters.slots[4]; // Accounted cycles for this channel.
-    ++*contentionCounters_[slot];
-}
-
-void
-DramSystem::noteChannelCycles(unsigned channel, uint64_t busy_cycles,
-                              uint64_t idle_cycles)
-{
-    const Channel &ch = channels_[channel];
-    ChannelCycleCounters &counters = cycleCounters_[channel];
-    if (busy_cycles) {
-        unsigned slot = 0;
-        switch (ch.occupantCls) {
-          case ReqClass::Demand:    slot = 0; break;
-          case ReqClass::Prefetch:  slot = 1; break;
-          case ReqClass::Writeback: slot = 2; break;
-        }
-        *counters.slots[slot] += busy_cycles;
-        *contentionCounters_[slot] += busy_cycles;
-    }
-    if (idle_cycles) {
-        *counters.slots[3] += idle_cycles;
-        *contentionCounters_[3] += idle_cycles;
-    }
-    *counters.slots[4] += busy_cycles + idle_cycles;
-}
-
-void
-DramSystem::noteAllIdleCycle()
-{
-    for (ChannelCycleCounters &counters : cycleCounters_) {
-        ++*counters.slots[3]; // Idle.
-        ++*counters.slots[4]; // Accounted cycles for this channel.
-    }
-    *contentionCounters_[3] += channels_.size();
-}
-
-void
-DramSystem::noteDemandStall(uint64_t waiting)
-{
-    *demandStallCounter_ += waiting;
-}
-
-ReqClass
-DramSystem::occupantClass(unsigned channel) const
-{
-    return channels_[channel].occupantCls;
-}
-
-RefId
-DramSystem::occupantRef(unsigned channel) const
-{
-    return channels_[channel].occupantRef;
-}
-
-obs::HintClass
-DramSystem::occupantHint(unsigned channel) const
-{
-    return channels_[channel].occupantHint;
-}
-
-DramSystem::ChannelCycles
-DramSystem::channelCycles(unsigned channel) const
-{
-    const std::string prefix = "ch" + std::to_string(channel);
-    return ChannelCycles{
-        stats_.value(prefix + "DemandCycles"),
-        stats_.value(prefix + "PrefetchCycles"),
-        stats_.value(prefix + "WritebackCycles"),
-        stats_.value(prefix + "IdleCycles"),
-    };
-}
-
-void
-DramSystem::reset()
-{
-    for (Channel &channel : channels_) {
-        channel.busyUntil = 0;
-        channel.occupantCls = ReqClass::Demand;
-        channel.occupantRef = kInvalidRefId;
-        channel.occupantHint = obs::HintClass::None;
-        for (Bank &bank : channel.banks)
-            bank.openRow = -1;
-    }
-    maxBusyUntil_ = 0;
-    transfers_ = 0;
-    stats_.reset();
 }
 
 } // namespace grp

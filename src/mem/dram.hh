@@ -1,64 +1,35 @@
 /**
  * @file
- * A Rambus-style DRAM model: independent channels, each with a set of
- * banks using an open-page (open-row) policy. Blocks are interleaved
- * across channels at cache-block granularity, so a 4 KB prefetch
- * region streams from all four channels in parallel, and consecutive
- * blocks within one channel fall in the same row — the locality the
- * SRP scheduler exploits by preferring prefetches to open rows.
+ * The legacy Rambus-style DRAM model: independent channels, each with
+ * a set of banks using an open-page (open-row) policy. Blocks are
+ * interleaved across channels at cache-block granularity, so a 4 KB
+ * prefetch region streams from all four channels in parallel, and
+ * consecutive blocks within one channel fall in the same row — the
+ * locality the SRP scheduler exploits by preferring prefetches to
+ * open rows.
+ *
+ * This is the default `DramBackend` (GRP_DRAM=legacy): an access is
+ * served immediately on an idle channel with a flat row-hit /
+ * row-conflict latency, the bank access pipelines under the previous
+ * transfer, and serve() returns the completion tick directly. The
+ * cycle-accurate command-queue backends live in mem/dram_backend/.
  */
 
 #ifndef GRP_MEM_DRAM_HH
 #define GRP_MEM_DRAM_HH
 
-#include <array>
-#include <cstdint>
-#include <vector>
-
-#include "mem/request.hh"
-#include "obs/stat_registry.hh"
-#include "sim/config.hh"
-#include "sim/stats.hh"
-#include "sim/types.hh"
+#include "mem/dram_backend/backend.hh"
 
 namespace grp
 {
 
-/** Multi-channel open-page DRAM timing model. */
-class DramSystem
+/** Multi-channel open-page DRAM timing model (the legacy backend). */
+class DramSystem final : public DramBackend
 {
   public:
     explicit DramSystem(const DramConfig &config,
                         obs::StatRegistry &registry =
                             obs::StatRegistry::current());
-
-    /** Channel servicing @p addr (block interleaved). */
-    unsigned channelOf(Addr addr) const;
-    /** Bank within the channel servicing @p addr. */
-    unsigned bankOf(Addr addr) const;
-    /** Row within the bank servicing @p addr. */
-    uint64_t rowOf(Addr addr) const;
-
-    /** True when the channel can accept a request at @p now. */
-    bool channelIdle(unsigned channel, Tick now) const;
-
-    /** First tick at which @p channel is idle (stall fast-forward). */
-    Tick channelBusyUntil(unsigned channel) const
-    {
-        return channels_[channel].busyUntil;
-    }
-
-    /** Every channel is idle at @p now (one compare against the
-     *  high-water mark of all busyUntil times — the quiet-cycle fast
-     *  path's gate). */
-    bool allIdle(Tick now) const { return maxBusyUntil_ <= now; }
-
-    /** True when @p addr's row is open in its bank (bank-aware
-     *  prefetch scheduling queries this). */
-    bool rowOpen(Addr addr) const;
-
-    /** Channels still occupied at @p now (time-series sampling). */
-    unsigned busyChannels(Tick now) const;
 
     /**
      * Issue the access for @p addr's block at @p now on its (idle)
@@ -72,123 +43,10 @@ class DramSystem
      */
     Tick serve(Addr addr, Tick now, ReqClass cls,
                RefId ref = kInvalidRefId,
-               obs::HintClass hint = obs::HintClass::None);
+               obs::HintClass hint = obs::HintClass::None) override;
+    using DramBackend::serve;
 
-    /** Demand-class convenience overload (tests, microbenches). */
-    Tick serve(Addr addr, Tick now)
-    {
-        return serve(addr, now, ReqClass::Demand);
-    }
-
-    /**
-     * Per-cycle contention accounting, driven once per channel per
-     * simulated cycle by the memory system's tick: attributes the
-     * cycle to the occupant's request class when the channel is busy
-     * at @p now, to idle otherwise. The per-channel and aggregate
-     * breakdowns live in the "dram" stat group
-     * (chNDemandCycles/chNPrefetchCycles/chNWritebackCycles/
-     * chNIdleCycles/chNCycles and contention*Cycles), so
-     * demand + prefetch + writeback + idle sums to the channel's
-     * accounted cycles by construction.
-     */
-    void noteChannelCycle(unsigned channel, Tick now);
-
-    /**
-     * Batched form of noteChannelCycle for the stall fast-forward: in
-     * a window where the channel's occupant cannot change, @p
-     * busy_cycles cycles attribute to the current occupant's class and
-     * @p idle_cycles to idle — byte-identical to calling
-     * noteChannelCycle once per cycle across the window.
-     */
-    void noteChannelCycles(unsigned channel, uint64_t busy_cycles,
-                           uint64_t idle_cycles);
-
-    /** One all-channels-idle cycle: equivalent to noteChannelCycle on
-     *  every (idle) channel, minus the per-channel dispatch — the
-     *  accounting arm of the memory system's quiet-cycle fast path. */
-    void noteAllIdleCycle();
-
-    /** Demand requests spent @p waiting request-cycles stalled behind
-     *  an in-flight prefetch transfer the prioritizer could not
-     *  preempt (dram.contentionDemandStallCycles). */
-    void noteDemandStall(uint64_t waiting);
-
-    /** Request class occupying @p channel (meaningful while busy). */
-    ReqClass occupantClass(unsigned channel) const;
-    /** Site / hint class of the occupying prefetch (attribution). */
-    RefId occupantRef(unsigned channel) const;
-    obs::HintClass occupantHint(unsigned channel) const;
-
-    /** One channel's accounted-cycle breakdown (cost reports). */
-    struct ChannelCycles
-    {
-        uint64_t demand = 0;
-        uint64_t prefetch = 0;
-        uint64_t writeback = 0;
-        uint64_t idle = 0;
-        uint64_t
-        total() const
-        {
-            return demand + prefetch + writeback + idle;
-        }
-    };
-    ChannelCycles channelCycles(unsigned channel) const;
-
-    /** Total 64 B transfers served (traffic accounting). */
-    uint64_t transfersServed() const { return transfers_; }
-
-    StatGroup &stats() { return stats_; }
-    const StatGroup &stats() const { return stats_; }
-
-    const DramConfig &config() const { return config_; }
-
-    void reset();
-
-  private:
-    DramConfig config_;
-    unsigned channelShift_;    ///< log2(channels).
-    unsigned blocksPerRow_;
-    unsigned blocksPerRowShift_;
-    unsigned bankShift_;       ///< log2(banksPerChannel).
-
-    struct Bank
-    {
-        int64_t openRow = -1;
-    };
-
-    struct Channel
-    {
-        Tick busyUntil = 0;
-        std::vector<Bank> banks;
-        /** What the in-flight transfer is (contention attribution). */
-        ReqClass occupantCls = ReqClass::Demand;
-        RefId occupantRef = kInvalidRefId;
-        obs::HintClass occupantHint = obs::HintClass::None;
-    };
-
-    /** Cached per-channel cycle counters (demand, prefetch,
-     *  writeback, idle, total) so per-cycle accounting skips the
-     *  stat-name lookup; Counter references are stable across
-     *  StatGroup::reset(). */
-    struct ChannelCycleCounters
-    {
-        std::array<Counter *, 5> slots{};
-    };
-
-    std::vector<Channel> channels_;
-    /** High-water mark of every channel's busyUntil (allIdle()). */
-    Tick maxBusyUntil_ = 0;
-    std::vector<ChannelCycleCounters> cycleCounters_;
-    /** Aggregate demand/prefetch/writeback/idle cycle counters. */
-    std::array<Counter *, 4> contentionCounters_{};
-    Counter *demandStallCounter_ = nullptr;
-    /** Per-serve() counters, cached for the same reason. */
-    Counter *rowHitCounter_ = nullptr;
-    Counter *rowConflictCounter_ = nullptr;
-    Counter *transferCounter_ = nullptr;
-    uint64_t transfers_ = 0;
-    StatGroup stats_;
-    obs::ScopedStatRegistration statReg_;
+    const char *name() const override { return "legacy"; }
 };
 
 } // namespace grp

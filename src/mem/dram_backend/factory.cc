@@ -1,0 +1,63 @@
+#include "mem/dram_backend/factory.hh"
+
+#include <cstdlib>
+
+#include "mem/dram.hh"
+#include "mem/dram_backend/presets.hh"
+#include "mem/dram_backend/timing.hh"
+#include "sim/logging.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+std::string
+knownBackendNames()
+{
+    std::string names = "legacy";
+    for (const std::string &name : dramPresetNames())
+        names += ", " + name;
+    return names;
+}
+
+} // namespace
+
+std::string
+resolveDramBackendName(const std::string &configured)
+{
+    std::string name = configured;
+    if (name.empty()) {
+        const char *env = std::getenv("GRP_DRAM");
+        name = env && *env ? env : "legacy";
+    }
+    fatal_if(name != "legacy" && !findDramPreset(name),
+             "unknown DRAM backend '%s' (known: %s)", name.c_str(),
+             knownBackendNames().c_str());
+    return name;
+}
+
+void
+resolveDramBackend(DramConfig &config)
+{
+    config.backend = resolveDramBackendName(config.backend);
+    if (const DramPreset *preset = findDramPreset(config.backend)) {
+        config.channels = preset->channels;
+        config.banksPerChannel = preset->banksPerChannel;
+        config.rowBytes = preset->rowBytes;
+    }
+}
+
+std::unique_ptr<DramBackend>
+makeDramBackend(DramConfig config, obs::StatRegistry &registry)
+{
+    resolveDramBackend(config);
+    if (config.backend == "legacy")
+        return std::make_unique<DramSystem>(config, registry);
+    const DramPreset *preset = findDramPreset(config.backend);
+    return std::make_unique<TimingDramSystem>(config, preset->timing,
+                                              config.backend, registry);
+}
+
+} // namespace grp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * DRAM backend selection: name resolution (config field, GRP_DRAM
+ * environment variable, legacy default) and construction.
+ */
+
+#ifndef GRP_MEM_DRAM_BACKEND_FACTORY_HH
+#define GRP_MEM_DRAM_BACKEND_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "mem/dram_backend/backend.hh"
+#include "sim/config.hh"
+
+namespace grp
+{
+
+/** The backend name @p configured resolves to: itself when nonempty,
+ *  else $GRP_DRAM, else "legacy". Fatal on an unknown name. */
+std::string resolveDramBackendName(const std::string &configured);
+
+/**
+ * Resolve @p config in place: fills in the backend name (see above)
+ * and, for timing presets, applies the preset's channel/bank/row
+ * geometry so everything sized off DramConfig (queues, interleaving,
+ * the provenance hash) sees the real topology. Idempotent; a no-op
+ * for legacy.
+ */
+void resolveDramBackend(DramConfig &config);
+
+/** Construct the selected backend. Resolves @p config's copy first,
+ *  so callers may pass an unresolved configuration. */
+std::unique_ptr<DramBackend>
+makeDramBackend(DramConfig config, obs::StatRegistry &registry =
+                                       obs::StatRegistry::current());
+
+} // namespace grp
+
+#endif // GRP_MEM_DRAM_BACKEND_FACTORY_HH

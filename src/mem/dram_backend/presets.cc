@@ -1,0 +1,56 @@
+#include "mem/dram_backend/presets.hh"
+
+namespace grp
+{
+
+namespace
+{
+
+/**
+ * CPU cycles at 1.6 GHz. Sources, rounded:
+ *
+ *  ddr4-2400: one x64 DDR4-2400 CL17 channel per DRAM channel.
+ *    tRCD=tCAS=tRP ~14.2 ns -> 23, tRAS 32 ns -> 51, tRRD_L 4.9 ns
+ *    -> 8, tFAW 21 ns -> 34, tRFC 350 ns (8 Gb) -> 560, tREFI
+ *    7.8 us -> 12480, burst 64 B over x64 @ 2400 MT/s ~3.3 ns -> 6.
+ *
+ *  hbm2: eight pseudo-channels, small rows, wide bus. Latencies in
+ *    the DDR4 ballpark, burst 64 B over x128 @ 2 Gb/s -> 4, tRFC
+ *    260 ns -> 416, tREFI 3.9 us -> 6240.
+ *
+ *  lpddr4: x32 channel, slower core timings, long bursts.
+ *    tRCD 18 ns -> 29, tRP 21 ns -> 34, tRAS 42 ns -> 67, tRRD
+ *    10 ns -> 16, tFAW 40 ns -> 64, tRFC 280 ns -> 448, burst 64 B
+ *    over x32 @ 3200 MT/s 10 ns -> 16.
+ */
+const DramPreset kPresets[] = {
+    {"ddr4-2400", 4, 16, 2048,
+     {23, 23, 23, 51, 8, 34, 560, 12480, 6, 8}},
+    {"hbm2", 8, 16, 1024,
+     {22, 22, 22, 45, 6, 24, 416, 6240, 4, 8}},
+    {"lpddr4", 4, 8, 2048,
+     {29, 29, 34, 67, 16, 64, 448, 6240, 16, 8}},
+};
+
+} // namespace
+
+const DramPreset *
+findDramPreset(const std::string &name)
+{
+    for (const DramPreset &preset : kPresets) {
+        if (name == preset.name)
+            return &preset;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+dramPresetNames()
+{
+    std::vector<std::string> names;
+    for (const DramPreset &preset : kPresets)
+        names.push_back(preset.name);
+    return names;
+}
+
+} // namespace grp

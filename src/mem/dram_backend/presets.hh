@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Named timing presets for the cycle-accurate DRAM backend.
+ *
+ * Each preset pairs a channel/bank/row geometry with a JEDEC-style
+ * timing-constraint table, both expressed in CPU cycles at the
+ * paper's 1.6 GHz core clock (0.625 ns per cycle). The values are
+ * rounded from datasheet-typical parts — close enough for the
+ * bank-conflict / refresh / scheduling behaviour the backend exists
+ * to model, not a substitute for a signed-off datasheet.
+ */
+
+#ifndef GRP_MEM_DRAM_BACKEND_PRESETS_HH
+#define GRP_MEM_DRAM_BACKEND_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace grp
+{
+
+/** Timing-constraint table driving the cycle-accurate backend (all
+ *  values in CPU cycles). */
+struct DramTimingParams
+{
+    unsigned tRCD = 0;  ///< ACT to first column command.
+    unsigned tCAS = 0;  ///< Column command to first data beat.
+    unsigned tRP = 0;   ///< PRE to next ACT on the bank.
+    unsigned tRAS = 0;  ///< ACT to earliest PRE on the bank.
+    unsigned tRRD = 0;  ///< ACT to ACT, different banks, one channel.
+    unsigned tFAW = 0;  ///< Window holding at most four ACTs.
+    unsigned tRFC = 0;  ///< All-bank refresh duration.
+    Tick tREFI = 0;     ///< Average interval between refreshes.
+    unsigned tBURST = 0; ///< Data-bus occupancy per 64 B transfer.
+    /** Per-channel command-queue entries (canAccept gate). */
+    unsigned queueDepth = 8;
+};
+
+/** One named backend configuration: geometry + timing. */
+struct DramPreset
+{
+    const char *name;
+    unsigned channels;
+    unsigned banksPerChannel;
+    unsigned rowBytes;
+    DramTimingParams timing;
+};
+
+/** The preset for @p name, or nullptr when unknown. "legacy" is not
+ *  a preset — it selects the immediate Rambus-style model. */
+const DramPreset *findDramPreset(const std::string &name);
+
+/** Every preset name, for error messages and sweep axes. */
+std::vector<std::string> dramPresetNames();
+
+} // namespace grp
+
+#endif // GRP_MEM_DRAM_BACKEND_PRESETS_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/dram_backend/factory.hh"
+
 #include "obs/host_prof.hh"
 #include "sim/logging.hh"
 
@@ -22,6 +24,10 @@ MemorySystem::MemorySystem(const SimConfig &config, EventQueue &events,
       statReg_(stats_, registry)
 {
     config_.validate();
+    // Resolve the DRAM backend (config field / GRP_DRAM / legacy)
+    // before anything is sized off the geometry: timing presets
+    // override channel/bank/row counts.
+    resolveDramBackend(config_.dram);
     // Registered up front so it exports as an explicit zero: a
     // non-zero value flags the accuracy>1 accounting bug (see
     // harness/runner.cc), which must be countable, not just logged.
@@ -36,9 +42,10 @@ MemorySystem::MemorySystem(const SimConfig &config, EventQueue &events,
     l2Mshrs_ = std::make_unique<MshrFile>(config.l2.mshrs,
                                           config.l2.mshrTargets,
                                           "l2Mshrs", registry);
-    dram_ = std::make_unique<DramSystem>(config.dram, registry);
-    demandQueues_.resize(config.dram.channels);
-    writebackQueues_.resize(config.dram.channels);
+    dram_ = makeDramBackend(config_.dram, registry);
+    timingMode_ = dram_->queued();
+    demandQueues_.resize(config_.dram.channels);
+    writebackQueues_.resize(config_.dram.channels);
 
     // Registered up front (and cached: Counter storage is stable
     // across reset()) so the per-access accounting is a pointer
@@ -478,6 +485,15 @@ MemorySystem::tick()
 
     const Tick now = events_.curTick();
 
+    // Queued backends schedule commands and retire transfers inside
+    // their own tick; completed fills are drained here so they take
+    // the same onDramFill path a legacy completion event takes.
+    if (timingMode_) {
+        dram_->tick(now);
+        while (auto filled = dram_->popCompleted(now))
+            onDramFill(std::move(*filled));
+    }
+
     // Quiet-cycle fast path: nothing queued, every channel idle, and
     // tryIssuePrefetch provably touches no counter — either there is
     // no engine, or the issue gates are open with an empty engine
@@ -498,7 +514,9 @@ MemorySystem::tick()
     }
 
     for (unsigned ch = 0; ch < config_.dram.channels; ++ch) {
-        if (dram_->channelIdle(ch, now)) {
+        const bool can_issue = timingMode_ ? dram_->canAccept(ch, now)
+                                           : dram_->channelIdle(ch, now);
+        if (can_issue) {
             auto &demand = demandQueues_[ch];
             auto &wb = writebackQueues_[ch];
             if (wb.size() > kWritebackHighWater) {
@@ -551,6 +569,10 @@ MemorySystem::nextWorkTick(Tick now) const
         queuedDemand_ == 0;
 
     Tick next = kMaxTick;
+    // A queued backend transitions on its own every cycle while any
+    // command is pending; no window may skip over that.
+    if (timingMode_)
+        next = dram_->nextTransitionTick(now);
     for (unsigned ch = 0; ch < config_.dram.channels; ++ch) {
         // A channel does new work at its first idle cycle, when it
         // either starts a queued access or (gates open, candidates
@@ -634,6 +656,11 @@ MemorySystem::startDramAccess(unsigned channel, const MemRequest &req)
         ++*hot_.writebacks;
         return; // Writebacks need no completion handling.
     }
+
+    // Queued backends deliver the fill through popCompleted() once
+    // their command scheduling retires the transfer.
+    if (done == kTickPending)
+        return;
 
     MemRequest in_flight = req;
     events_.schedule(done, [this, in_flight] { onDramFill(in_flight); });

@@ -135,7 +135,7 @@ class MemorySystem
 
     Cache &l1d() { return *l1d_; }
     Cache &l2() { return *l2_; }
-    DramSystem &dram() { return *dram_; }
+    DramBackend &dram() { return *dram_; }
     MshrFile &l1Mshrs() { return *l1Mshrs_; }
     MshrFile &l2Mshrs() { return *l2Mshrs_; }
     StatGroup &stats() { return stats_; }
@@ -210,7 +210,12 @@ class MemorySystem
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<MshrFile> l1Mshrs_;
     std::unique_ptr<MshrFile> l2Mshrs_;
-    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<DramBackend> dram_;
+    /** Cached dram_->queued(): the selected backend schedules
+     *  commands internally, so tick() drives dram tick/popCompleted
+     *  and arbitration gates on canAccept() instead of channelIdle().
+     *  False for the legacy backend — its hot path is untouched. */
+    bool timingMode_ = false;
     PrefetchEngine *engine_ = nullptr;
     LoadCallback loadDone_;
     const adaptive::ControlPlane *plane_ = nullptr;

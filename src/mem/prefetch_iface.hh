@@ -21,7 +21,7 @@
 namespace grp
 {
 
-class DramSystem;
+class DramBackend;
 
 /** Abstract prefetch engine observed and drained by the memory
  *  system. */
@@ -84,7 +84,7 @@ class PrefetchEngine
      * Returns std::nullopt when the engine has nothing useful.
      */
     virtual std::optional<PrefetchCandidate>
-    dequeuePrefetch(const DramSystem &dram, unsigned channel) = 0;
+    dequeuePrefetch(const DramBackend &dram, unsigned channel) = 0;
 
     /** Execute an indirect prefetch instruction (§3.3.3). */
     virtual void

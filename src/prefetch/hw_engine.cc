@@ -96,7 +96,7 @@ HwPrefetchEngine::onFill(Addr block_addr, uint8_t ptr_depth, ReqClass)
 }
 
 std::optional<PrefetchCandidate>
-HwPrefetchEngine::dequeuePrefetch(const DramSystem &dram,
+HwPrefetchEngine::dequeuePrefetch(const DramBackend &dram,
                                   unsigned channel)
 {
     GRP_HOST_SCOPE(2, EngineDequeue);

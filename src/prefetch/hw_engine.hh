@@ -46,7 +46,7 @@ class HwPrefetchEngine : public PrefetchEngine
     void onFill(Addr block_addr, uint8_t ptr_depth,
                 ReqClass cls) override;
     std::optional<PrefetchCandidate>
-    dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
+    dequeuePrefetch(const DramBackend &dram, unsigned channel) override;
 
     StatGroup &stats() override { return stats_; }
     RegionQueue &queue() { return queue_; }

@@ -1,6 +1,7 @@
 #include "prefetch/region_queue.hh"
 
 #include <bit>
+#include <limits>
 
 #include "obs/site_profile.hh"
 #include "sim/logging.hh"
@@ -8,14 +9,32 @@
 namespace grp
 {
 
+namespace
+{
+
+inline std::size_t
+classIndex(obs::HintClass cls)
+{
+    return static_cast<std::size_t>(cls);
+}
+
+} // namespace
+
 RegionQueue::RegionQueue(unsigned capacity, bool lifo, bool bank_aware,
                          obs::StatRegistry &registry)
-    : capacity_(capacity),
+    : nextSeq_(std::numeric_limits<uint64_t>::max()),
+      capacity_(capacity),
       lifo_(lifo),
       bankAware_(bank_aware),
       statReg_(stats_, registry)
 {
     fatal_if(capacity == 0, "prefetch queue capacity must be non-zero");
+    slots_.resize(capacity_ + 1);
+    for (unsigned i = 0; i < slots_.size(); ++i)
+        slots_[i].nextAll = i + 1 < slots_.size() ? int(i) + 1 : -1;
+    freeHead_ = 0;
+    clsHead_.fill(-1);
+    clsTail_.fill(-1);
     entriesDropped_ = &stats_.counter("entriesDropped");
     candidatesDropped_ = &stats_.counter("candidatesDropped");
     regionsQueued_ = &stats_.counter("regionsQueued");
@@ -24,13 +43,80 @@ RegionQueue::RegionQueue(unsigned capacity, bool lifo, bool bank_aware,
     occupancyHighWater_ = &stats_.counter("occupancyHighWater");
 }
 
-RegionEntry *
+int
+RegionQueue::allocSlot()
+{
+    panic_if(freeHead_ < 0, "slot pool exhausted");
+    const int idx = freeHead_;
+    freeHead_ = slots_[idx].nextAll;
+    slots_[idx].used = true;
+    return idx;
+}
+
+void
+RegionQueue::linkFront(int idx)
+{
+    Slot &slot = slots_[idx];
+    slot.seq = nextSeq_--;
+
+    slot.prevAll = -1;
+    slot.nextAll = allHead_;
+    if (allHead_ >= 0)
+        slots_[allHead_].prevAll = idx;
+    allHead_ = idx;
+    if (allTail_ < 0)
+        allTail_ = idx;
+
+    const std::size_t cls = classIndex(slot.entry.hintClass);
+    slot.prevCls = -1;
+    slot.nextCls = clsHead_[cls];
+    if (clsHead_[cls] >= 0)
+        slots_[clsHead_[cls]].prevCls = idx;
+    clsHead_[cls] = idx;
+    if (clsTail_[cls] < 0)
+        clsTail_[cls] = idx;
+
+    ++size_;
+}
+
+void
+RegionQueue::removeSlot(int idx)
+{
+    Slot &slot = slots_[idx];
+
+    if (slot.prevAll >= 0)
+        slots_[slot.prevAll].nextAll = slot.nextAll;
+    else
+        allHead_ = slot.nextAll;
+    if (slot.nextAll >= 0)
+        slots_[slot.nextAll].prevAll = slot.prevAll;
+    else
+        allTail_ = slot.prevAll;
+
+    const std::size_t cls = classIndex(slot.entry.hintClass);
+    if (slot.prevCls >= 0)
+        slots_[slot.prevCls].nextCls = slot.nextCls;
+    else
+        clsHead_[cls] = slot.nextCls;
+    if (slot.nextCls >= 0)
+        slots_[slot.nextCls].prevCls = slot.prevCls;
+    else
+        clsTail_[cls] = slot.prevCls;
+
+    slot.used = false;
+    slot.nextAll = freeHead_;
+    freeHead_ = idx;
+    --size_;
+}
+
+RegionQueue::Slot *
 RegionQueue::findCovering(uint64_t block_num)
 {
-    for (RegionEntry &entry : entries_) {
+    for (int i = allHead_; i >= 0; i = slots_[i].nextAll) {
+        RegionEntry &entry = slots_[i].entry;
         if (block_num >= entry.baseBlock &&
             block_num < entry.baseBlock + entry.numBlocks) {
-            return &entry;
+            return &slots_[i];
         }
     }
     return nullptr;
@@ -61,9 +147,11 @@ RegionQueue::pushFront(RegionEntry entry)
               entry_blocks, false, entry.refId);
     GRP_PROFILE(noteEnqueue(entry.refId, entry.hintClass,
                             static_cast<uint64_t>(entry_blocks)));
-    entries_.push_front(entry);
-    while (entries_.size() > capacity_) {
-        const RegionEntry &victim = entries_.back();
+    const int idx = allocSlot();
+    slots_[idx].entry = entry;
+    linkFront(idx);
+    while (size_ > capacity_) {
+        const RegionEntry &victim = slots_[allTail_].entry;
         const int victim_blocks = std::popcount(victim.bitvec);
         dropped_ += victim_blocks;
         ++*entriesDropped_;
@@ -73,12 +161,12 @@ RegionQueue::pushFront(RegionEntry entry)
                   victim_blocks, false, victim.refId);
         GRP_PROFILE(noteDrop(victim.refId, victim.hintClass,
                              static_cast<uint64_t>(victim_blocks)));
-        entries_.pop_back();
+        removeSlot(allTail_);
     }
     // Counters only go up: advance the high-water mark by its delta.
-    if (entries_.size() > highWater_) {
-        *occupancyHighWater_ += entries_.size() - highWater_;
-        highWater_ = entries_.size();
+    if (size_ > highWater_) {
+        *occupancyHighWater_ += size_ - highWater_;
+        highWater_ = size_;
     }
 }
 
@@ -92,21 +180,17 @@ RegionQueue::noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
              "window must be a power of two in [1, 64]");
     const uint64_t miss_block = blockNumber(miss_addr);
 
-    if (RegionEntry *entry = findCovering(miss_block)) {
+    if (Slot *slot = findCovering(miss_block)) {
         // Second miss to a queued region: clear the miss block's bit,
         // restart the scan just after it and move the entry to the
         // head of the queue.
+        RegionEntry &entry = slot->entry;
         const unsigned pos =
-            static_cast<unsigned>(miss_block - entry->baseBlock);
-        entry->bitvec &= ~(1ull << pos);
-        entry->index = (pos + 1) % entry->numBlocks;
-        RegionEntry updated = *entry;
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (&*it == entry) {
-                entries_.erase(it);
-                break;
-            }
-        }
+            static_cast<unsigned>(miss_block - entry.baseBlock);
+        entry.bitvec &= ~(1ull << pos);
+        entry.index = (pos + 1) % entry.numBlocks;
+        const RegionEntry updated = entry;
+        removeSlot(static_cast<int>(slot - slots_.data()));
         if (updated.bitvec != 0)
             pushFront(updated);
         return 0;
@@ -142,11 +226,11 @@ RegionQueue::addPointerTarget(Addr target, unsigned blocks,
              "bad pointer window size");
     const uint64_t base = blockNumber(target);
 
-    if (RegionEntry *entry = findCovering(base)) {
+    if (Slot *slot = findCovering(base)) {
         // Already queued (common for pointers into the same object):
         // just deepen the chase if this request would go further.
-        if (ptr_depth > entry->ptrDepth)
-            entry->ptrDepth = ptr_depth;
+        if (ptr_depth > slot->entry.ptrDepth)
+            slot->entry.ptrDepth = ptr_depth;
         return;
     }
 
@@ -165,7 +249,7 @@ RegionQueue::addPointerTarget(Addr target, unsigned blocks,
 }
 
 std::optional<PrefetchCandidate>
-RegionQueue::dequeue(const DramSystem &dram, unsigned channel)
+RegionQueue::dequeue(const DramBackend &dram, unsigned channel)
 {
     if (!plane_)
         return dequeueTier(dram, channel, -1);
@@ -181,23 +265,17 @@ RegionQueue::dequeue(const DramSystem &dram, unsigned channel)
 }
 
 std::optional<PrefetchCandidate>
-RegionQueue::dequeueTier(const DramSystem &dram, unsigned channel,
+RegionQueue::dequeueTier(const DramBackend &dram, unsigned channel,
                          int tier)
 {
     // First choice: a candidate on this channel whose DRAM row is
     // already open; fallback: the first candidate on this channel in
     // queue order (within the tier, when one is given).
-    RegionEntry *fallback_entry = nullptr;
+    int fallback_slot = -1;
     unsigned fallback_pos = 0;
 
-    auto in_tier = [&](const RegionEntry &entry) {
-        return tier < 0 || plane_->priority(entry.hintClass) == tier;
-    };
-
-    auto scan_entry = [&](RegionEntry &entry)
-        -> std::optional<unsigned> {
-        if (!in_tier(entry))
-            return std::nullopt;
+    auto scan_entry = [&](int idx) -> std::optional<unsigned> {
+        const RegionEntry &entry = slots_[idx].entry;
         for (unsigned step = 0; step < entry.numBlocks; ++step) {
             const unsigned pos = (entry.index + step) % entry.numBlocks;
             if (!(entry.bitvec & (1ull << pos)))
@@ -207,15 +285,16 @@ RegionQueue::dequeueTier(const DramSystem &dram, unsigned channel,
                 continue;
             if (!bankAware_ || dram.rowOpen(addr))
                 return pos;
-            if (!fallback_entry) {
-                fallback_entry = &entry;
+            if (fallback_slot < 0) {
+                fallback_slot = idx;
                 fallback_pos = pos;
             }
         }
         return std::nullopt;
     };
 
-    auto take = [&](RegionEntry &entry, unsigned pos) {
+    auto take = [&](int idx, unsigned pos) {
+        RegionEntry &entry = slots_[idx].entry;
         PrefetchCandidate candidate;
         candidate.blockAddr = (entry.baseBlock + pos) << kBlockShift;
         candidate.ptrDepth = entry.ptrDepth;
@@ -223,38 +302,80 @@ RegionQueue::dequeueTier(const DramSystem &dram, unsigned channel,
         candidate.hintClass = entry.hintClass;
         ++*candidatesDequeued_;
         entry.bitvec &= ~(1ull << pos);
-        if (entry.bitvec == 0) {
-            for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-                if (&*it == &entry) {
-                    entries_.erase(it);
-                    break;
-                }
-            }
-        }
+        if (entry.bitvec == 0)
+            removeSlot(idx);
         return candidate;
     };
 
-    if (lifo_) {
-        for (RegionEntry &entry : entries_) {
-            if (auto pos = scan_entry(entry))
-                return take(entry, *pos);
+    if (tier < 0) {
+        // Classic single pass in queue order over every entry.
+        if (lifo_) {
+            for (int i = allHead_; i >= 0; i = slots_[i].nextAll) {
+                if (auto pos = scan_entry(i))
+                    return take(i, *pos);
+            }
+        } else {
+            for (int i = allTail_; i >= 0; i = slots_[i].prevAll) {
+                if (auto pos = scan_entry(i))
+                    return take(i, *pos);
+            }
         }
     } else {
-        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-            if (auto pos = scan_entry(*it))
-                return take(*it, *pos);
+        // Merge the class lists whose priority matches this tier by
+        // seq — exactly the entries the filtered full walk visited,
+        // in exactly its order, without touching other classes.
+        std::array<int, kNumClasses> cursors;
+        std::size_t ncur = 0;
+        for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+            if (plane_->priority(static_cast<obs::HintClass>(cls)) !=
+                tier) {
+                continue;
+            }
+            const int head = lifo_ ? clsHead_[cls] : clsTail_[cls];
+            if (head >= 0)
+                cursors[ncur++] = head;
+        }
+        while (ncur > 0) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < ncur; ++i) {
+                const uint64_t a = slots_[cursors[i]].seq;
+                const uint64_t b = slots_[cursors[best]].seq;
+                // Front pushes take descending seq, so front-to-back
+                // (LIFO scan) order is ascending seq.
+                if (lifo_ ? a < b : a > b)
+                    best = i;
+            }
+            const int idx = cursors[best];
+            if (auto pos = scan_entry(idx))
+                return take(idx, *pos);
+            const int next =
+                lifo_ ? slots_[idx].nextCls : slots_[idx].prevCls;
+            if (next >= 0)
+                cursors[best] = next;
+            else
+                cursors[best] = cursors[--ncur];
         }
     }
 
-    if (fallback_entry)
-        return take(*fallback_entry, fallback_pos);
+    if (fallback_slot >= 0)
+        return take(fallback_slot, fallback_pos);
     return std::nullopt;
 }
 
 void
 RegionQueue::clear()
 {
-    entries_.clear();
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        slots_[i].used = false;
+        slots_[i].nextAll = i + 1 < slots_.size() ? int(i) + 1 : -1;
+    }
+    freeHead_ = 0;
+    allHead_ = -1;
+    allTail_ = -1;
+    clsHead_.fill(-1);
+    clsTail_.fill(-1);
+    size_ = 0;
+    nextSeq_ = std::numeric_limits<uint64_t>::max();
     dropped_ = 0;
     stats_.reset();
     highWater_ = 0;

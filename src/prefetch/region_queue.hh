@@ -17,10 +17,11 @@
 #ifndef GRP_PREFETCH_REGION_QUEUE_HH
 #define GRP_PREFETCH_REGION_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "adaptive/control_plane.hh"
 #include "mem/dram.hh"
@@ -97,10 +98,10 @@ class RegionQueue
 
     /** Take the next candidate for @p channel, if any. */
     std::optional<PrefetchCandidate>
-    dequeue(const DramSystem &dram, unsigned channel);
+    dequeue(const DramBackend &dram, unsigned channel);
 
-    size_t size() const { return entries_.size(); }
-    bool empty() const { return entries_.empty(); }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
     unsigned capacity() const { return capacity_; }
 
     /** Total candidate blocks dropped when old entries fell off. */
@@ -112,16 +113,56 @@ class RegionQueue
     void clear();
 
   private:
-    RegionEntry *findCovering(uint64_t block_num);
+    /**
+     * Entries live in a fixed pool of capacity + 1 slots (one spare
+     * so a push can link before the eviction check) threaded onto two
+     * intrusive lists: a global queue-order list, and one list per
+     * hint class. A tier scan used to walk every entry and filter by
+     * class priority — O(entries) per tier, repeated for each tier —
+     * and now merges only the class lists whose priority matches the
+     * tier. The seq field makes the merge order well-defined: front
+     * pushes take descending values, so ascending seq IS front-to-back
+     * queue order and the k-way merge reproduces the filtered walk
+     * exactly (the ordering-equivalence test in
+     * tests/test_region_queue.cc checks this against a reference
+     * deque implementation).
+     */
+    struct Slot
+    {
+        RegionEntry entry;
+        uint64_t seq = 0;
+        int prevAll = -1;
+        int nextAll = -1;
+        int prevCls = -1;
+        int nextCls = -1;
+        bool used = false;
+    };
+
+    static constexpr std::size_t kNumClasses = adaptive::kNumClasses;
+
+    int allocSlot();
+    /** Unlink @p idx from both lists and return it to the free list. */
+    void removeSlot(int idx);
+    void linkFront(int idx);
+
+    Slot *findCovering(uint64_t block_num);
     void pushFront(RegionEntry entry);
     /** One scan pass over entries whose class priority equals
      *  @p tier (-1 scans every entry: the classic behavior). */
     std::optional<PrefetchCandidate>
-    dequeueTier(const DramSystem &dram, unsigned channel, int tier);
+    dequeueTier(const DramBackend &dram, unsigned channel, int tier);
     uint64_t buildWindowVector(uint64_t base_block, unsigned blocks,
                                uint64_t exclude_block) const;
 
-    std::deque<RegionEntry> entries_;
+    std::vector<Slot> slots_;
+    int freeHead_ = -1;
+    int allHead_ = -1;
+    int allTail_ = -1;
+    std::array<int, kNumClasses> clsHead_;
+    std::array<int, kNumClasses> clsTail_;
+    size_t size_ = 0;
+    /** Descending per-push sequence (see Slot). */
+    uint64_t nextSeq_;
     unsigned capacity_;
     bool lifo_;
     bool bankAware_;

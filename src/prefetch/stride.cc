@@ -191,7 +191,7 @@ StridePrefetcher::onL2DemandAccess(Addr addr, RefId ref,
 }
 
 std::optional<PrefetchCandidate>
-StridePrefetcher::dequeuePrefetch(const DramSystem &dram,
+StridePrefetcher::dequeuePrefetch(const DramBackend &dram,
                                   unsigned channel)
 {
     GRP_HOST_SCOPE(2, EngineDequeue);

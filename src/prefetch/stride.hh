@@ -37,7 +37,7 @@ class StridePrefetcher : public PrefetchEngine
     void onL2DemandAccess(Addr addr, RefId ref, const LoadHints &hints,
                           bool hit) override;
     std::optional<PrefetchCandidate>
-    dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
+    dequeuePrefetch(const DramBackend &dram, unsigned channel) override;
 
     StatGroup &stats() override { return stats_; }
 

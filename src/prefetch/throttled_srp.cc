@@ -74,7 +74,7 @@ ThrottledSrpEngine::onL2DemandMiss(Addr addr, RefId ref,
 }
 
 std::optional<PrefetchCandidate>
-ThrottledSrpEngine::dequeuePrefetch(const DramSystem &dram,
+ThrottledSrpEngine::dequeuePrefetch(const DramBackend &dram,
                                     unsigned channel)
 {
     GRP_HOST_SCOPE(2, EngineDequeue);

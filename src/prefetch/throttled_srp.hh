@@ -59,7 +59,7 @@ class ThrottledSrpEngine : public PrefetchEngine
     void onL2DemandMiss(Addr addr, RefId ref,
                         const LoadHints &hints) override;
     std::optional<PrefetchCandidate>
-    dequeuePrefetch(const DramSystem &dram, unsigned channel) override;
+    dequeuePrefetch(const DramBackend &dram, unsigned channel) override;
 
     StatGroup &stats() override { return stats_; }
     bool throttled() const { return throttled_; }

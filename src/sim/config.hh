@@ -84,6 +84,16 @@ struct DramConfig
     unsigned rowConflictCycles = 120;
     /** Channel data-bus occupancy per 64 B transfer. */
     unsigned transferCycles = 32;
+    /**
+     * DRAM backend selection: "legacy" (the immediate Rambus-style
+     * model above) or a cycle-accurate timing preset ("ddr4-2400",
+     * "hbm2", "lpddr4" — see mem/dram_backend/presets.hh; presets
+     * also override the geometry fields). Empty resolves through the
+     * GRP_DRAM environment variable, defaulting to legacy, so every
+     * existing configuration is untouched. Resolved names other than
+     * legacy participate in the provenance config hash.
+     */
+    std::string backend;
 };
 
 /** Out-of-order core parameters. */

@@ -11,8 +11,11 @@
 #define GRP_SIM_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -21,11 +24,146 @@
 namespace grp
 {
 
+/**
+ * Move-only callable with inline storage sized for the simulator's
+ * event captures. Replaces std::function on the event hot path:
+ * every scheduled completion used to heap-allocate (and free) one
+ * control block per event, which showed up in the host profile. A
+ * capture that fits the inline buffer now lives in the heap_ vector
+ * itself — scheduling and running an event touches no allocator.
+ * Oversized captures fall back to the heap transparently.
+ */
+class InlineCallback
+{
+  public:
+    /** Sized for the largest hot capture ([this, MemRequest]). */
+    static constexpr size_t kInlineBytes = 64;
+
+    InlineCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F &&fn) // NOLINT: implicit like std::function.
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            manage_ = &manageInline<Fn>;
+        } else {
+            ::new (static_cast<void *>(storage_))
+                (Fn *)(new Fn(std::forward<F>(fn)));
+            manage_ = &manageHeap<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()() { manage_(Op::Invoke, this, nullptr); }
+
+    explicit operator bool() const { return manage_ != nullptr; }
+
+  private:
+    /** One manager function per stored type keeps the object at one
+     *  code pointer plus the buffer (no separate vtable / control
+     *  block). Relocate move-constructs into @p dst and destroys the
+     *  source — what the heap's sift operations need. */
+    enum class Op
+    {
+        Invoke,
+        Relocate,
+        Destroy,
+    };
+    using Manager = void (*)(Op, InlineCallback *, InlineCallback *);
+
+    template <typename Fn>
+    static void
+    manageInline(Op op, InlineCallback *self, InlineCallback *dst)
+    {
+        Fn *fn = std::launder(reinterpret_cast<Fn *>(self->storage_));
+        switch (op) {
+          case Op::Invoke:
+            (*fn)();
+            break;
+          case Op::Relocate:
+            ::new (static_cast<void *>(dst->storage_))
+                Fn(std::move(*fn));
+            fn->~Fn();
+            break;
+          case Op::Destroy:
+            fn->~Fn();
+            break;
+        }
+    }
+
+    template <typename Fn>
+    static void
+    manageHeap(Op op, InlineCallback *self, InlineCallback *dst)
+    {
+        Fn **slot = std::launder(
+            reinterpret_cast<Fn **>(self->storage_));
+        switch (op) {
+          case Op::Invoke:
+            (**slot)();
+            break;
+          case Op::Relocate:
+            ::new (static_cast<void *>(dst->storage_)) (Fn *)(*slot);
+            break;
+          case Op::Destroy:
+            delete *slot;
+            break;
+        }
+    }
+
+    void
+    moveFrom(InlineCallback &&other) noexcept
+    {
+        manage_ = other.manage_;
+        if (manage_) {
+            manage_(Op::Relocate, &other, this);
+            other.manage_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (manage_) {
+            manage_(Op::Destroy, this, nullptr);
+            manage_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    Manager manage_ = nullptr;
+};
+
 /** Tick-ordered queue of callbacks; FIFO among same-tick events. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     /** Schedule @p cb to run at absolute time @p when (>= curTick()). */
     void
@@ -119,8 +257,8 @@ class EventQueue
 
     // A hand-rolled binary heap (std::push_heap/std::pop_heap) rather
     // than std::priority_queue: top() on the adapter is const, which
-    // forces a copy of the Event (and its std::function) per pop;
-    // here the hot path moves events out instead.
+    // forces a copy of the Event per pop (and InlineCallback is
+    // move-only anyway); here the hot path moves events out instead.
     std::vector<Event> heap_;
     Tick curTick_ = 0;
     uint64_t nextSeq_ = 0;

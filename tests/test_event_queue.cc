@@ -1,7 +1,10 @@
-/** @file Unit tests for the event queue. */
+/** @file Unit tests for the event queue and its inline-storage
+ *  callback type. */
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -116,6 +119,81 @@ TEST(EventQueue, ResetClearsEverything)
     EXPECT_TRUE(queue.empty());
     queue.advanceTo(10);
     EXPECT_EQ(fired, 0);
+}
+
+TEST(InlineCallback, MoveOnlyCaptureRuns)
+{
+    auto value = std::make_unique<int>(41);
+    int seen = 0;
+    InlineCallback cb(
+        [&seen, v = std::move(value)]() mutable { seen = ++*v; });
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallback, MoveTransfersOwnership)
+{
+    int fired = 0;
+    InlineCallback a([&fired] { ++fired; });
+    InlineCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(fired, 1);
+    InlineCallback c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallback, OversizedCaptureFallsBackToHeap)
+{
+    // A capture larger than the inline buffer still works (it is
+    // boxed), and destruction releases it exactly once.
+    static int destroyed = 0;
+    destroyed = 0;
+    struct Big
+    {
+        std::array<uint64_t, 32> payload{}; // 256 B > kInlineBytes.
+        bool armed = true;
+        Big() = default;
+        Big(Big &&other) noexcept : payload(other.payload)
+        {
+            other.armed = false;
+        }
+        Big(const Big &) = delete;
+        ~Big()
+        {
+            if (armed)
+                ++destroyed;
+        }
+    };
+    static_assert(sizeof(Big) > InlineCallback::kInlineBytes);
+    uint64_t sum = 0;
+    {
+        Big big;
+        big.payload[0] = 40;
+        big.payload[31] = 2;
+        InlineCallback cb([&sum, big = std::move(big)] {
+            sum = big.payload[0] + big.payload[31];
+        });
+        InlineCallback moved(std::move(cb));
+        moved();
+    }
+    EXPECT_EQ(sum, 42u);
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineCallback, QueueRunsOversizedCaptures)
+{
+    EventQueue queue;
+    std::array<uint64_t, 40> blob{};
+    blob[39] = 7;
+    uint64_t seen = 0;
+    queue.schedule(3, [blob, &seen] { seen = blob[39]; });
+    queue.advanceTo(3);
+    EXPECT_EQ(seen, 7u);
 }
 
 } // namespace

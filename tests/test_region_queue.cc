@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <optional>
 #include <set>
 
 #include "mem/dram.hh"
@@ -219,6 +221,280 @@ TEST_F(RegionQueueTest, EmptyDequeueReturnsNothing)
     queue.clear();
     EXPECT_FALSE(queue.dequeue(dram, 0).has_value());
     EXPECT_TRUE(queue.empty());
+}
+
+/**
+ * Reference implementation of the queue's ordering semantics: the
+ * straightforward deque walk the intrusive-list version replaced. A
+ * tier pass scans every entry in queue order, filtering by class
+ * priority; the production queue merges per-class lists instead and
+ * must produce byte-identical dequeue sequences.
+ */
+class ReferenceQueue
+{
+  public:
+    ReferenceQueue(unsigned capacity, bool lifo, bool bank_aware)
+        : capacity_(capacity), lifo_(lifo), bankAware_(bank_aware)
+    {
+    }
+
+    void setControlPlane(const adaptive::ControlPlane *plane)
+    {
+        plane_ = plane;
+    }
+
+    unsigned
+    noteSpatialMiss(Addr miss_addr, unsigned window_blocks,
+                    uint8_t ptr_depth, RefId ref, obs::HintClass hint)
+    {
+        const uint64_t miss_block = blockNumber(miss_addr);
+        if (RegionEntry *entry = findCovering(miss_block)) {
+            const unsigned pos =
+                static_cast<unsigned>(miss_block - entry->baseBlock);
+            entry->bitvec &= ~(1ull << pos);
+            entry->index = (pos + 1) % entry->numBlocks;
+            RegionEntry updated = *entry;
+            erase(entry);
+            if (updated.bitvec != 0)
+                pushFront(updated);
+            return 0;
+        }
+        const uint64_t base =
+            miss_block & ~static_cast<uint64_t>(window_blocks - 1);
+        RegionEntry entry;
+        entry.baseBlock = base;
+        entry.numBlocks = window_blocks;
+        for (unsigned i = 0; i < window_blocks; ++i) {
+            if (base + i != miss_block)
+                entry.bitvec |= 1ull << i;
+        }
+        entry.index = static_cast<unsigned>((miss_block - base + 1) %
+                                            window_blocks);
+        entry.ptrDepth = ptr_depth;
+        entry.refId = ref;
+        entry.hintClass = hint;
+        if (entry.bitvec != 0)
+            pushFront(entry);
+        return window_blocks;
+    }
+
+    void
+    addPointerTarget(Addr target, unsigned blocks, uint8_t ptr_depth,
+                     RefId ref, obs::HintClass hint)
+    {
+        const uint64_t base = blockNumber(target);
+        if (RegionEntry *entry = findCovering(base)) {
+            if (ptr_depth > entry->ptrDepth)
+                entry->ptrDepth = ptr_depth;
+            return;
+        }
+        RegionEntry entry;
+        entry.baseBlock = base;
+        entry.numBlocks = blocks;
+        for (unsigned i = 0; i < blocks; ++i)
+            entry.bitvec |= 1ull << i;
+        entry.index = 0;
+        entry.ptrDepth = ptr_depth;
+        entry.refId = ref;
+        entry.hintClass = hint;
+        pushFront(entry);
+    }
+
+    std::optional<PrefetchCandidate>
+    dequeue(const DramBackend &dram, unsigned channel)
+    {
+        if (!plane_)
+            return dequeueTier(dram, channel, -1);
+        for (int tier = plane_->maxPriority(); tier >= 0; --tier) {
+            if (auto candidate = dequeueTier(dram, channel, tier))
+                return candidate;
+        }
+        return std::nullopt;
+    }
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    RegionEntry *
+    findCovering(uint64_t block_num)
+    {
+        for (RegionEntry &entry : entries_) {
+            if (block_num >= entry.baseBlock &&
+                block_num < entry.baseBlock + entry.numBlocks) {
+                return &entry;
+            }
+        }
+        return nullptr;
+    }
+
+    void
+    erase(RegionEntry *entry)
+    {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (&*it == entry) {
+                entries_.erase(it);
+                return;
+            }
+        }
+    }
+
+    void
+    pushFront(RegionEntry entry)
+    {
+        entries_.push_front(entry);
+        while (entries_.size() > capacity_)
+            entries_.pop_back();
+    }
+
+    std::optional<PrefetchCandidate>
+    dequeueTier(const DramBackend &dram, unsigned channel, int tier)
+    {
+        RegionEntry *fallback_entry = nullptr;
+        unsigned fallback_pos = 0;
+
+        auto scan_entry = [&](RegionEntry &entry)
+            -> std::optional<unsigned> {
+            if (tier >= 0 &&
+                plane_->priority(entry.hintClass) != tier) {
+                return std::nullopt;
+            }
+            for (unsigned step = 0; step < entry.numBlocks; ++step) {
+                const unsigned pos =
+                    (entry.index + step) % entry.numBlocks;
+                if (!(entry.bitvec & (1ull << pos)))
+                    continue;
+                const Addr addr =
+                    (entry.baseBlock + pos) << kBlockShift;
+                if (dram.channelOf(addr) != channel)
+                    continue;
+                if (!bankAware_ || dram.rowOpen(addr))
+                    return pos;
+                if (!fallback_entry) {
+                    fallback_entry = &entry;
+                    fallback_pos = pos;
+                }
+            }
+            return std::nullopt;
+        };
+
+        auto take = [&](RegionEntry &entry, unsigned pos) {
+            PrefetchCandidate candidate;
+            candidate.blockAddr =
+                (entry.baseBlock + pos) << kBlockShift;
+            candidate.ptrDepth = entry.ptrDepth;
+            candidate.refId = entry.refId;
+            candidate.hintClass = entry.hintClass;
+            entry.bitvec &= ~(1ull << pos);
+            if (entry.bitvec == 0)
+                erase(&entry);
+            return candidate;
+        };
+
+        if (lifo_) {
+            for (RegionEntry &entry : entries_) {
+                if (auto pos = scan_entry(entry))
+                    return take(entry, *pos);
+            }
+        } else {
+            for (auto it = entries_.rbegin(); it != entries_.rend();
+                 ++it) {
+                if (auto pos = scan_entry(*it))
+                    return take(*it, *pos);
+            }
+        }
+        if (fallback_entry)
+            return take(*fallback_entry, fallback_pos);
+        return std::nullopt;
+    }
+
+    std::deque<RegionEntry> entries_;
+    unsigned capacity_;
+    bool lifo_;
+    bool bankAware_;
+    const adaptive::ControlPlane *plane_ = nullptr;
+};
+
+TEST_F(RegionQueueTest, OrderingMatchesReferenceUnderRandomOps)
+{
+    const obs::HintClass kClasses[4] = {
+        obs::HintClass::Spatial, obs::HintClass::Pointer,
+        obs::HintClass::Indirect, obs::HintClass::Stride,
+    };
+    // Open a few DRAM rows so bank-aware scans have hits to prefer.
+    Tick now = 0;
+    for (Addr addr = 0; addr < 64 * kBlockBytes; addr += kBlockBytes) {
+        dram.serve(addr, now);
+        now += 1000;
+    }
+
+    for (unsigned variant = 0; variant < 8; ++variant) {
+        const bool lifo = variant & 1;
+        const bool bank_aware = variant & 2;
+        const bool tiered = variant & 4;
+
+        adaptive::ControlPlane plane;
+        // Spread classes across three tiers (varies per variant).
+        for (std::size_t c = 0; c < adaptive::kNumClasses; ++c) {
+            plane.knobs(static_cast<obs::HintClass>(c)).priority =
+                static_cast<uint8_t>((c + variant) % 3);
+        }
+
+        RegionQueue queue(8, lifo, bank_aware);
+        ReferenceQueue ref(8, lifo, bank_aware);
+        if (tiered) {
+            queue.setControlPlane(&plane);
+            ref.setControlPlane(&plane);
+        }
+
+        uint64_t lcg = 0x9E3779B97F4A7C15ull * (variant + 1);
+        auto next = [&lcg] {
+            lcg = lcg * 6364136223846793005ull +
+                  1442695040888963407ull;
+            return lcg >> 16;
+        };
+
+        for (unsigned op = 0; op < 4000; ++op) {
+            const uint64_t roll = next();
+            const obs::HintClass hint = kClasses[roll % 4];
+            const RefId site = static_cast<RefId>(roll % 11);
+            switch ((roll >> 8) % 3) {
+              case 0: {
+                const Addr miss =
+                    ((roll >> 16) % 256) * kBlockBytes;
+                const unsigned window = 1u << ((roll >> 4) % 4 + 2);
+                queue.noteSpatialMiss(miss, window, 0, site, hint);
+                ref.noteSpatialMiss(miss, window, 0, site, hint);
+                break;
+              }
+              case 1: {
+                const Addr target =
+                    ((roll >> 16) % 256) * kBlockBytes;
+                queue.addPointerTarget(target, 2, (roll >> 6) % 3,
+                                       site, hint);
+                ref.addPointerTarget(target, 2, (roll >> 6) % 3,
+                                     site, hint);
+                break;
+              }
+              case 2: {
+                const unsigned channel = (roll >> 16) % 4;
+                const auto got = queue.dequeue(dram, channel);
+                const auto want = ref.dequeue(dram, channel);
+                ASSERT_EQ(got.has_value(), want.has_value())
+                    << "variant " << variant << " op " << op;
+                if (got) {
+                    EXPECT_EQ(got->blockAddr, want->blockAddr)
+                        << "variant " << variant << " op " << op;
+                    EXPECT_EQ(got->refId, want->refId);
+                    EXPECT_EQ(got->ptrDepth, want->ptrDepth);
+                    EXPECT_EQ(got->hintClass, want->hintClass);
+                }
+                break;
+              }
+            }
+            ASSERT_EQ(queue.size(), ref.size())
+                << "variant " << variant << " op " << op;
+        }
+    }
 }
 
 } // namespace
